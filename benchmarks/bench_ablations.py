@@ -1,0 +1,42 @@
+"""Ablation sweeps of the architecture's quantitative design choices."""
+
+from conftest import bench_size
+
+from repro.experiments import ablations
+from repro.perf.report import format_table
+
+
+def _print(name, rows):
+    headers = list(rows[0].keys())
+    print(f"\n== ablation: {name} ==")
+    print(format_table(headers, [[r[h] for h in headers] for r in rows]))
+
+
+def test_scoreboard_depth(once):
+    rows = once(ablations.sweep_scoreboard, size=bench_size())
+    _print("scoreboard depth (PR)", rows)
+    # MLP is the point of the 63-entry scoreboard: deep >> shallow.
+    assert rows[-1]["speedup"] > 2.5
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups)
+
+
+def test_ruche_factor(once):
+    rows = once(ablations.sweep_ruche_factor, size=bench_size())
+    _print("ruche factor (FFT)", rows)
+    by_factor = {r["ruche_factor"]: r["speedup"] for r in rows}
+    # Long links beat plain mesh; returns flatten after factor 3.
+    assert by_factor[3] > by_factor[0]
+    assert by_factor[4] - by_factor[3] < by_factor[3] - by_factor[2] + 0.05
+
+
+def test_mshr_capacity(once):
+    rows = once(ablations.sweep_mshr, size=bench_size())
+    _print("MSHR entries (miss-heavy SpGEMM)", rows)
+    assert rows[-1]["speedup"] >= rows[0]["speedup"] - 0.02
+
+
+def test_cache_capacity(once):
+    rows = once(ablations.sweep_cache_sets, size=bench_size())
+    _print("cache capacity (Fig-12 SpGEMM)", rows)
+    assert rows[-1]["speedup"] > 1.5  # capacity matters for the multi-task set

@@ -1,0 +1,37 @@
+"""Fig 3: bisection utilization during sparse inter-Cell transfer."""
+
+from conftest import bench_size
+
+from repro.experiments import fig03_bisection_transfer as fig03
+from repro.perf.report import format_series
+
+
+def _transfer_bytes():
+    return 1024 * 1024 if bench_size() == "full" else 128 * 1024
+
+
+def test_fig03_horizontal(once):
+    out = once(fig03.run, transfer_bytes=_transfer_bytes(),
+               orientation="horizontal")
+    print(f"\n== Fig 3 (horizontal adjacency, "
+          f"{out['payload_bytes'] >> 10} KiB sparse) ==")
+    print(f"active bisection utilization: {out['active_utilization']:.2f} "
+          f"(peak link {out['peak_link_utilization']:.2f}; paper: 0.8-0.9 "
+          "on the carrying links)")
+    print(f"1024-bit hierarchical channel efficiency: "
+          f"{out['wide_channel_efficiency']:.3f}")
+    if out["series"]:
+        print(format_series(out["series"][:64],
+                            title="utilization over time (cut links)"))
+    # Shape: the word network moves sparse data efficiently, wide
+    # channels catastrophically.
+    assert out["peak_link_utilization"] > 0.6
+    assert out["wide_channel_efficiency"] < 0.05
+
+
+def test_fig03_vertical(once):
+    out = once(fig03.run, transfer_bytes=_transfer_bytes(),
+               orientation="vertical")
+    print(f"\n== Fig 3 (vertical adjacency) ==")
+    print(f"active bisection utilization: {out['active_utilization']:.2f}")
+    assert out["active_utilization"] > 0.3

@@ -1,0 +1,18 @@
+"""Fig 4: HW barrier latency vs software barriers."""
+
+from repro.experiments import fig04_barrier as fig04
+from repro.perf.report import format_table
+
+
+def test_fig04_barrier_scaling(once):
+    out = once(fig04.run)
+    print("\n== Fig 4: barrier latency (cycles) ==")
+    print(f"16x8 in-sweep via Ruche: {out['in_sweep_16x8']} (paper: 8)")
+    print(format_table(
+        ["group", "tiles", "HW(ruche)", "HW(mesh)", "SW"],
+        [(r["group"], r["tiles"], r["hw_ruche"], r["hw_mesh"], r["sw"])
+         for r in out["rows"]]))
+    assert out["in_sweep_16x8"] == 8
+    big = out["rows"][-1]
+    assert big["sw"] > 10 * big["hw_ruche"]
+    assert all(r["hw_ruche"] <= r["hw_mesh"] for r in out["rows"])

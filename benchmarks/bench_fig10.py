@@ -1,0 +1,41 @@
+"""Fig 10: incremental feature analysis over the benchmark suite."""
+
+from conftest import bench_kernels, bench_size
+
+from repro.experiments import fig10_incremental as fig10
+from repro.perf.report import format_table
+
+#: Default subset keeps the bench under a few minutes; set
+#: REPRO_BENCH_KERNELS=AES,BS,SW,SGEMM,FFT,Jacobi,SpGEMM,PR,BFS,BH for all.
+DEFAULT_KERNELS = ("AES", "PR", "Jacobi", "BH", "SGEMM", "SpGEMM")
+
+
+def test_fig10_feature_ladder(once):
+    kernels = bench_kernels(DEFAULT_KERNELS)
+    out = once(fig10.run, size=bench_size(), kernels=kernels)
+    print("\n== Fig 10: speedup over Baseline Manycore ==")
+    rows = []
+    for rung in out["rungs"]:
+        rows.append([rung] + [out["speedups"][rung][k] for k in kernels]
+                    + [out["geomean"][rung]])
+    print(format_table(["config"] + list(kernels) + ["geomean"], rows))
+    print(f"\nfinal geomean: {out['final_geomean']:.2f}x (paper: 5.2x)")
+
+    geo = out["geomean"]
+    rungs = out["rungs"]
+    # Shape checks from the paper's reading of the figure:
+    # every kernel ends faster than the baseline...
+    final = out["speedups"][rungs[-1]]
+    assert all(s > 1.0 for s in final.values())
+    # ...the geomean improves overall and lands in the right ballpark...
+    assert 2.5 < out["final_geomean"] < 12
+    # ...density is a major contributor...
+    density_gain = geo[rungs[3]] / geo[rungs[2]]
+    assert density_gain > 1.0
+    # ...and the full-feature machine beats the cellular baseline well.
+    assert out["final_geomean"] > 1.5 * geo[rungs[3]]
+    # BH benefits from IPOLY the most (when it is in the subset).
+    if "BH" in final:
+        ipoly_jump = (out["speedups"][rungs[8]]["BH"]
+                      / out["speedups"][rungs[7]]["BH"])
+        assert ipoly_jump > 1.5

@@ -1,0 +1,36 @@
+"""Fig 11: core and HBM2 utilization breakdowns per kernel."""
+
+from conftest import bench_kernels, bench_size
+
+from repro.experiments import fig11_utilization as fig11
+from repro.perf.counters import BREAKDOWN_ORDER, HBM_ORDER
+from repro.perf.report import format_stacked
+
+DEFAULT_KERNELS = ("PR", "BFS", "SpGEMM", "BH", "Jacobi", "SGEMM", "SW",
+                   "BS", "AES")
+
+
+def test_fig11_utilization(once):
+    kernels = bench_kernels(DEFAULT_KERNELS)
+    out = once(fig11.run, size=bench_size(), kernels=kernels)
+    print("\n== Fig 11: core utilization breakdown ==")
+    print(format_stacked(out["core_breakdown"], BREAKDOWN_ORDER))
+    print("\n== Fig 11: HBM2 utilization ==")
+    print(format_stacked(out["hbm_breakdown"], HBM_ORDER))
+
+    util = out["core_utilization"]
+    hbm = out["hbm_breakdown"]
+    # Memory-intensive kernels use the HBM channel harder than AES.
+    if "PR" in util and "AES" in util:
+        pr_hbm = hbm["PR"]["read"] + hbm["PR"]["write"] + hbm["PR"]["busy"]
+        aes_hbm = hbm["AES"]["read"] + hbm["AES"]["write"] + hbm["AES"]["busy"]
+        assert pr_hbm > aes_hbm
+    # Compute kernels issue instructions at a higher rate than PR.
+    if "SW" in util and "PR" in util:
+        assert util["SW"] > util["PR"]
+    # SW shows branch misses; BS shows fdiv/bypass pressure.
+    if "SW" in out["core_breakdown"]:
+        assert out["core_breakdown"]["SW"].get("stall_branch_miss", 0) > 0.01
+    if "BS" in out["core_breakdown"]:
+        bs = out["core_breakdown"]["BS"]
+        assert bs.get("stall_fdiv", 0) + bs.get("stall_bypass", 0) > 0.02

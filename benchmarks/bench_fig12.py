@@ -1,0 +1,26 @@
+"""Fig 12: tile-group scaling of irregular SpGEMM."""
+
+from conftest import bench_size
+
+from repro.experiments import fig12_tilegroups as fig12
+from repro.perf.report import format_table
+
+
+def test_fig12_tile_groups(once):
+    scale = 0.25 if bench_size() == "full" else 0.15
+    out = once(fig12.run, scale=scale)
+    print("\n== Fig 12: SpGEMM (WV-like) vs tile-group shape ==")
+    print(format_table(
+        ["groups", "shape", "cycles", "throughput x", "HBM r+w", "HBM x"],
+        [(r["groups"], r["shape"], r["cycles"], r["throughput_x"],
+          r["hbm_rw"], r["hbm_x"]) for r in out["rows"]]))
+    print(f"best shape: {out['best_shape']} at "
+          f"{out['best_throughput_x']:.2f}x (paper: 4x4 at ~4x)")
+
+    rows = {r["shape"]: r for r in out["rows"]}
+    # Smaller groups beat the single whole-Cell group substantially...
+    assert rows["4x4"]["throughput_x"] > 2.0
+    # ...HBM utilization rises with task-level parallelism...
+    assert rows["4x4"]["hbm_x"] > 1.5
+    # ...and returns diminish below 4x4 (working sets blow the cache).
+    assert rows["2x2"]["throughput_x"] < rows["4x4"]["throughput_x"]

@@ -1,0 +1,21 @@
+"""Fig 13: energy per instruction vs the OpenPiton power study."""
+
+from repro.experiments import fig13_energy as fig13
+from repro.perf.report import format_table
+
+
+def test_fig13_energy_per_instruction(once):
+    out = once(fig13.run)
+    print("\n== Fig 13: EPI (pJ, CV^2-normalized to 14/16 nm) ==")
+    print(format_table(
+        ["class", "HB", "Piton", "Piton/HB"],
+        [(r["class"], r["hb_pj"], r["piton_pj"], r["ratio"])
+         for r in out["rows"]]))
+    print(f"band: {out['min_ratio']:.1f}x - {out['max_ratio']:.1f}x "
+          "(paper: 3.6x - 15.1x)")
+    assert 3.3 <= out["min_ratio"] <= 4.0
+    assert 14.0 <= out["max_ratio"] <= 16.0
+    # Every class favours HB; loads benefit most (no L1/L1.5/L2 stack).
+    assert all(r["ratio"] > 1 for r in out["rows"])
+    ratios = {r["class"]: r["ratio"] for r in out["rows"]}
+    assert ratios["load"] == max(ratios.values())

@@ -1,0 +1,31 @@
+"""Fig 14: bisection stalls -- mesh vs Ruche vs Ruche + compression."""
+
+from conftest import bench_kernels, bench_size
+
+from repro.experiments import fig14_noc_bisection as fig14
+from repro.perf.report import format_table
+
+DEFAULT_KERNELS = ("PR", "Jacobi($)", "Jacobi(DRAM)", "FFT", "SGEMM",
+                   "SpGEMM")
+
+
+def test_fig14_bisection_stalls(once):
+    kernels = bench_kernels(DEFAULT_KERNELS)
+    out = once(fig14.run, size=bench_size(), kernels=kernels)
+    print("\n== Fig 14: bisection stall fraction ==")
+    variants = [v for v, _f in fig14.VARIANTS]
+    rows = [[k] + [out["stall_fraction"][v][k] for v in variants]
+            for k in out["kernels"]]
+    print(format_table(["kernel"] + variants, rows))
+
+    stall = out["stall_fraction"]
+    # Mesh bisections stall heavily (paper: up to ~50%).
+    assert max(stall["mesh"].values()) > 0.4
+    # Ruche reduces stalls for the DRAM-traffic kernels.
+    for k in out["kernels"]:
+        if k != "Jacobi($)":
+            assert stall["ruche"][k] <= stall["mesh"][k] + 0.05, k
+    # Compression helps the sequential-access kernels further.
+    for k in ("SGEMM", "FFT"):
+        if k in stall["ruche"]:
+            assert stall["ruche+lpc"][k] <= stall["ruche"][k] + 0.02, k

@@ -1,0 +1,31 @@
+"""Fig 15: three strategies of doubling hardware at constant bandwidth."""
+
+from conftest import bench_kernels
+
+from repro.experiments import fig15_doubling as fig15
+from repro.perf.report import format_table
+
+DEFAULT_KERNELS = ("AES", "BS", "SGEMM", "PR", "SpGEMM", "BH")
+
+
+def test_fig15_doubling_strategies(once):
+    kernels = bench_kernels(DEFAULT_KERNELS)
+    out = once(fig15.run, kernels=kernels)
+    print("\n== Fig 15: speedup over the 16x8 baseline ==")
+    configs = ("16x16", "32x8", "2x16x8")
+    rows = [[k] + [out["speedups"][c][k] for c in configs]
+            for k in out["kernels"]]
+    rows.append(["geomean"] + [out["geomean"][c] for c in configs])
+    print(format_table(["kernel"] + list(configs), rows))
+    print("paper geomeans: 1.25x / 1.39x / 1.34x")
+
+    geo = out["geomean"]
+    # All three strategies help overall...
+    assert geo["32x8"] > 1.0
+    assert geo["2x16x8"] > 1.0
+    # ...doubling without cache bandwidth (16x16) helps least of the two
+    # in-Cell strategies (the paper's main comparative claim)...
+    assert geo["16x16"] <= geo["32x8"] + 0.02
+    # ...and BH prefers the larger Cell over more Cells + duplication.
+    if "BH" in out["kernels"]:
+        assert out["speedups"]["32x8"]["BH"] > 1.0

@@ -1,0 +1,25 @@
+"""Fig 16: HB vs hierarchical manycore (ET model) on irregular kernels."""
+
+from conftest import bench_kernels, bench_size
+
+from repro.experiments import fig16_vs_hierarchical as fig16
+from repro.perf.report import format_table
+
+DEFAULT_KERNELS = ("SpGEMM", "PR", "BFS", "BH")
+
+
+def test_fig16_vs_hierarchical(once):
+    kernels = bench_kernels(DEFAULT_KERNELS)
+    out = once(fig16.run, size=bench_size(), kernels=kernels)
+    print(f"\n== Fig 16: {out['hb_config']} vs {out['et_config']} ==")
+    print(format_table(
+        ["kernel", "HB exec", "HB xfer", "ET exec", "ET xfer", "speedup"],
+        [(r["kernel"], r["hb_exec"], r["hb_transfer"], r["et_exec"],
+          r["et_transfer"], r["speedup"]) for r in out["rows"]]))
+    print(f"geomean HB advantage: {out['geomean_speedup']:.2f}x")
+
+    # HB's independent-thread density wins overall...
+    assert out["geomean_speedup"] > 1.0
+    for r in out["rows"]:
+        # ...and sparse transfers over wide channels hurt ET everywhere.
+        assert r["et_transfer"] > 5 * r["hb_transfer"], r["kernel"]

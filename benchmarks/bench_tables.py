@@ -1,0 +1,51 @@
+"""Tables I, II and IV regenerated."""
+
+from repro.experiments import tables
+from repro.perf.report import format_table
+
+
+def test_table1_benchmark_coverage(once):
+    out = once(tables.table1, scale=0.15)
+    print("\n== Table I(a): benchmarks and dwarfs ==")
+    print(format_table(["kernel", "dwarf", "category"],
+                       [(r["name"], r["dwarf"], r["category"])
+                        for r in out["benchmarks"]]))
+    print("\n== Table I(b): synthetic CSR inputs ==")
+    print(format_table(["graph", "nodes", "nnz", "avg deg", "deg CV"],
+                       [(r["name"], r["nodes"], r["nnz"], r["avg_degree"],
+                         r["degree_cv"]) for r in out["graphs"]]))
+    assert len(out["benchmarks"]) == 10
+    dwarves = {r["dwarf"] for r in out["benchmarks"]}
+    assert len(dwarves) >= 7  # broad dwarf coverage
+    wv = next(r for r in out["graphs"] if r["name"] == "WV")
+    rc = next(r for r in out["graphs"] if r["name"] == "RC")
+    assert wv["degree_cv"] > 3 * rc["degree_cv"]
+
+
+def test_table2_configurations(once):
+    rows = once(tables.table2)
+    print("\n== Table II: machine configurations ==")
+    print(format_table(
+        ["config", "cores", "banks", "cache MB", "area mm2", "cores/mm2"],
+        [(r["name"], r["core_array"], r["cell_cache_banks"],
+          r["cell_cache_mb"], r["published_area_mm2"],
+          r["published_cores_per_mm2"]) for r in rows]))
+    by_name = {r["name"]: r for r in rows}
+    assert by_name["HB-16x8"]["cell_cache_banks"] == 32
+    assert by_name["HB-32x8"]["cell_cache_banks"] == 64
+    assert by_name["HB-16x16"]["cell_cache_mb"] == 1.0
+
+
+def test_table4_density_comparison(once):
+    rows = once(tables.table4)
+    print("\n== Table IV: manycore density comparison ==")
+    print(format_table(
+        ["chip", "category", "cores", "area", "cores/mm2", "our x"],
+        [(r["name"], r["category"], r["cores"], r["scaled_area_mm2"],
+          r["cores_per_mm2"], r["our_core_x"]) for r in rows]))
+    by_name = {r["name"]: r for r in rows}
+    # The paper's headline ratios.
+    assert abs(by_name["ET-SoC-1"]["our_core_x"] - 41.4) < 0.5
+    assert abs(by_name["OpenPiton"]["our_core_x"] - 11.7) < 0.3
+    assert abs(by_name["TILE64"]["our_core_x"] - 8.0) < 0.3
+    assert by_name["Celerity"]["our_core_x"] < 1.0

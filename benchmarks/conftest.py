@@ -1,0 +1,38 @@
+"""Benchmark configuration.
+
+Each ``bench_*.py`` regenerates one paper figure/table, printing the
+reproduced rows/series and asserting the paper's qualitative shape.
+Simulations are deterministic, so every benchmark runs pedantic with a
+single round: the interesting output is the figure, not the wall time.
+
+Environment:
+    REPRO_BENCH_SIZE  -- "small" (default) or "full" input sizes.
+    REPRO_BENCH_KERNELS -- comma-separated kernel subset (where relevant).
+"""
+
+import os
+
+import pytest
+
+
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "small")
+
+
+def bench_kernels(default):
+    raw = os.environ.get("REPRO_BENCH_KERNELS")
+    if not raw:
+        return list(default)
+    return [k.strip() for k in raw.split(",") if k.strip()]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are long and
+    deterministic); returns its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

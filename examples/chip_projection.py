@@ -1,0 +1,52 @@
+"""From one Cell to the chip: the paper's multi-Cell methodology.
+
+Measures one Cell in the simulator, then projects the 8x8-Cell
+(8192-core) chip the way the paper does -- parallel per-Cell executions
+plus conservatively-priced inter-Cell exchanges -- and prints the
+headline peak-rate arithmetic (2.8 Tera inst/s for the 2048-core ASIC,
+100K+ cores at 3 nm).
+
+Run:  python examples/chip_projection.py
+"""
+
+from repro.experiments.chip_scale import (
+    compare_transfer_models,
+    hundred_k_projection,
+    peak_instruction_rate,
+    project_chip,
+)
+from repro.perf.report import format_table
+
+
+def main() -> None:
+    print("== headline arithmetic ==")
+    print(f"2048-core ASIC peak: {peak_instruction_rate() / 1e12:.2f} "
+          "Tera RISC-V inst/s (paper: 2.8)")
+    p = hundred_k_projection()
+    print(f"3 nm, {p['die_mm2']:.0f} mm^2 die: {p['cores']:,} cores, "
+          f"{p['peak_tera_ops']:.0f} Tera inst/s peak\n")
+
+    print("== 8x8-Cell chip projections (measured Cell + exchange) ==")
+    rows = []
+    for name in ("SGEMM", "FFT", "PR", "SpGEMM"):
+        prj = project_chip(name, cells_x=8, cells_y=8, phases=2)
+        rows.append([
+            name, prj.cell_cycles, prj.transfer_cycles,
+            prj.instructions_per_cycle,
+            f"{prj.transfer_fraction:.1%}",
+        ])
+    print(format_table(
+        ["kernel", "cell cycles", "exchange cycles", "chip IPC",
+         "exchange share"], rows))
+
+    print("\n== why word-granular inter-Cell links matter ==")
+    for sparse in (True, False):
+        cmp = compare_transfer_models(1 << 20, sparse=sparse)
+        kind = "sparse" if sparse else "dense"
+        print(f"  1 MiB {kind:6s}: HB {cmp['hb_cycles']:8,.0f} cycles, "
+              f"1024-bit channels {cmp['hierarchical_cycles']:8,.0f} "
+              f"({cmp['hb_advantage']:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Graph analytics on a Cell: direction-optimizing BFS and PageRank.
+
+Exercises the memory-intensive irregular side of the suite on two very
+different graph shapes -- a road-network lattice (tiny frontiers, huge
+diameter) and a power-law social graph (hub-dominated) -- and shows the
+tile-group task-parallelism lever from Fig 12.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro.arch import HB_16x8
+from repro.kernels import bfs, pagerank, spgemm
+from repro.runtime import run_on_cell
+from repro.workloads.graphs import roadnet_like, wiki_vote_like
+
+
+def bfs_demo() -> None:
+    print("== BFS: road lattice vs power-law graph ==")
+    for graph in (roadnet_like(width=20, height=20), wiki_vote_like(0.2)):
+        args = bfs.make_args(graph=graph, source=0)
+        result = run_on_cell(HB_16x8, bfs.KERNEL, args)
+        dist = args["state"]["distance"]
+        reached = int((dist >= 0).sum())
+        print(f"  {graph.name:3s} n={graph.num_rows:5d} nnz={graph.nnz:6d} "
+              f"reached={reached:5d} levels={dist.max():3d} "
+              f"cycles={result.cycles:9,.0f} "
+              f"core util={result.core_utilization:.1%}")
+        # Cross-check against the host reference.
+        expected = bfs.reference_bfs(graph, 0)
+        assert np.array_equal(dist, expected), "BFS diverged from reference!"
+    print("  (road networks keep frontiers small -> low utilization,")
+    print("   exactly the Fig 11 observation)\n")
+
+
+def pagerank_demo() -> None:
+    print("== PageRank on the power-law graph ==")
+    graph = wiki_vote_like(0.2)
+    args = pagerank.make_args(graph=graph, iters=2)
+    result = run_on_cell(HB_16x8, pagerank.KERNEL, args)
+    hbm_active = result.hbm["read"] + result.hbm["write"] + result.hbm["busy"]
+    print(f"  cycles={result.cycles:,.0f}  HBM active={hbm_active:.1%} "
+          f"(memory-bound, as in Fig 11)")
+    ranks = pagerank.reference_pagerank(graph, iters=2)
+    top = np.argsort(ranks)[-3:][::-1]
+    print(f"  top nodes by rank: {list(top)} "
+          f"(in-degrees {[int(graph.row_nnz(v)) for v in top]})\n")
+
+
+def tile_group_demo() -> None:
+    print("== Tile groups: one task vs eight concurrent tasks (Fig 12) ==")
+    one = spgemm.make_args(tasks=1, scale=0.15)
+    r1 = run_on_cell(HB_16x8, spgemm.KERNEL, one, group_shape=(16, 8))
+    eight = spgemm.make_args(tasks=8, scale=0.15)
+    r8 = run_on_cell(HB_16x8, spgemm.KERNEL, eight, group_shape=(4, 4))
+    n = one["matrix"].num_rows
+    thr1 = n / r1.cycles
+    thr8 = 8 * n / r8.cycles
+    print(f"  1 x 16x8 group: {r1.cycles:9,.0f} cycles for 1 task")
+    print(f"  8 x 4x4 groups: {r8.cycles:9,.0f} cycles for 8 tasks")
+    print(f"  throughput gain: {thr8 / thr1:.2f}x (paper: ~4x)")
+
+
+def main() -> None:
+    bfs_demo()
+    pagerank_demo()
+    tile_group_demo()
+
+
+if __name__ == "__main__":
+    main()

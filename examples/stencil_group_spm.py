@@ -1,0 +1,56 @@
+"""The Group SPM stencil idiom (paper Fig 7): Jacobi two ways.
+
+Runs the same 3-D Jacobi stencil with (a) columns resident in each
+tile's scratchpad, neighbours read through Group SPM pointers with
+pipelined non-blocking loads, and (b) everything in Local DRAM through
+the cache banks -- then contrasts where the traffic went.
+
+Run:  python examples/stencil_group_spm.py
+"""
+
+from repro.arch import HB_16x8
+from repro.kernels import jacobi
+from repro.perf.bisection import cell_bisection
+from repro.runtime import run_on_cell
+
+
+def run_variant(use_spm: bool):
+    args = jacobi.make_args(z_depth=48, iters=3, use_spm=use_spm)
+    return run_on_cell(HB_16x8, jacobi.KERNEL, args, keep_machine=True)
+
+
+def main() -> None:
+    spm = run_variant(use_spm=True)
+    dram = run_variant(use_spm=False)
+
+    print("== Jacobi 3-D stencil: Group SPM vs Local DRAM ==\n")
+    header = f"{'':24s}{'Group SPM':>14s}{'Local DRAM':>14s}"
+    print(header)
+    print("-" * len(header))
+
+    def row(label, a, b, fmt="{:>14,.0f}"):
+        print(f"{label:24s}" + fmt.format(a) + fmt.format(b))
+
+    row("cycles", spm.cycles, dram.cycles)
+    row("request packets", spm.network["packets"], dram.network["packets"])
+    row("network stall cycles", spm.network["stall_cycles"],
+        dram.network["stall_cycles"])
+    row("HBM reads (frac)", spm.hbm["read"], dram.hbm["read"],
+        fmt="{:>14.3f}")
+
+    for label, result in (("Group SPM", spm), ("Local DRAM", dram)):
+        net = result.machine.memsys.req_net
+        stats = cell_bisection(net, HB_16x8.cell.tiles_x, result.cycles)
+        print(f"bisection util ({label}): {stats.utilization:.3f}  "
+              f"stall fraction: {stats.stall_fraction:.3f}")
+
+    print("\nReading: with Group SPM the nearest-neighbour traffic stays")
+    print("between adjacent tiles -- the cache banks, the HBM channel and")
+    print("the Cell bisection barely see it (the Fig 14 'Jacobi ($)' row),")
+    print("and the network queues far less.  The data also *persists* in")
+    print("the scratchpads across iterations, which is what lets the")
+    print("paper's full-scale runs gain 17-48x once loads are non-blocking.")
+
+
+if __name__ == "__main__":
+    main()

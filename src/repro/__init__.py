@@ -1,0 +1,25 @@
+"""repro: an architectural reproduction of the HammerBlade RISC-V manycore.
+
+Public API tour
+---------------
+* :mod:`repro.arch` -- machine configurations (Table II presets, feature sets).
+* :mod:`repro.runtime` -- host runtime: ``Machine``, ``Cell``, ``run_on_cell``.
+* :mod:`repro.isa` -- the kernel IR and per-tile kernel context.
+* :mod:`repro.kernels` -- the ten-benchmark parallel suite (Table I).
+* :mod:`repro.workloads` -- synthetic inputs (graphs, matrices, bodies).
+* :mod:`repro.experiments` -- one harness per paper figure/table.
+
+Quickstart::
+
+    from repro.arch import HB_16x8
+    from repro.kernels import sgemm
+    from repro.runtime import run_on_cell
+
+    args = sgemm.make_args(n=32)
+    result = run_on_cell(HB_16x8, sgemm.KERNEL, args)
+    print(result.cycles, result.core_utilization)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,177 @@
+"""Machine configurations: architectural feature flags and Table II presets.
+
+The Fig 10 feature ladder is expressed by toggling :class:`FeatureSet`
+flags on an otherwise-identical machine; the Fig 15 scaling study is
+expressed by the four Table II presets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from .geometry import CellGeometry, ChipGeometry
+from .params import DEFAULT_TIMINGS, CacheTiming, Timings
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """The architectural mechanisms evaluated incrementally in Fig 10."""
+
+    nonblocking_loads: bool = True  # 63-entry scoreboard vs stall-on-load
+    ruche_network: bool = True  # half-ruche horizontal links (factor 3)
+    write_validate: bool = True  # vs fetch-on-write-miss (write-allocate)
+    load_compression: bool = True  # sequential remote loads share packets
+    ipoly_hashing: bool = True  # vs plain modulo bank interleaving
+    nonblocking_cache: bool = True  # MSHR-based hit-under-miss vs blocking
+    hw_barrier: bool = True  # 1-bit barrier tree vs software barrier
+
+    def describe(self) -> str:
+        on = [f.name for f in dataclasses.fields(self) if getattr(self, f.name)]
+        return "+".join(on) if on else "none"
+
+
+ALL_FEATURES = FeatureSet()
+NO_FEATURES = FeatureSet(
+    nonblocking_loads=False,
+    ruche_network=False,
+    write_validate=False,
+    load_compression=False,
+    ipoly_hashing=False,
+    nonblocking_cache=False,
+    hw_barrier=False,
+)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to instantiate a machine model.
+
+    ``published`` carries the Table II figures we report but do not derive
+    (die area, density); the simulator itself only consumes the geometry,
+    timing and feature fields.
+    """
+
+    name: str
+    cell: CellGeometry
+    cells_x: int = 1
+    cells_y: int = 1
+    features: FeatureSet = field(default_factory=FeatureSet)
+    timings: Timings = field(default_factory=lambda: DEFAULT_TIMINGS)
+    # One HBM2 pseudo-channel per Cell, as in the paper's baseline mapping.
+    pseudo_channels_per_cell: int = 1
+    # Fraction of one pseudo-channel's bandwidth each Cell receives; the
+    # constant-bandwidth scaling study (Fig 15) halves it when the Cell
+    # count doubles against a fixed HBM2 system.
+    hbm_scale: float = 1.0
+    # GLOBAL_DRAM grid partitioning (paper Section IV-A(5)): (gx, gy)
+    # groups of Cells hash the global space locally; (0, 0) spreads it
+    # across the whole chip.  Meant for very large Cell arrays where
+    # all-to-all interleaving stops scaling.
+    global_grid: "Tuple[int, int]" = (0, 0)
+    published: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cells_x <= 0 or self.cells_y <= 0:
+            raise ValueError("cell array dimensions must be positive")
+        if self.pseudo_channels_per_cell <= 0:
+            raise ValueError("need at least one pseudo-channel per cell")
+
+    @property
+    def chip(self) -> ChipGeometry:
+        return ChipGeometry(cell=self.cell, cells_x=self.cells_x, cells_y=self.cells_y)
+
+    @property
+    def num_cells(self) -> int:
+        return self.cells_x * self.cells_y
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_cells * self.cell.num_tiles
+
+    @property
+    def cell_cache_bytes(self) -> int:
+        return self.cell.num_banks * self.timings.cache.capacity_bytes
+
+    def with_features(self, features: FeatureSet) -> "MachineConfig":
+        return replace(self, features=features)
+
+    def with_cache(self, cache: CacheTiming) -> "MachineConfig":
+        return replace(self, timings=replace(self.timings, cache=cache))
+
+
+def _table2(name: str, tiles_x: int, tiles_y: int, cells_x: int, cells_y: int,
+            cache_sets: int, published: Dict[str, float],
+            hbm_scale: float = 1.0) -> MachineConfig:
+    cache = replace(DEFAULT_TIMINGS.cache, sets=cache_sets)
+    return MachineConfig(
+        name=name,
+        cell=CellGeometry(tiles_x=tiles_x, tiles_y=tiles_y),
+        cells_x=cells_x,
+        cells_y=cells_y,
+        timings=replace(DEFAULT_TIMINGS, cache=cache),
+        hbm_scale=hbm_scale,
+        published=published,
+    )
+
+
+# Table II: the four machine configurations.  The simulator instantiates a
+# configurable number of Cells; the paper's chip-level Cell arrays (8x8 /
+# 16x8) are recorded in ``published`` and used by the multi-Cell scaling
+# methodology rather than simulated monolithically.
+HB_16x8 = _table2(
+    "HB-16x8", 16, 8, 1, 1, 64,
+    {
+        "area_mm2": 311, "chip_cells_x": 8, "chip_cells_y": 8,
+        "cell_cache_banks": 32, "cell_cache_mb": 1,
+        "total_storage_mb": 96, "cores_per_mm2": 26.4,
+        "core_freq_ghz": 1.35, "mem_freq_ghz": 1.0,
+    },
+)
+
+HB_16x16 = _table2(
+    # Doubling vertically keeps the bank count, halving cache per tile.
+    "HB-16x16", 16, 16, 1, 1, 64,
+    {
+        "area_mm2": 539, "chip_cells_x": 8, "chip_cells_y": 8,
+        "cell_cache_banks": 32, "cell_cache_mb": 1,
+        "total_storage_mb": 128, "cores_per_mm2": 30.3,
+        "core_freq_ghz": 1.35, "mem_freq_ghz": 1.0,
+    },
+)
+
+HB_32x8 = _table2(
+    # Doubling horizontally doubles banks, cache capacity and bandwidth.
+    "HB-32x8", 32, 8, 1, 1, 64,
+    {
+        "area_mm2": 620, "chip_cells_x": 8, "chip_cells_y": 8,
+        "cell_cache_banks": 64, "cell_cache_mb": 2,
+        "total_storage_mb": 192, "cores_per_mm2": 26.4,
+        "core_freq_ghz": 1.35, "mem_freq_ghz": 1.0,
+    },
+)
+
+HB_2x16x8 = _table2(
+    # Doubling the Cell count: two 16x8 Cells sharing the HBM2 bandwidth
+    # of one (each pseudo-channel is half-rate in the constant-BW study).
+    "HB-2x16x8", 16, 8, 2, 1, 64, hbm_scale=0.5,
+    published={
+        "area_mm2": 620, "chip_cells_x": 16, "chip_cells_y": 8,
+        "cell_cache_banks": 32, "cell_cache_mb": 1,
+        "total_storage_mb": 192, "cores_per_mm2": 26.4,
+        "core_freq_ghz": 1.35, "mem_freq_ghz": 1.0,
+    },
+)
+
+TABLE_II = {cfg.name: cfg for cfg in (HB_16x8, HB_16x16, HB_32x8, HB_2x16x8)}
+
+
+def small_config(tiles_x: int = 4, tiles_y: int = 4,
+                 features: Optional[FeatureSet] = None,
+                 name: str = "HB-small") -> MachineConfig:
+    """A reduced machine for fast tests; same mechanisms, smaller arrays."""
+    cfg = MachineConfig(name=name, cell=CellGeometry(tiles_x, tiles_y))
+    if features is not None:
+        cfg = cfg.with_features(features)
+    return cfg

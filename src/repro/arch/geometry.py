@@ -1,0 +1,176 @@
+"""Physical layout of the HammerBlade Cellular Manycore.
+
+A *Cell* is a 2-D array of compute tiles with two 1-D strips of last-level
+cache banks, one above and one below the tile array (paper Fig 2).  The
+chip replicates Cells in a 2-D array; the network is globally uniform, so
+node coordinates are expressed on a single global grid covering all Cells.
+
+Grid convention (matching the paper's X->Y routing discussion):
+
+* ``x`` grows to the right, ``y`` grows downward;
+* within a Cell of ``tiles_x`` x ``tiles_y`` tiles, row ``0`` is the north
+  cache-bank strip, rows ``1 .. tiles_y`` are compute tiles, and row
+  ``tiles_y + 1`` is the south cache-bank strip;
+* Cell ``(cx, cy)`` occupies global columns ``cx*tiles_x ..`` and global
+  rows ``cy*(tiles_y+2) ..``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Tuple
+
+Coord = Tuple[int, int]
+
+
+class NodeKind(Enum):
+    """What sits at a network node."""
+
+    TILE = "tile"
+    CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """Shape of one Cell: the unit of replication and of PGAS affinity."""
+
+    tiles_x: int
+    tiles_y: int
+
+    def __post_init__(self) -> None:
+        if self.tiles_x <= 0 or self.tiles_y <= 0:
+            raise ValueError("cell dimensions must be positive")
+
+    @property
+    def rows(self) -> int:
+        """Total grid rows a Cell occupies (tiles + two cache strips)."""
+        return self.tiles_y + 2
+
+    @property
+    def cols(self) -> int:
+        return self.tiles_x
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    @property
+    def num_banks(self) -> int:
+        """Cache banks per Cell: one full strip on top and one on bottom."""
+        return 2 * self.tiles_x
+
+    def tile_coords(self) -> Iterator[Coord]:
+        """Cell-local coordinates of all compute tiles."""
+        for y in range(1, self.tiles_y + 1):
+            for x in range(self.tiles_x):
+                yield (x, y)
+
+    def bank_coords(self) -> Iterator[Coord]:
+        """Cell-local coordinates of all cache banks (north strip first)."""
+        for x in range(self.tiles_x):
+            yield (x, 0)
+        for x in range(self.tiles_x):
+            yield (x, self.tiles_y + 1)
+
+    def bank_index(self, local: Coord) -> int:
+        """Dense index of a bank from its cell-local coordinate."""
+        x, y = local
+        if y == 0:
+            return x
+        if y == self.tiles_y + 1:
+            return self.tiles_x + x
+        raise ValueError(f"{local} is not a cache-bank coordinate")
+
+    def bank_coord(self, index: int) -> Coord:
+        """Inverse of :meth:`bank_index`."""
+        if not 0 <= index < self.num_banks:
+            raise ValueError(f"bank index {index} out of range")
+        if index < self.tiles_x:
+            return (index, 0)
+        return (index - self.tiles_x, self.tiles_y + 1)
+
+    def tile_index(self, local: Coord) -> int:
+        """Dense index of a tile from its cell-local coordinate."""
+        x, y = local
+        if not (0 <= x < self.tiles_x and 1 <= y <= self.tiles_y):
+            raise ValueError(f"{local} is not a tile coordinate")
+        return (y - 1) * self.tiles_x + x
+
+    def tile_coord(self, index: int) -> Coord:
+        if not 0 <= index < self.num_tiles:
+            raise ValueError(f"tile index {index} out of range")
+        return (index % self.tiles_x, index // self.tiles_x + 1)
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """A 2-D array of Cells on one global network grid."""
+
+    cell: CellGeometry
+    cells_x: int
+    cells_y: int
+
+    def __post_init__(self) -> None:
+        if self.cells_x <= 0 or self.cells_y <= 0:
+            raise ValueError("cell array dimensions must be positive")
+
+    @property
+    def num_cells(self) -> int:
+        return self.cells_x * self.cells_y
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_cells * self.cell.num_tiles
+
+    @property
+    def grid_cols(self) -> int:
+        return self.cells_x * self.cell.cols
+
+    @property
+    def grid_rows(self) -> int:
+        return self.cells_y * self.cell.rows
+
+    def cell_origin(self, cell_xy: Coord) -> Coord:
+        """Global coordinate of a Cell's top-left grid node."""
+        cx, cy = cell_xy
+        if not (0 <= cx < self.cells_x and 0 <= cy < self.cells_y):
+            raise ValueError(f"cell {cell_xy} out of range")
+        return (cx * self.cell.cols, cy * self.cell.rows)
+
+    def to_global(self, cell_xy: Coord, local: Coord) -> Coord:
+        ox, oy = self.cell_origin(cell_xy)
+        return (ox + local[0], oy + local[1])
+
+    def to_local(self, node: Coord) -> Tuple[Coord, Coord]:
+        """Split a global node coordinate into ``(cell_xy, local_xy)``."""
+        x, y = node
+        if not (0 <= x < self.grid_cols and 0 <= y < self.grid_rows):
+            raise ValueError(f"node {node} outside the chip")
+        cx, lx = divmod(x, self.cell.cols)
+        cy, ly = divmod(y, self.cell.rows)
+        return (cx, cy), (lx, ly)
+
+    def cells(self) -> Iterator[Coord]:
+        for cy in range(self.cells_y):
+            for cx in range(self.cells_x):
+                yield (cx, cy)
+
+    def all_nodes(self) -> Iterator[Tuple[Coord, NodeKind]]:
+        """Every network node on the chip with its kind."""
+        for cell_xy in self.cells():
+            for local in self.cell.tile_coords():
+                yield self.to_global(cell_xy, local), NodeKind.TILE
+            for local in self.cell.bank_coords():
+                yield self.to_global(cell_xy, local), NodeKind.CACHE
+
+    def kind_of(self, node: Coord) -> NodeKind:
+        _cell, (_lx, ly) = self.to_local(node)
+        if ly == 0 or ly == self.cell.tiles_y + 1:
+            return NodeKind.CACHE
+        return NodeKind.TILE
+
+
+def manhattan(a: Coord, b: Coord) -> int:
+    """Hop distance on a plain mesh."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

@@ -1,0 +1,130 @@
+"""Timing, capacity and physical parameters of the modelled hardware.
+
+All latencies are expressed in *core* clock cycles.  The paper runs cores
+at 1.35 GHz and HBM2 at 1.0 GHz; memory-side timings below are therefore
+the published HBM2 values scaled by the 1.35 clock ratio and rounded.
+
+Sources: paper Sections III and V-A (core latencies, scoreboard depth,
+icache geometry), Table II (cache geometry, frequencies), JESD235A-like
+HBM2 timing for the DRAM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+CORE_FREQ_GHZ = 1.35
+MEM_FREQ_GHZ = 1.0
+CLOCK_RATIO = CORE_FREQ_GHZ / MEM_FREQ_GHZ
+
+WORD_BYTES = 4
+SCOREBOARD_ENTRIES = 63  # "up to 63 outstanding requests" per tile
+SPM_BYTES = 4 * 1024
+ICACHE_BYTES = 4 * 1024
+ICACHE_LINE_INSTRS = 4
+INSTR_BYTES = 4
+RUCHE_FACTOR = 3  # horizontal links skip three tiles
+
+
+@dataclass(frozen=True)
+class CoreTiming:
+    """Per-instruction latencies of the HB 5-stage core (Section V-H)."""
+
+    int_alu: int = 1
+    mul: int = 2
+    fma: int = 3
+    fadd: int = 3
+    fmul: int = 3
+    fdiv: int = 25  # iterative divider
+    fsqrt: int = 25  # iterative square root
+    local_load: int = 2
+    local_store: int = 1
+    branch_miss_penalty: int = 2
+    icache_miss_penalty: int = 40  # refill of a 4-instruction line via NoC
+    scoreboard_entries: int = SCOREBOARD_ENTRIES
+
+
+@dataclass(frozen=True)
+class CacheTiming:
+    """LLC bank timing and structure (Table II geometry)."""
+
+    sets: int = 64
+    ways: int = 8
+    block_bytes: int = 64
+    hit_latency: int = 2
+    mshr_entries: int = 32  # consolidated, shared by all tiles
+    port_cycles_per_access: int = 1
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.sets * self.ways * self.block_bytes
+
+    @property
+    def words_per_block(self) -> int:
+        return self.block_bytes // WORD_BYTES
+
+
+@dataclass(frozen=True)
+class HBMTiming:
+    """HBM2 pseudo-channel timing, in core cycles (scaled from 1 GHz).
+
+    One pseudo-channel serves 64 B in a burst of ``t_bl`` bus cycles,
+    giving 16 GB/s per pseudo-channel -- 1 TB/s across the 64 channels of
+    the four-stack system in the paper.
+    """
+
+    banks: int = 16
+    row_bytes: int = 1024
+    t_rcd: int = 19  # activate -> column command
+    t_cl: int = 19  # column command -> first data
+    t_rp: int = 19  # precharge
+    t_bl: int = 6  # 64 B burst occupies the channel bus
+    t_rc: int = 63  # activate -> activate, same bank
+    refresh_overhead: float = 0.05  # fraction of cycles lost to refresh
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cl
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cl
+
+
+@dataclass(frozen=True)
+class NocTiming:
+    """Link/router timing for the word-oriented global network."""
+
+    ruche_factor: int = RUCHE_FACTOR  # hop distance of the long links
+    link_cycles_per_flit: int = 1
+    router_latency: int = 1  # pipeline latency added per hop
+    inject_latency: int = 1
+    eject_latency: int = 1
+    # Load packet compression: four sequential word loads collapse into one
+    # request flit; the four response words share headers across two flits.
+    compression_group: int = 4
+    compressed_request_flits: int = 1
+    compressed_response_flits: int = 2
+
+
+@dataclass(frozen=True)
+class BarrierTiming:
+    """The 1-bit HW barrier network (Fig 4)."""
+
+    hop_latency: int = 1  # per ruche/mesh hop of the barrier tree
+    config_latency: int = 4  # writing the two configuration registers
+
+
+@dataclass(frozen=True)
+class Timings:
+    """Bundle of every timing domain; one instance per machine config."""
+
+    core: CoreTiming = field(default_factory=CoreTiming)
+    cache: CacheTiming = field(default_factory=CacheTiming)
+    hbm: HBMTiming = field(default_factory=HBMTiming)
+    noc: NocTiming = field(default_factory=NocTiming)
+    barrier: BarrierTiming = field(default_factory=BarrierTiming)
+
+
+DEFAULT_TIMINGS = Timings()

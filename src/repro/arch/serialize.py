@@ -1,0 +1,82 @@
+"""Machine-config serialization: reproducible experiment manifests.
+
+``to_dict``/``from_dict`` round-trip a :class:`MachineConfig` through
+plain JSON-compatible data, so experiment scripts can log exactly which
+machine produced a result and reload it later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from .config import FeatureSet, MachineConfig
+from .geometry import CellGeometry
+from .params import (
+    BarrierTiming,
+    CacheTiming,
+    CoreTiming,
+    HBMTiming,
+    NocTiming,
+    Timings,
+)
+
+_TIMING_CLASSES = {
+    "core": CoreTiming,
+    "cache": CacheTiming,
+    "hbm": HBMTiming,
+    "noc": NocTiming,
+    "barrier": BarrierTiming,
+}
+
+
+def to_dict(config: MachineConfig) -> Dict[str, Any]:
+    """A JSON-compatible description of the full machine configuration."""
+    return {
+        "name": config.name,
+        "cell": {"tiles_x": config.cell.tiles_x,
+                 "tiles_y": config.cell.tiles_y},
+        "cells_x": config.cells_x,
+        "cells_y": config.cells_y,
+        "features": dataclasses.asdict(config.features),
+        "timings": {
+            domain: dataclasses.asdict(getattr(config.timings, domain))
+            for domain in _TIMING_CLASSES
+        },
+        "pseudo_channels_per_cell": config.pseudo_channels_per_cell,
+        "hbm_scale": config.hbm_scale,
+        "global_grid": list(config.global_grid),
+        "published": dict(config.published),
+    }
+
+
+def from_dict(data: Dict[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from :func:`to_dict` output."""
+    try:
+        timings = Timings(**{
+            domain: cls(**data["timings"][domain])
+            for domain, cls in _TIMING_CLASSES.items()
+        })
+        return MachineConfig(
+            name=data["name"],
+            cell=CellGeometry(**data["cell"]),
+            cells_x=data["cells_x"],
+            cells_y=data["cells_y"],
+            features=FeatureSet(**data["features"]),
+            timings=timings,
+            pseudo_channels_per_cell=data["pseudo_channels_per_cell"],
+            hbm_scale=data["hbm_scale"],
+            global_grid=tuple(data["global_grid"]),
+            published=dict(data.get("published", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed machine-config manifest: {exc}") from exc
+
+
+def to_json(config: MachineConfig, indent: int = 2) -> str:
+    return json.dumps(to_dict(config), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> MachineConfig:
+    return from_dict(json.loads(text))

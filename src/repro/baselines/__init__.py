@@ -1,0 +1,25 @@
+"""Baseline architectures the paper compares against."""
+
+from .features import DENSITY_RATIO, ladder, ladder_names
+from .hierarchical import (
+    CACHE_RATIO,
+    CHANNEL_BITS,
+    THREAD_RATIO,
+    TransferEstimate,
+    WideChannelModel,
+    WordChannelModel,
+    et_config,
+)
+
+__all__ = [
+    "ladder",
+    "ladder_names",
+    "DENSITY_RATIO",
+    "et_config",
+    "WideChannelModel",
+    "WordChannelModel",
+    "TransferEstimate",
+    "THREAD_RATIO",
+    "CACHE_RATIO",
+    "CHANNEL_BITS",
+]

@@ -1,0 +1,83 @@
+"""The Fig 10 incremental feature ladder.
+
+Starts from a "Baseline Manycore" whose router bandwidth, cache
+capability and core density are normalized to TILE64-class designs, then
+improves each physical parameter to reach the "Cellular Baseline", and
+finally layers on HB's architectural features one at a time:
+
+    baseline-manycore -> +router -> +cache -> +density (Cellular Baseline)
+    -> +nonblocking-loads -> +ruche -> +write-validate
+    -> +load-compression -> +ipoly -> +nonblocking-cache (full HB)
+
+Each rung is a complete :class:`MachineConfig`; the harness runs the same
+total workload on every rung and reports speedup over the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from ..arch.config import NO_FEATURES, FeatureSet, MachineConfig
+from ..arch.geometry import CellGeometry
+from ..arch.params import DEFAULT_TIMINGS
+
+#: Density ratio between HB and the TILE64-class baseline, from Table IV
+#: (26.4 vs 3.3 cores/mm^2 is 8x; we use 4x so the reduced arrays keep a
+#: sensible 2-D shape at every rung).
+DENSITY_RATIO = 4
+
+
+def _degraded_timings():
+    """Slow router (narrow channels) and a weaker cache front-end."""
+    noc = replace(DEFAULT_TIMINGS.noc, link_cycles_per_flit=2, router_latency=2)
+    cache = replace(DEFAULT_TIMINGS.cache, hit_latency=4, mshr_entries=4)
+    return replace(DEFAULT_TIMINGS, noc=noc, cache=cache)
+
+
+def _router_fixed():
+    cache = replace(DEFAULT_TIMINGS.cache, hit_latency=4, mshr_entries=4)
+    return replace(DEFAULT_TIMINGS, cache=cache)
+
+
+def ladder(tiles_x: int = 16, tiles_y: int = 8) -> List[Tuple[str, MachineConfig]]:
+    """The nine rungs of Fig 10 for a ``tiles_x x tiles_y`` Cell."""
+    small = CellGeometry(tiles_x // 2, tiles_y // 2)  # 1/DENSITY_RATIO cores
+    full = CellGeometry(tiles_x, tiles_y)
+    no_feat = NO_FEATURES
+
+    def cfg(name: str, cell: CellGeometry, timings, features: FeatureSet
+            ) -> MachineConfig:
+        return MachineConfig(name=name, cell=cell, features=features,
+                             timings=timings)
+
+    rungs: List[Tuple[str, MachineConfig]] = []
+    rungs.append(("baseline-manycore",
+                  cfg("baseline-manycore", small, _degraded_timings(), no_feat)))
+    rungs.append(("+router",
+                  cfg("+router", small, _router_fixed(), no_feat)))
+    rungs.append(("+cache",
+                  cfg("+cache", small, DEFAULT_TIMINGS, no_feat)))
+    rungs.append(("+density (cellular baseline)",
+                  cfg("cellular-baseline", full, DEFAULT_TIMINGS, no_feat)))
+
+    feats = no_feat
+    steps = (
+        ("+nonblocking-loads", "nonblocking_loads"),
+        ("+ruche", "ruche_network"),
+        ("+write-validate", "write_validate"),
+        ("+load-compression", "load_compression"),
+        ("+ipoly", "ipoly_hashing"),
+        ("+nonblocking-cache", "nonblocking_cache"),
+    )
+    for label, flag in steps:
+        feats = replace(feats, **{flag: True})
+        # HW barrier arrives together with the ruche 1-bit network.
+        if flag == "ruche_network":
+            feats = replace(feats, hw_barrier=True)
+        rungs.append((label, cfg(label, full, DEFAULT_TIMINGS, feats)))
+    return rungs
+
+
+def ladder_names() -> List[str]:
+    return [name for name, _cfg in ladder()]

@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs one of the paper-figure harnesses (or the whole set) and prints the
+reproduced figure.  ``python -m repro list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    ablations,
+    chip_scale,
+    fig03_bisection_transfer,
+    fig04_barrier,
+    fig10_incremental,
+    fig11_utilization,
+    fig12_tilegroups,
+    fig13_energy,
+    fig14_noc_bisection,
+    fig15_doubling,
+    fig16_vs_hierarchical,
+    tables,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig3": fig03_bisection_transfer.main,
+    "fig4": fig04_barrier.main,
+    "fig10": fig10_incremental.main,
+    "fig11": fig11_utilization.main,
+    "fig12": fig12_tilegroups.main,
+    "fig13": fig13_energy.main,
+    "fig14": fig14_noc_bisection.main,
+    "fig15": fig15_doubling.main,
+    "fig16": fig16_vs_hierarchical.main,
+    "tables": tables.main,
+    "ablations": ablations.main,
+    "chip": chip_scale.main,
+}
+
+#: Rough single-run cost at default sizes, to set expectations.
+COST_HINT = {
+    "fig3": "~10 s", "fig4": "<1 s", "fig10": "minutes", "fig11": "~1 min",
+    "fig12": "~1 min", "fig13": "<5 s", "fig14": "~2 min",
+    "fig15": "minutes", "fig16": "~1 min", "tables": "<5 s",
+    "ablations": "~3 min", "chip": "~30 s",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures/tables from the HammerBlade paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="one of: " + ", ".join(EXPERIMENTS) + ", list, all",
+    )
+    args = parser.parse_args(argv)
+    name = args.experiment.lower()
+    if name == "list":
+        for key in EXPERIMENTS:
+            print(f"{key:8s} ({COST_HINT[key]})")
+        return 0
+    if name == "all":
+        for key, fn in EXPERIMENTS.items():
+            print(f"\n########## {key} ##########")
+            fn()
+        return 0
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    fn()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,9 @@
+"""Tile core model: pipeline timing, scoreboard, icache, branch predictor."""
+
+from . import stall
+from .branch import BranchPredictor
+from .icache import ICache
+from .scoreboard import Scoreboard
+from .tile import TileCore
+
+__all__ = ["TileCore", "Scoreboard", "ICache", "BranchPredictor", "stall"]

@@ -1,0 +1,46 @@
+"""Direct-mapped instruction cache model.
+
+4 KB, 4-instruction lines, 12-bit tags (paper Section III-B): tags and
+data share one SRAM, and precomputed branch targets make the immediate
+field a zero-area BTB.  For timing we model the fetch stream: the first
+touch of a line (or a conflict re-touch) pays the refill penalty; loop
+bodies that fit -- the common case the SPM/icache sizing targets -- run
+without misses after warm-up.
+"""
+
+from __future__ import annotations
+
+from ..arch.params import ICACHE_BYTES, ICACHE_LINE_INSTRS, INSTR_BYTES
+
+
+class ICache:
+    """One tile's icache; ``access(pc)`` returns the stall cycles."""
+
+    def __init__(self, miss_penalty: int, capacity: int = ICACHE_BYTES,
+                 line_instrs: int = ICACHE_LINE_INSTRS) -> None:
+        self.miss_penalty = miss_penalty
+        self.num_lines = capacity // (line_instrs * INSTR_BYTES)
+        self.line_instrs = line_instrs
+        self._tags = [-1] * self.num_lines
+        self._last_line = -1
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, pc: int) -> int:
+        """Fetch the instruction at ``pc``; returns 0 or the miss penalty."""
+        line = pc // self.line_instrs
+        if line == self._last_line:
+            self.hits += 1
+            return 0
+        self._last_line = line
+        idx = line % self.num_lines
+        if self._tags[idx] == line:
+            self.hits += 1
+            return 0
+        self._tags[idx] = line
+        self.misses += 1
+        return self.miss_penalty
+
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,56 @@
+"""Stall taxonomy (paper Table III).
+
+Every cycle a tile core is not issuing an instruction is attributed to
+exactly one of these categories; Fig 11's core-utilization breakdown is
+built directly from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# Executing categories (not stalls, but part of the same breakdown).
+EXEC_INT = "int"  # integer ALU, memory-access and control instructions
+EXEC_FP = "fp"  # floating-point instructions
+
+# Stall categories.
+STALL_DEPEND_LOAD = "stall_depend_load"  # waiting on a remote load response
+STALL_BYPASS = "stall_bypass"  # RAW on an in-flight ALU/FPU result
+STALL_FDIV = "stall_fdiv"  # iterative FP divide/sqrt unit busy
+STALL_ICACHE = "stall_icache"  # instruction-cache miss refill
+STALL_BRANCH = "stall_branch_miss"  # branch mispredict flush
+STALL_BARRIER = "stall_barrier"  # waiting at a barrier
+STALL_FENCE = "stall_fence"  # memory fence drain
+STALL_CREDIT = "stall_credit"  # remote-request scoreboard full
+STALL_AMO = "stall_amo"  # waiting on an atomic's response
+STALL_IDLE = "stall_idle"  # no work (sleep, post-exit)
+
+STALL_TYPES = (
+    STALL_DEPEND_LOAD,
+    STALL_BYPASS,
+    STALL_FDIV,
+    STALL_ICACHE,
+    STALL_BRANCH,
+    STALL_BARRIER,
+    STALL_FENCE,
+    STALL_CREDIT,
+    STALL_AMO,
+    STALL_IDLE,
+)
+
+ALL_CATEGORIES = (EXEC_INT, EXEC_FP) + STALL_TYPES
+
+DESCRIPTIONS: Dict[str, str] = {
+    EXEC_INT: "Executing an integer, memory or control instruction",
+    EXEC_FP: "Executing a floating-point instruction",
+    STALL_DEPEND_LOAD: "Dependency on an outstanding remote load",
+    STALL_BYPASS: "Bypass/RAW stall on a multi-cycle ALU or FPU result",
+    STALL_FDIV: "Iterative FP divide or square-root unit occupied",
+    STALL_ICACHE: "Instruction cache miss",
+    STALL_BRANCH: "Branch misprediction flush",
+    STALL_BARRIER: "Waiting for the tile-group barrier",
+    STALL_FENCE: "Memory fence waiting for outstanding requests",
+    STALL_CREDIT: "Out of remote-request scoreboard entries",
+    STALL_AMO: "Waiting for an atomic operation's old value",
+    STALL_IDLE: "No work available",
+}

@@ -1,0 +1,368 @@
+"""The HB tile core timing model.
+
+Single-issue, in-order, 5-stage: one instruction leaves the issue stage
+per cycle unless a hazard holds it.  The model tracks
+
+* a ready time (or pending future) per virtual register, reproducing
+  RAW/bypass stalls and the load-use distance of pipelined remote loads;
+* the 63-entry remote-request scoreboard (non-blocking loads/stores);
+* the iterative FP divide/sqrt unit's structural hazard;
+* the BTFN branch predictor and the direct-mapped icache;
+* the full stall taxonomy of Table III for Fig 11's breakdown.
+
+The core runs as one generator process; pure compute streams advance a
+local clock without touching the event queue, and the process only
+synchronizes with the simulator when it interacts with shared state
+(network, barriers, waiting on futures).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Union
+
+from ..arch.config import FeatureSet
+from ..arch.geometry import Coord
+from ..arch.params import Timings
+from ..engine import Counter, Future, Process, Simulator
+from ..isa.ops import (
+    AmoOp,
+    BarrierOp,
+    BranchOp,
+    FenceOp,
+    FpOp,
+    IntOp,
+    LoadOp,
+    SleepOp,
+    StoreOp,
+    VecLoadOp,
+)
+from ..pgas.spaces import TAG_SHIFT
+from . import stall as st
+from .branch import BranchPredictor
+from .icache import ICache
+from .scoreboard import Scoreboard
+
+RegReady = Union[float, Future]
+
+
+class TileCore:
+    """One compute tile's execution engine."""
+
+    def __init__(self, sim: Simulator, node: Coord, timings: Timings,
+                 features: FeatureSet, memsys: Any,
+                 name: str = "tile") -> None:
+        self.sim = sim
+        self.node = node
+        self.timings = timings
+        self.features = features
+        self.memsys = memsys
+        self.name = name
+        self.scoreboard = Scoreboard(sim, timings.core.scoreboard_entries)
+        self.icache = ICache(timings.core.icache_miss_penalty)
+        self.branch = BranchPredictor(timings.core.branch_miss_penalty)
+        self.counters = Counter()
+        self.reg_ready: Dict[int, RegReady] = {}
+        self.reg_kind: Dict[int, str] = {}
+        self._fdiv_free: float = 0
+        self.start_time: float = 0
+        self.finish_time: float = 0
+        self.process: Optional[Process] = None
+        self._fp_latency = {
+            "fadd": timings.core.fadd,
+            "fmul": timings.core.fmul,
+            "fma": timings.core.fma,
+            "fdiv": timings.core.fdiv,
+            "fsqrt": timings.core.fsqrt,
+        }
+
+    # -- launch ---------------------------------------------------------------
+
+    def start(self, kernel_gen: Generator[Any, Any, Any],
+              start_delay: float = 0) -> Process:
+        self.process = Process(self.sim, self._run(kernel_gen),
+                               name=self.name, start_delay=start_delay)
+        return self.process
+
+    @property
+    def done(self) -> Future:
+        if self.process is None:
+            raise RuntimeError("tile was never started")
+        return self.process.done
+
+    # -- stat helpers --------------------------------------------------------
+
+    def total_cycles(self) -> float:
+        return self.finish_time - self.start_time
+
+    def breakdown(self) -> Dict[str, float]:
+        """Cycles per Table III category, plus 'other' residual."""
+        total = self.total_cycles()
+        out = {cat: self.counters.get(cat) for cat in st.ALL_CATEGORIES}
+        accounted = sum(out.values())
+        out["other"] = max(0.0, total - accounted)
+        return out
+
+    # -- the pipeline ----------------------------------------------------------
+
+    def _run(self, gen: Generator[Any, Any, Any]) -> Generator[Any, Any, float]:
+        sim = self.sim
+        c = self.counters
+        core_t = self.timings.core
+        reg_ready = self.reg_ready
+        reg_kind = self.reg_kind
+        sb = self.scoreboard
+        nonblocking = self.features.nonblocking_loads
+        compression = self.features.load_compression
+
+        t = sim.now
+        self.start_time = t
+        send_val: Any = None
+
+        while True:
+            try:
+                op = gen.send(send_val)
+            except StopIteration:
+                break
+            send_val = None
+
+            # Instruction fetch.
+            miss = self.icache.access(op.pc)
+            if miss:
+                t += miss
+                c.add(st.STALL_ICACHE, miss)
+
+            cls = op.__class__
+
+            if cls is IntOp or cls is FpOp or cls is BranchOp:
+                # Source dependencies (compute fast-path: usually floats).
+                for s in op.srcs:
+                    r = reg_ready.get(s)
+                    if r is None:
+                        continue
+                    if isinstance(r, Future):
+                        if not r.done:
+                            if t > sim.now:
+                                yield t - sim.now
+                            yield r
+                        ready = r.value
+                        reg_ready[s] = ready
+                    else:
+                        ready = r
+                    if ready > t:
+                        gap = ready - t
+                        kind = reg_kind.get(s, "int")
+                        if kind == "mem":
+                            c.add(st.STALL_DEPEND_LOAD, gap)
+                        elif kind == "fdiv":
+                            c.add(st.STALL_FDIV, gap)
+                        else:
+                            c.add(st.STALL_BYPASS, gap)
+                        t = ready
+
+                if cls is IntOp:
+                    issue = t
+                    t += 1
+                    c.add(st.EXEC_INT)
+                    if op.dst is not None:
+                        reg_ready[op.dst] = issue + op.latency
+                        reg_kind[op.dst] = "int" if op.latency == 1 else "fp"
+                elif cls is FpOp:
+                    lat = self._fp_latency[op.unit]
+                    if op.unit in ("fdiv", "fsqrt"):
+                        if self._fdiv_free > t:
+                            c.add(st.STALL_FDIV, self._fdiv_free - t)
+                            t = self._fdiv_free
+                        issue = t
+                        self._fdiv_free = issue + lat
+                        kind = "fdiv"
+                    else:
+                        issue = t
+                        kind = "fp"
+                    t += 1
+                    c.add(st.EXEC_FP)
+                    if op.dst is not None:
+                        reg_ready[op.dst] = issue + lat
+                        reg_kind[op.dst] = kind
+                else:  # BranchOp
+                    t += 1
+                    c.add(st.EXEC_INT)
+                    flush = self.branch.predict_and_resolve(op.backward, op.taken)
+                    if flush:
+                        t += flush
+                        c.add(st.STALL_BRANCH, flush)
+                continue
+
+            # Memory and synchronization ops.
+            srcs = getattr(op, "srcs", ())
+            if srcs:
+                t = yield from self._wait_srcs(srcs, t)
+
+            if cls is LoadOp:
+                if (op.addr >> TAG_SHIFT) == 0 or self.memsys.is_own_spm(op.addr, self.node):
+                    start = self.memsys.spm_reserve(self.node, t)
+                    t += 1
+                    c.add(st.EXEC_INT)
+                    reg_ready[op.dst] = start + core_t.local_load
+                    reg_kind[op.dst] = "mem"
+                else:
+                    t = yield from self._issue_remote(
+                        op.addr, False, t, words=1, dsts=(op.dst,),
+                    )
+            elif cls is VecLoadOp:
+                if compression:
+                    t = yield from self._issue_remote(
+                        op.addr, False, t, words=len(op.dsts), dsts=op.dsts,
+                    )
+                else:
+                    # Expanded into independent word loads, one per cycle.
+                    for i, dst in enumerate(op.dsts):
+                        t = yield from self._issue_remote(
+                            op.addr + 4 * i, False, t, words=1, dsts=(dst,),
+                        )
+            elif cls is StoreOp:
+                if (op.addr >> TAG_SHIFT) == 0 or self.memsys.is_own_spm(op.addr, self.node):
+                    self.memsys.spm_reserve(self.node, t)
+                    t += 1
+                    c.add(st.EXEC_INT)
+                else:
+                    t = yield from self._issue_remote(
+                        op.addr, True, t, words=1, dsts=(),
+                    )
+            elif cls is AmoOp:
+                t, old = yield from self._issue_amo(op, t)
+                send_val = old
+                if op.dst is not None:
+                    reg_ready[op.dst] = t
+                    reg_kind[op.dst] = "mem"
+            elif cls is FenceOp:
+                t += 1
+                c.add(st.EXEC_INT)
+                if not sb.empty:
+                    if t > sim.now:
+                        yield t - sim.now
+                    fut = sb.wait_drain()
+                    yield fut
+                    drained = max(t, sim.now)
+                    c.add(st.STALL_FENCE, drained - t)
+                    t = drained
+            elif cls is BarrierOp:
+                t += 1
+                c.add(st.EXEC_INT)
+                if t > sim.now:
+                    yield t - sim.now
+                fut = op.group.arrive(self.node, t)
+                yield fut
+                released = max(t, sim.now)
+                c.add(st.STALL_BARRIER, released - t)
+                t = released
+            elif cls is SleepOp:
+                t += op.cycles
+                c.add(st.STALL_IDLE, op.cycles)
+            else:
+                raise TypeError(f"core cannot execute {op!r}")
+
+        # Implicit drain: a tile is not finished while requests are in flight.
+        if not sb.empty:
+            if t > sim.now:
+                yield t - sim.now
+            fut = sb.wait_drain()
+            yield fut
+            drained = max(t, sim.now)
+            c.add(st.STALL_FENCE, drained - t)
+            t = drained
+        self.finish_time = t
+        return t
+
+    # -- memory-op helpers -------------------------------------------------------
+
+    def _wait_srcs(self, srcs, t: float):
+        """Wait for source registers; returns the advanced clock."""
+        sim = self.sim
+        c = self.counters
+        reg_ready = self.reg_ready
+        for s in srcs:
+            r = reg_ready.get(s)
+            if r is None:
+                continue
+            if isinstance(r, Future):
+                if not r.done:
+                    if t > sim.now:
+                        yield t - sim.now
+                    yield r
+                ready = r.value
+                reg_ready[s] = ready
+            else:
+                ready = r
+            if ready > t:
+                kind = self.reg_kind.get(s, "int")
+                gap = ready - t
+                if kind == "mem":
+                    c.add(st.STALL_DEPEND_LOAD, gap)
+                elif kind == "fdiv":
+                    c.add(st.STALL_FDIV, gap)
+                else:
+                    c.add(st.STALL_BYPASS, gap)
+                t = ready
+        return t
+
+    def _acquire_credit(self, t: float):
+        """Claim a scoreboard entry, stalling if the bit-vector is full."""
+        sim = self.sim
+        sb = self.scoreboard
+        if sb.full:
+            if t > sim.now:
+                yield t - sim.now
+            fut = sb.wait_credit()
+            yield fut
+            granted = max(t, sim.now)
+            self.counters.add(st.STALL_CREDIT, granted - t)
+            t = granted
+        sb.acquire()
+        return t
+
+    def _issue_remote(self, addr: int, is_write: bool, t: float,
+                      words: int, dsts):
+        """Inject a remote load/store; non-blocking unless the feature is off."""
+        sim = self.sim
+        c = self.counters
+        sb = self.scoreboard
+        t = yield from self._acquire_credit(t)
+        if t > sim.now:
+            yield t - sim.now
+        fut = self.memsys.remote_request(
+            self.node, addr, is_write=is_write, time=t, words=words,
+        )
+        fut.add_callback(lambda _v: sb.release())
+        issue = t
+        t += 1
+        c.add(st.EXEC_INT)
+        for dst in dsts:
+            self.reg_ready[dst] = fut
+            self.reg_kind[dst] = "mem"
+        if not self.features.nonblocking_loads and not is_write:
+            yield fut
+            arrival = fut.value
+            c.add(st.STALL_DEPEND_LOAD, max(0.0, arrival - t))
+            t = max(t, arrival)
+            for dst in dsts:
+                self.reg_ready[dst] = arrival
+        del issue
+        return t
+
+    def _issue_amo(self, op: AmoOp, t: float):
+        """Atomics block the kernel generator: it needs the old value."""
+        sim = self.sim
+        c = self.counters
+        sb = self.scoreboard
+        t = yield from self._acquire_credit(t)
+        if t > sim.now:
+            yield t - sim.now
+        fut = self.memsys.remote_amo(self.node, op.addr, op.kind, op.value, t)
+        fut.add_callback(lambda _v: sb.release())
+        t += 1
+        c.add(st.EXEC_INT)
+        yield fut
+        arrival, old = fut.value
+        c.add(st.STALL_AMO, max(0.0, arrival - t))
+        t = max(t, arrival)
+        return t, old

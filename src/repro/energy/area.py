@@ -1,0 +1,116 @@
+"""Area and compute-density model (paper Table IV and Fig 2).
+
+Table IV compares published manycore chips with areas scaled to the
+14/16 nm node; the "Our x" columns are HB's density advantage.  The chip
+data below is the paper's own table, recorded as ground truth; helper
+functions recompute the derived columns so tests can check consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ChipRecord:
+    """One Table IV row."""
+
+    name: str
+    category: str  # Cellular / Flat / Hierarchical
+    networks: str
+    processor: str
+    cores: int
+    fpus: int
+    scaled_area_mm2: float  # at 14/16 nm
+
+    @property
+    def cores_per_mm2(self) -> float:
+        return self.cores / self.scaled_area_mm2
+
+    @property
+    def fpus_per_mm2(self) -> float:
+        return self.fpus / self.scaled_area_mm2
+
+
+TABLE_IV: List[ChipRecord] = [
+    ChipRecord("HammerBlade", "Cellular", "2 x 2-D Ruche", "Single-issue",
+               2048, 2048, 77.5),
+    ChipRecord("TILE64", "Flat", "5 x 2-D Mesh", "VLIW", 64, 0, 19.4),
+    ChipRecord("RAW", "Flat", "4 x 2-D Mesh", "Single-issue", 16, 16, 2.6),
+    ChipRecord("Celerity", "Flat", "2 x 2-D Mesh", "Single-issue",
+               496, 0, 15.3),
+    ChipRecord("Epiphany-V", "Flat", "3 x 2-D Mesh", "Dual-issue",
+               1024, 2048, 117.0),
+    ChipRecord("OpenPiton", "Flat", "3 x 2-D Mesh", "Single-issue",
+               25, 25, 11.1),
+    ChipRecord("ET-SoC-1", "Hierarchical", "Crossbar, 2 x 2-D CMesh",
+               "Vector", 1088, 8704, 1710.0),
+    ChipRecord("MemPool", "Hierarchical", "Crossbar, Radix-4 Butterfly",
+               "Single-issue", 256, 0, 8.6),
+]
+
+
+def record(name: str) -> ChipRecord:
+    for rec in TABLE_IV:
+        if rec.name == name:
+            return rec
+    raise KeyError(f"no Table IV record named {name!r}")
+
+
+def density_ratios(reference: str = "HammerBlade") -> Dict[str, Dict[str, Optional[float]]]:
+    """The "Our x" columns: reference density over each chip's density."""
+    ref = record(reference)
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for rec in TABLE_IV:
+        fpu_ratio: Optional[float]
+        if rec.fpus == 0:
+            fpu_ratio = None  # no FPUs to compare (Table IV leaves a dash)
+        else:
+            fpu_ratio = ref.fpus_per_mm2 / rec.fpus_per_mm2
+        out[rec.name] = {
+            "core_density": rec.cores_per_mm2,
+            "core_ratio": ref.cores_per_mm2 / rec.cores_per_mm2,
+            "fpu_density": rec.fpus_per_mm2,
+            "fpu_ratio": fpu_ratio,
+        }
+    return out
+
+
+# -- HB tile area breakdown (Fig 2 right), scaled to the 3 nm node ---------
+
+TILE_AREA_3NM_UM2 = 4496.0
+
+#: Fractional area of one HB tile by component (Fig 2's pie):
+#: the Ruche router adds ~4% over the tile; SRAMs dominate.
+TILE_BREAKDOWN: Dict[str, float] = {
+    "spm_sram": 0.27,
+    "icache_sram": 0.22,
+    "core_logic": 0.23,
+    "fpu": 0.15,
+    "router": 0.10,  # includes the 40% router-area ruche premium
+    "barrier_and_misc": 0.03,
+}
+
+RETICLE_MM2 = 600.0
+
+
+def tile_area_um2(node: str = "3nm") -> float:
+    if node != "3nm":
+        raise ValueError("breakdown is recorded at the 3 nm node")
+    return TILE_AREA_3NM_UM2
+
+
+def cores_on_die(die_mm2: float = RETICLE_MM2,
+                 tile_um2: float = TILE_AREA_3NM_UM2,
+                 array_fraction: float = 0.8) -> int:
+    """How many tiles fit on a die (the paper's 100K+ claim at 600 mm^2)."""
+    if die_mm2 <= 0 or tile_um2 <= 0 or not 0 < array_fraction <= 1:
+        raise ValueError("invalid die parameters")
+    return int(die_mm2 * 1e6 * array_fraction / tile_um2)
+
+
+def ruche_router_overhead(base_router_fraction: float = 0.071,
+                          router_premium: float = 0.40) -> float:
+    """Tile-area overhead of the Ruche links (paper: ~4%)."""
+    return base_router_fraction * router_premium

@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine underlying every model in ``repro``."""
+
+from .event import Event, SimulationError, Simulator
+from .process import Future, Process, join, spawn
+from .stats import BinnedSeries, Counter, Interval, geomean, mean
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Future",
+    "Process",
+    "join",
+    "spawn",
+    "BinnedSeries",
+    "Counter",
+    "Interval",
+    "geomean",
+    "mean",
+]

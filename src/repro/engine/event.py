@@ -1,0 +1,132 @@
+"""Discrete-event simulation core.
+
+The simulator maintains a priority queue of ``(time, sequence, callback)``
+entries.  Time is measured in core clock cycles (integers by convention,
+though floats are accepted).  Ties are broken by a monotonically increasing
+sequence number so that runs are fully deterministic.
+
+This engine is deliberately tiny: components interact by scheduling plain
+callbacks or by running generator-based :class:`~repro.engine.process.Process`
+objects on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled
+    before they fire.  Cancelled events stay in the heap but are skipped.
+    """
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, {state}, fn={self.fn!r})"
+
+
+class Simulator:
+    """The event loop.
+
+    A single :class:`Simulator` instance drives one machine model.  All
+    model components hold a reference to it and use :meth:`schedule` /
+    :meth:`schedule_at` to advance state.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._now: float = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, fn)
+        heapq.heappush(self._queue, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            time, _seq, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = time
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains (or a limit is hit).
+
+        ``until`` stops the loop once simulated time would exceed it; the
+        clock is then advanced to ``until``.  ``max_events`` guards against
+        runaway models.  Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        count = 0
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self._now = until
+                    break
+                self.step()
+                count += 1
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now}"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def drained(self) -> bool:
+        """True when no runnable events remain."""
+        return self.peek() is None

@@ -1,0 +1,148 @@
+"""Generator-based processes on top of the event loop.
+
+A *process* is a Python generator that yields one of:
+
+* a number -- sleep that many cycles;
+* a :class:`Future` -- suspend until the future resolves; the future's
+  value is sent back into the generator;
+* a list/tuple of futures -- suspend until *all* resolve (a join).
+
+Processes are how tile cores, DMA engines and host programs are written.
+Each process owns a :class:`Future` (``process.done``) that resolves with
+the generator's return value, enabling fork/join composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .event import Simulator, SimulationError
+
+
+class Future:
+    """A single-assignment value that callbacks/processes can wait on."""
+
+    __slots__ = ("sim", "_done", "_value", "_callbacks")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future now; fires callbacks at the current time."""
+        if self._done:
+            raise SimulationError("future resolved twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def resolve_at(self, time: float, value: Any = None) -> None:
+        """Resolve the future at absolute simulation time ``time``."""
+        self.sim.schedule_at(time, lambda: self.resolve(value))
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Run ``fn(value)`` on resolution (immediately if already done)."""
+        if self._done:
+            fn(self._value)
+        else:
+            self._callbacks.append(fn)
+
+
+def join(sim: Simulator, futures: Iterable[Future]) -> Future:
+    """A future that resolves with a list of values once all inputs resolve."""
+    futures = list(futures)
+    out = Future(sim)
+    if not futures:
+        out.resolve([])
+        return out
+    remaining = [len(futures)]
+    values: List[Any] = [None] * len(futures)
+
+    def make_cb(i: int) -> Callable[[Any], None]:
+        def cb(value: Any) -> None:
+            values[i] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                out.resolve(values)
+
+        return cb
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_cb(i))
+    return out
+
+
+class Process:
+    """Drives a generator against the simulator clock."""
+
+    __slots__ = ("sim", "gen", "done", "name")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: Generator[Any, Any, Any],
+        name: str = "proc",
+        start_delay: float = 0,
+    ) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.done = Future(sim)
+        self.name = name
+        sim.schedule(start_delay, lambda: self._advance(None))
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.resolve(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.sim.schedule(yielded, lambda: self._advance(None))
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._resume_soon)
+        elif isinstance(yielded, (list, tuple)):
+            join(self.sim, yielded).add_callback(self._resume_soon)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _resume_soon(self, value: Any) -> None:
+        # Resume through the event queue so resolution order stays
+        # deterministic even when many processes wake on the same future.
+        self.sim.schedule(0, lambda: self._advance(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+def spawn(
+    sim: Simulator,
+    gen: Generator[Any, Any, Any],
+    name: str = "proc",
+    start_delay: float = 0,
+) -> Process:
+    """Convenience wrapper to start a process."""
+    return Process(sim, gen, name=name, start_delay=start_delay)

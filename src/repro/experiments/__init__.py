@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes ``run(...) -> dict`` (structured results) and a
+``main()`` that prints the reproduced figure as text.  Run directly::
+
+    python -m repro.experiments.fig10_incremental
+"""
+
+from . import (
+    ablations,
+    chip_scale,
+    common,
+    fig03_bisection_transfer,
+    fig04_barrier,
+    fig10_incremental,
+    fig11_utilization,
+    fig12_tilegroups,
+    fig13_energy,
+    fig14_noc_bisection,
+    fig15_doubling,
+    fig16_vs_hierarchical,
+    tables,
+)
+
+__all__ = [
+    "ablations",
+    "chip_scale",
+    "common",
+    "fig03_bisection_transfer",
+    "fig04_barrier",
+    "fig10_incremental",
+    "fig11_utilization",
+    "fig12_tilegroups",
+    "fig13_energy",
+    "fig14_noc_bisection",
+    "fig15_doubling",
+    "fig16_vs_hierarchical",
+    "tables",
+]

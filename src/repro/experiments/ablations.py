@@ -1,0 +1,132 @@
+"""Ablations of the model's key design parameters.
+
+Beyond the paper's own feature ladder (Fig 10), these sweeps probe the
+quantitative choices the architecture leans on:
+
+* **scoreboard depth** -- the 63-entry remote-request scoreboard is HB's
+  cheap MLP substitute; sweeping it shows how much outstanding-request
+  capacity memory-bound kernels actually use;
+* **MSHR entries** -- the consolidated LLC miss capacity;
+* **ruche factor** -- hop distance of the long-range links (3 in HB);
+* **cache capacity** -- the per-bank set count.
+
+Each sweep runs one representative kernel and reports cycles per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..arch.config import HB_16x8, MachineConfig
+from ..kernels import registry
+from ..runtime.host import run_on_cell
+from .common import suite_args
+
+
+def _run(config: MachineConfig, kernel_name: str, size: str) -> float:
+    bench = registry.SUITE[kernel_name]
+    return run_on_cell(config, bench.kernel,
+                       suite_args(kernel_name, size)).cycles
+
+
+def _with_speedups(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    base = rows[0]["cycles"]
+    for row in rows:
+        row["speedup"] = base / row["cycles"]
+    return rows
+
+
+def sweep_scoreboard(depths: Sequence[int] = (1, 4, 16, 63),
+                     kernel_name: str = "PR",
+                     size: str = "small") -> List[Dict[str, Any]]:
+    """More outstanding requests -> more MLP, until bandwidth saturates."""
+    rows = []
+    for depth in depths:
+        core = replace(HB_16x8.timings.core, scoreboard_entries=depth)
+        cfg = replace(HB_16x8,
+                      timings=replace(HB_16x8.timings, core=core))
+        rows.append({"scoreboard": depth,
+                     "cycles": _run(cfg, kernel_name, size)})
+    return _with_speedups(rows)
+
+
+def sweep_mshr(entries: Sequence[int] = (1, 4, 16, 32),
+               size: str = "small") -> List[Dict[str, Any]]:
+    """Measured on the miss-heavy Fig 12 workload with a small cache
+    (2 sets) so the consolidated MSHR file is actually exercised; at
+    full capacity the default workloads hit too often to stress it."""
+    from ..kernels import spgemm
+
+    rows = []
+    for n in entries:
+        cache = replace(HB_16x8.timings.cache, sets=2, mshr_entries=n)
+        args = spgemm.make_args(tasks=8, scale=0.15)
+        result = run_on_cell(HB_16x8.with_cache(cache), spgemm.KERNEL,
+                             args, group_shape=(4, 4))
+        rows.append({"mshr_entries": n, "cycles": result.cycles})
+    return _with_speedups(rows)
+
+
+def sweep_ruche_factor(factors: Sequence[int] = (0, 2, 3, 4),
+                       kernel_name: str = "FFT",
+                       size: str = "small") -> List[Dict[str, Any]]:
+    """0 disables the long links (plain mesh); HB ships factor 3."""
+    rows = []
+    for factor in factors:
+        if factor == 0:
+            cfg = HB_16x8.with_features(
+                replace(HB_16x8.features, ruche_network=False))
+        else:
+            noc = replace(HB_16x8.timings.noc, ruche_factor=factor)
+            cfg = replace(HB_16x8,
+                          timings=replace(HB_16x8.timings, noc=noc))
+        rows.append({"ruche_factor": factor,
+                     "cycles": _run(cfg, kernel_name, size)})
+    return _with_speedups(rows)
+
+
+def sweep_cache_sets(sets: Sequence[int] = (2, 4, 16, 64),
+                     size: str = "small") -> List[Dict[str, Any]]:
+    """Uses the Fig 12 multi-task SpGEMM (8 private activation matrices)
+    whose resident working set actually exercises capacity."""
+    from ..kernels import spgemm
+
+    rows = []
+    for n in sets:
+        cache = replace(HB_16x8.timings.cache, sets=n)
+        args = spgemm.make_args(tasks=8, scale=0.15)
+        result = run_on_cell(HB_16x8.with_cache(cache), spgemm.KERNEL,
+                             args, group_shape=(4, 4))
+        capacity_kb = (HB_16x8.cell.num_banks * n
+                       * HB_16x8.timings.cache.ways
+                       * HB_16x8.timings.cache.block_bytes) // 1024
+        rows.append({"sets": n, "cell_cache_kb": capacity_kb,
+                     "cycles": result.cycles})
+    return _with_speedups(rows)
+
+
+def run(size: str = "small",
+        which: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+    sweeps = {
+        "scoreboard": lambda: sweep_scoreboard(size=size),
+        "mshr": lambda: sweep_mshr(size=size),
+        "ruche_factor": lambda: sweep_ruche_factor(size=size),
+        "cache_sets": lambda: sweep_cache_sets(size=size),
+    }
+    names = list(which) if which else list(sweeps)
+    return {name: sweeps[name]() for name in names}
+
+
+def main() -> None:
+    from ..perf.report import format_table
+
+    out = run()
+    for name, rows in out.items():
+        print(f"\n== ablation: {name} ==")
+        headers = list(rows[0].keys())
+        print(format_table(headers, [[r[h] for h in headers] for r in rows]))
+
+
+if __name__ == "__main__":
+    main()

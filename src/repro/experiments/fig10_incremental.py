@@ -1,0 +1,61 @@
+"""Fig 10: incremental feature analysis.
+
+Runs the full benchmark suite on every rung of the feature ladder
+(baseline manycore -> router -> cache -> density -> the six HB features)
+and reports per-kernel speedups over the baseline plus the geomean
+progression.  The paper's headline: all optimizations together give a
+5.2x geomean over Baseline Manycore, with core density the single
+largest contributor, and Jacobi improving 17-48x by the end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..baselines.features import ladder
+from ..engine.stats import geomean
+from .common import run_suite
+
+
+def run(size: str = "small", kernels: Optional[Iterable[str]] = None,
+        tiles_x: int = 16, tiles_y: int = 8) -> Dict[str, Any]:
+    rungs = ladder(tiles_x, tiles_y)
+    cycles: Dict[str, Dict[str, float]] = {}
+    for name, config in rungs:
+        results = run_suite(config, size=size, kernels=kernels)
+        cycles[name] = {k: r.cycles for k, r in results.items()}
+    base_name = rungs[0][0]
+    base = cycles[base_name]
+    speedups: Dict[str, Dict[str, float]] = {}
+    geo: Dict[str, float] = {}
+    for name, _cfg in rungs:
+        speedups[name] = {k: base[k] / cycles[name][k] for k in base}
+        geo[name] = geomean(list(speedups[name].values()))
+    return {
+        "rungs": [name for name, _ in rungs],
+        "cycles": cycles,
+        "speedups": speedups,
+        "geomean": geo,
+        "final_geomean": geo[rungs[-1][0]],
+    }
+
+
+def main() -> None:
+    from ..perf.report import format_table
+
+    out = run()
+    kernels: List[str] = sorted(next(iter(out["speedups"].values())))
+    print("== Fig 10: speedup over Baseline Manycore ==")
+    rows = []
+    for rung in out["rungs"]:
+        row: List[object] = [rung]
+        row.extend(out["speedups"][rung][k] for k in kernels)
+        row.append(out["geomean"][rung])
+        rows.append(row)
+    print(format_table(["config"] + kernels + ["geomean"], rows))
+    print(f"\nfinal geomean speedup: {out['final_geomean']:.2f}x "
+          "(paper: 5.2x)")
+
+
+if __name__ == "__main__":
+    main()

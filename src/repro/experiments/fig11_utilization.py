@@ -1,0 +1,54 @@
+"""Fig 11: core and HBM2 utilization of the most-optimized Cell.
+
+For every kernel (ordered memory-intensive -> compute-intensive) report
+the core-cycle breakdown over the Table III stall taxonomy and the HBM2
+channel breakdown (read / write / busy / idle).  The paper's reading:
+PR/BFS/SpGEMM are HBM-bound, AES/SW/SGEMM/BS are compute-bound, SW is
+branch-miss heavy, BS is bypass/fdiv heavy, and FFT/Jacobi/SGEMM show
+network-congestion stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from ..arch.config import HB_16x8
+from ..kernels.registry import FIG11_ORDER
+from ..perf.counters import ordered_breakdown
+from .common import run_suite
+
+
+def run(size: str = "small",
+        kernels: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    names = list(kernels) if kernels is not None else list(FIG11_ORDER)
+    results = run_suite(HB_16x8, size=size, kernels=names)
+    core: Dict[str, Dict[str, float]] = {}
+    hbm: Dict[str, Dict[str, float]] = {}
+    util: Dict[str, float] = {}
+    for name in names:
+        r = results[name]
+        core[name] = ordered_breakdown(r)
+        hbm[name] = r.hbm
+        util[name] = r.core_utilization
+    return {
+        "order": names,
+        "core_breakdown": core,
+        "hbm_breakdown": hbm,
+        "core_utilization": util,
+        "results": results,
+    }
+
+
+def main() -> None:
+    from ..perf.counters import BREAKDOWN_ORDER, HBM_ORDER
+    from ..perf.report import format_stacked
+
+    out = run()
+    print("== Fig 11: core utilization breakdown ==")
+    print(format_stacked(out["core_breakdown"], BREAKDOWN_ORDER))
+    print("\n== Fig 11: HBM2 utilization breakdown ==")
+    print(format_stacked(out["hbm_breakdown"], HBM_ORDER))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Fig 13: energy-per-instruction vs the OpenPiton power study.
+
+Reproduces the paper's methodology directly (it is an analytic,
+CV^2-normalized comparison): HB EPI from per-component event energies,
+Piton EPI from the published measurements scaled to the same node.
+Headline: HB is 3.6-15.1x more energy-efficient per instruction.
+
+Also demonstrates the kernel-level use: estimating a measured run's core
+energy from its executed instruction mix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..arch.config import HB_16x8
+from ..energy.epi import (
+    INSTRUCTION_CLASSES,
+    efficiency_ratios,
+    hb_epi,
+    hb_epi_breakdown,
+    kernel_energy,
+    piton_epi_scaled,
+)
+from .common import run_suite
+
+
+def run(measure_kernel: str = "AES", size: str = "tiny") -> Dict[str, Any]:
+    ratios = efficiency_ratios()
+    rows = []
+    for cls in INSTRUCTION_CLASSES:
+        rows.append({
+            "class": cls,
+            "hb_pj": hb_epi(cls),
+            "piton_pj": piton_epi_scaled(cls),
+            "ratio": ratios[cls],
+            "hb_breakdown": hb_epi_breakdown(cls),
+        })
+    result = run_suite(HB_16x8 if size != "tiny" else _tiny_config(),
+                       size=size, kernels=[measure_kernel])[measure_kernel]
+    counts = {
+        "int": result.int_instructions,
+        "fp": result.fp_instructions,
+    }
+    report = kernel_energy(counts)
+    return {
+        "rows": rows,
+        "min_ratio": min(ratios.values()),
+        "max_ratio": max(ratios.values()),
+        "kernel": measure_kernel,
+        "kernel_energy_pj": report.total_pj,
+        "kernel_instructions": result.instructions,
+    }
+
+
+def _tiny_config():
+    from ..arch.config import small_config
+
+    return small_config(4, 4)
+
+
+def main() -> None:
+    from ..perf.report import format_table
+
+    out = run()
+    print("== Fig 13: energy per instruction (pJ, 14/16 nm normalized) ==")
+    print(format_table(
+        ["class", "HB", "Piton (CV^2)", "Piton/HB"],
+        [(r["class"], r["hb_pj"], r["piton_pj"], r["ratio"])
+         for r in out["rows"]]))
+    print(f"\nefficiency band: {out['min_ratio']:.1f}x - "
+          f"{out['max_ratio']:.1f}x (paper: 3.6-15.1x)")
+    print(f"{out['kernel']} run energy: {out['kernel_energy_pj']/1e6:.2f} uJ "
+          f"over {out['kernel_instructions']:.0f} instructions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fig 14: bisection stall analysis -- mesh vs Ruche vs Ruche + LPC.
+
+Measures how often packets stall at the 16x8 Cell's horizontal bisection
+under three network configurations:
+
+* 2-D mesh (no ruche links, no load compression),
+* Ruche network (4x the cut width),
+* Ruche + Load Packet Compression.
+
+The paper: mesh bisection links stall up to ~50% on PR (HW),
+Jacobi (DRAM) and FFT; Ruche helps everything except SPM-resident Jacobi
+(nearest-neighbour traffic never crosses the cut); LPC helps sequential
+kernels but not SpGEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..arch.config import HB_16x8
+from ..kernels import jacobi, registry
+from ..perf.bisection import cell_bisection
+from ..runtime.host import run_on_cell
+from .common import suite_args
+
+VARIANTS: List[Tuple[str, Dict[str, bool]]] = [
+    ("mesh", {"ruche_network": False, "load_compression": False}),
+    ("ruche", {"ruche_network": True, "load_compression": False}),
+    ("ruche+lpc", {"ruche_network": True, "load_compression": True}),
+]
+
+#: Fig 14's kernel set: the suite's network-sensitive members plus the
+#: two Jacobi placements.
+DEFAULT_KERNELS = ("PR", "Jacobi($)", "Jacobi(DRAM)", "FFT", "SGEMM",
+                   "SpGEMM", "BFS")
+
+
+def _args_for(name: str, size: str):
+    if name == "Jacobi($)":
+        return jacobi.KERNEL, jacobi.make_args(z_depth=32, iters=1,
+                                               use_spm=True)
+    if name == "Jacobi(DRAM)":
+        return jacobi.KERNEL, jacobi.make_args(z_depth=32, iters=1,
+                                               use_spm=False)
+    return registry.SUITE[name].kernel, suite_args(name, size)
+
+
+def run(size: str = "small",
+        kernels: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    names = list(kernels) if kernels is not None else list(DEFAULT_KERNELS)
+    stalls: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
+    utils: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
+    for vname, flags in VARIANTS:
+        config = HB_16x8.with_features(replace(HB_16x8.features, **flags))
+        for kname in names:
+            kern, args = _args_for(kname, size)
+            result = run_on_cell(config, kern, args, keep_machine=True)
+            net = result.machine.memsys.req_net
+            stats = cell_bisection(net, HB_16x8.cell.tiles_x, result.cycles)
+            stalls[vname][kname] = stats.stall_fraction
+            utils[vname][kname] = stats.utilization
+    return {"kernels": names, "stall_fraction": stalls,
+            "utilization": utils}
+
+
+def main() -> None:
+    from ..perf.report import format_table
+
+    out = run()
+    print("== Fig 14: bisection stall fraction ==")
+    rows = []
+    for kname in out["kernels"]:
+        rows.append([kname] + [out["stall_fraction"][v][kname]
+                               for v, _ in VARIANTS])
+    print(format_table(["kernel"] + [v for v, _ in VARIANTS], rows))
+    print("\n== bisection utilization ==")
+    rows = []
+    for kname in out["kernels"]:
+        rows.append([kname] + [out["utilization"][v][kname]
+                               for v, _ in VARIANTS])
+    print(format_table(["kernel"] + [v for v, _ in VARIANTS], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Fig 15: three strategies for doubling compute at constant HBM bandwidth.
+
+Compares the Table II machines against the 16x8 baseline:
+
+* 16x16 -- double the Cell vertically: 2x tiles, same cache, longer hops;
+* 32x8  -- double horizontally: 2x tiles, 2x cache capacity/bandwidth,
+  more bisection pressure;
+* 2x16x8 -- double the Cell count: modelled, per the paper's own
+  multi-Cell methodology, as one 16x8 Cell running half the work at half
+  the per-Cell HBM bandwidth (two such Cells run in parallel).  Data
+  structures that resist partitioning (the BH octree) are duplicated, so
+  their per-Cell work does not halve.
+
+Paper geomeans over the suite: 1.25x / 1.39x / 1.34x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..arch.config import HB_16x8, HB_16x16, HB_32x8
+from ..engine.stats import geomean
+from ..kernels import registry
+from ..runtime.host import run_on_cell
+
+#: Kernels whose primary data structure is duplicated (not split) when
+#: the Cell count doubles; their work items split but the shared
+#: structure is re-read per Cell.
+DUPLICATED = {"BH"}
+
+#: Fig 15 needs enough work per tile that fixed phases (staging, barrier
+#: convergence, cold misses) do not mask the scaling effect the figure is
+#: about, so it carries its own input sizes: a "unit" workload for the
+#: doubled machines and the baseline, and a "half" workload for the
+#: per-Cell model of 2x16x8.
+UNIT_ARGS: Dict[str, Dict[str, Any]] = {
+    "AES": {"blocks_per_tile": 16},
+    "BS": {"options_per_tile": 12},
+    "SW": {"query_len": 12, "ref_len": 16, "pairs_per_tile": 2},
+    "SGEMM": {"n": 64},
+    "FFT": {"n": 2048},
+    "Jacobi": {"z_depth": 48, "iters": 1},
+    "SpGEMM": {"scale": 0.2},
+    "PR": {"scale": 0.5, "iters": 1},
+    "BFS": {"width": 16},
+    "BH": {"num_bodies": 448},
+}
+
+HALF_ARGS: Dict[str, Dict[str, Any]] = {
+    "AES": {"blocks_per_tile": 8},
+    "BS": {"options_per_tile": 6},
+    "SW": {"query_len": 12, "ref_len": 16, "pairs_per_tile": 1},
+    "SGEMM": {"n": 64, "work_fraction": 0.5},
+    "FFT": {"n": 1024},
+    "Jacobi": {"z_depth": 24, "iters": 1},
+    "SpGEMM": {"scale": 0.1},
+    "PR": {"scale": 0.25, "iters": 1},
+    "BFS": {"width": 11},
+    # Bodies split across the two Cells; the octree is duplicated, so
+    # each Cell traverses half the bodies over the full-size tree.
+    "BH": {"num_bodies": 448, "traverse_fraction": 0.5},
+}
+
+
+#: Keys consumed by the kernels at launch rather than by make_args.
+_LAUNCH_KEYS = ("work_fraction", "traverse_fraction")
+
+
+def _build(name: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+    spec = dict(spec)
+    extra = {k: spec.pop(k) for k in _LAUNCH_KEYS if k in spec}
+    args = registry.SUITE[name].make_args(**spec)
+    args.update(extra)
+    return args
+
+
+def _unit_args(name: str) -> Dict[str, Any]:
+    return _build(name, UNIT_ARGS[name])
+
+
+def _half_work_args(name: str) -> Dict[str, Any]:
+    """Args for one Cell of the 2x16x8 model: half the work items."""
+    return _build(name, HALF_ARGS[name])
+
+
+def run(kernels: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    names = list(kernels) if kernels is not None else list(registry.SUITE)
+    cycles: Dict[str, Dict[str, float]] = {
+        "16x8": {}, "16x16": {}, "32x8": {}, "2x16x8": {},
+    }
+    for name in names:
+        bench = registry.SUITE[name]
+        base = run_on_cell(HB_16x8, bench.kernel, _unit_args(name))
+        cycles["16x8"][name] = base.cycles
+        tall = run_on_cell(HB_16x16, bench.kernel, _unit_args(name))
+        cycles["16x16"][name] = tall.cycles
+        wide = run_on_cell(HB_32x8, bench.kernel, _unit_args(name))
+        cycles["32x8"][name] = wide.cycles
+        # 2x16x8: one Cell, half the work, half the HBM bandwidth.
+        half_cfg = replace(HB_16x8, name="2x16x8-cell", hbm_scale=0.5)
+        half = run_on_cell(half_cfg, bench.kernel, _half_work_args(name))
+        cycles["2x16x8"][name] = half.cycles
+    speedups = {
+        cfg: {k: cycles["16x8"][k] / cycles[cfg][k] for k in names}
+        for cfg in ("16x16", "32x8", "2x16x8")
+    }
+    geo = {cfg: geomean(list(sp.values())) for cfg, sp in speedups.items()}
+    return {"cycles": cycles, "speedups": speedups, "geomean": geo,
+            "kernels": names}
+
+
+def main() -> None:
+    from ..perf.report import format_table
+
+    out = run()
+    print("== Fig 15: doubling strategies, speedup over 16x8 ==")
+    rows = []
+    for k in out["kernels"]:
+        rows.append([k] + [out["speedups"][cfg][k]
+                           for cfg in ("16x16", "32x8", "2x16x8")])
+    rows.append(["geomean"] + [out["geomean"][cfg]
+                               for cfg in ("16x16", "32x8", "2x16x8")])
+    print(format_table(["kernel", "16x16", "32x8", "2x16x8"], rows))
+    print("\npaper geomeans: 1.25x / 1.39x / 1.34x")
+
+
+if __name__ == "__main__":
+    main()

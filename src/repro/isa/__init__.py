@@ -1,0 +1,39 @@
+"""Kernel IR: ops, per-tile context and programs."""
+
+from .context import KernelContext
+from .disasm import format_op, format_trace
+from .ops import (
+    AmoOp,
+    BarrierOp,
+    BranchOp,
+    FenceOp,
+    FpOp,
+    IntOp,
+    LoadOp,
+    MemoryOps,
+    Op,
+    SleepOp,
+    StoreOp,
+    VecLoadOp,
+)
+from .program import Kernel, kernel
+
+__all__ = [
+    "Op",
+    "IntOp",
+    "FpOp",
+    "LoadOp",
+    "VecLoadOp",
+    "StoreOp",
+    "AmoOp",
+    "FenceOp",
+    "BarrierOp",
+    "BranchOp",
+    "SleepOp",
+    "MemoryOps",
+    "KernelContext",
+    "Kernel",
+    "kernel",
+    "format_op",
+    "format_trace",
+]

@@ -1,0 +1,187 @@
+"""Per-tile kernel context: the API kernel code is written against.
+
+A kernel is ``def kernel(t, args): yield ...`` where ``t`` is a
+:class:`KernelContext`.  The context provides
+
+* tile identity (global coordinates, Cell, tile-group rank and shape),
+* register allocation,
+* op constructors that assign program counters (with loop-back support so
+  the icache model sees loops, not an infinite straight line),
+* PGAS address helpers bound to this tile's position.
+
+It deliberately mirrors the C/CUDA-flavoured examples in the paper
+(Figs 6-8): ``__tile_x``/``__tile_y`` become ``t.tile_x``/``t.tile_y``,
+``group_spm(x, y, p)`` becomes ``t.group_spm_ptr(dx, dy, off)``, and the
+amoadd parallel for-loop becomes :meth:`amoadd`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..arch.geometry import Coord
+from ..pgas import spaces
+from .ops import (
+    AmoOp,
+    BarrierOp,
+    BranchOp,
+    FenceOp,
+    FpOp,
+    IntOp,
+    LoadOp,
+    SleepOp,
+    StoreOp,
+    VecLoadOp,
+)
+
+
+class KernelContext:
+    """Everything a kernel can see from one tile."""
+
+    def __init__(self, node: Coord, cell_xy: Coord, cell_origin: Coord,
+                 group_rank: int, group_size: int,
+                 group_shape: Tuple[int, int], barrier_group: object,
+                 num_groups: int = 1, group_index: int = 0) -> None:
+        self.node = node
+        self.cell_xy = cell_xy
+        self._cell_origin = cell_origin
+        self.group_rank = group_rank
+        self.group_size = group_size
+        self.group_shape = group_shape
+        self.barrier_group = barrier_group
+        self.num_groups = num_groups
+        self.group_index = group_index
+        self._next_reg = 1
+        self._pc = 0
+        # r0 behaves like RISC-V x0: always ready, never written.
+        self.zero = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def tile_x(self) -> int:
+        """Tile x within its Cell (0-based)."""
+        return self.node[0] - self._cell_origin[0]
+
+    @property
+    def tile_y(self) -> int:
+        """Tile y within its Cell's compute array (0-based)."""
+        return self.node[1] - self._cell_origin[1] - 1
+
+    # -- registers and program counters ------------------------------------
+
+    def reg(self) -> int:
+        """Allocate a fresh virtual register."""
+        r = self._next_reg
+        self._next_reg += 1
+        return r
+
+    def regs(self, n: int) -> Tuple[int, ...]:
+        return tuple(self.reg() for _ in range(n))
+
+    def _pc_next(self) -> int:
+        pc = self._pc
+        self._pc += 1
+        return pc
+
+    def loop_top(self) -> int:
+        """Mark the top of a loop; pass to :meth:`branch_back`."""
+        return self._pc
+
+    def branch_back(self, top: int, taken: bool = True,
+                    srcs: Sequence[int] = ()) -> BranchOp:
+        """The backward branch closing a loop.
+
+        When taken, the pc rolls back to ``top`` so the next iteration
+        re-fetches the same icache lines.  The static predictor guesses
+        taken for backward branches, so only the final (fall-through)
+        execution mispredicts.
+        """
+        op = BranchOp(taken=taken, backward=True, srcs=srcs, pc=self._pc_next())
+        if taken:
+            self._pc = top
+        return op
+
+    def branch_fwd(self, taken: bool, srcs: Sequence[int] = ()) -> BranchOp:
+        """A forward branch; predicted not-taken, so taken ones flush."""
+        return BranchOp(taken=taken, backward=False, srcs=srcs, pc=self._pc_next())
+
+    # -- compute ops --------------------------------------------------------
+
+    def alu(self, dst: Optional[int] = None, srcs: Sequence[int] = ()) -> IntOp:
+        return IntOp(dst, srcs, latency=1, pc=self._pc_next())
+
+    def mul(self, dst: Optional[int] = None, srcs: Sequence[int] = ()) -> IntOp:
+        return IntOp(dst, srcs, latency=2, pc=self._pc_next())
+
+    def fadd(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
+        return FpOp(dst, srcs, unit="fadd", pc=self._pc_next())
+
+    def fmul(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
+        return FpOp(dst, srcs, unit="fmul", pc=self._pc_next())
+
+    def fma(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
+        return FpOp(dst, srcs, unit="fma", pc=self._pc_next())
+
+    def fdiv(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
+        return FpOp(dst, srcs, unit="fdiv", pc=self._pc_next())
+
+    def fsqrt(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
+        return FpOp(dst, srcs, unit="fsqrt", pc=self._pc_next())
+
+    # -- memory ops ----------------------------------------------------------
+
+    def load(self, addr: int, dst: Optional[int] = None,
+             srcs: Sequence[int] = ()) -> LoadOp:
+        return LoadOp(dst if dst is not None else self.reg(), addr,
+                      srcs=srcs, pc=self._pc_next())
+
+    def vload(self, addr: int, n: int = 4,
+              srcs: Sequence[int] = ()) -> VecLoadOp:
+        """``n`` sequential word loads (the Load Packet Compression idiom)."""
+        return VecLoadOp(self.regs(n), addr, srcs=srcs, pc=self._pc_next())
+
+    def store(self, addr: int, srcs: Sequence[int] = ()) -> StoreOp:
+        return StoreOp(addr, srcs=srcs, pc=self._pc_next())
+
+    def amoadd(self, addr: int, value: int = 1) -> AmoOp:
+        return AmoOp(self.reg(), addr, "add", value, pc=self._pc_next())
+
+    def amoor(self, addr: int, value: int) -> AmoOp:
+        return AmoOp(self.reg(), addr, "or", value, pc=self._pc_next())
+
+    def amoswap(self, addr: int, value: int) -> AmoOp:
+        return AmoOp(self.reg(), addr, "swap", value, pc=self._pc_next())
+
+    def fence(self) -> FenceOp:
+        return FenceOp(pc=self._pc_next())
+
+    def barrier(self) -> BarrierOp:
+        return BarrierOp(group=self.barrier_group, pc=self._pc_next())
+
+    def sleep(self, cycles: int) -> SleepOp:
+        return SleepOp(cycles, pc=self._pc_next())
+
+    # -- PGAS address helpers -------------------------------------------------
+
+    def spm(self, offset: int) -> int:
+        """This tile's own scratchpad."""
+        return spaces.local_spm(offset)
+
+    def group_spm_ptr(self, dx: int, dy: int, offset: int) -> int:
+        """A neighbour tile's scratchpad, by relative tile offset."""
+        return spaces.group_spm(self.node[0] + dx, self.node[1] + dy, offset)
+
+    def tile_spm_ptr(self, tile_x: int, tile_y: int, offset: int) -> int:
+        """Another tile's scratchpad by cell-local tile coordinates."""
+        ox, oy = self._cell_origin
+        return spaces.group_spm(ox + tile_x, oy + 1 + tile_y, offset)
+
+    def local_dram(self, offset: int) -> int:
+        return spaces.local_dram(offset)
+
+    def group_dram(self, cell_x: int, cell_y: int, offset: int) -> int:
+        return spaces.group_dram(cell_x, cell_y, offset)
+
+    def global_dram(self, offset: int) -> int:
+        return spaces.global_dram(offset)

@@ -1,0 +1,75 @@
+"""Human-readable formatting of IR ops, for debugging and test failure
+messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..pgas.spaces import decode
+from .ops import (
+    AmoOp,
+    BarrierOp,
+    BranchOp,
+    FenceOp,
+    FpOp,
+    IntOp,
+    LoadOp,
+    Op,
+    SleepOp,
+    StoreOp,
+    VecLoadOp,
+)
+
+
+def _addr(addr: int) -> str:
+    dec = decode(addr)
+    if dec.field_a or dec.field_b:
+        return f"{dec.space.name}[{dec.field_a},{dec.field_b}]+{dec.offset:#x}"
+    return f"{dec.space.name}+{dec.offset:#x}"
+
+
+def _regs(srcs: Iterable[int]) -> str:
+    return ",".join(f"r{s}" for s in srcs)
+
+
+def format_op(op: Op) -> str:
+    """One-line disassembly of a single op."""
+    pc = f"{op.pc:6d}: "
+    if isinstance(op, IntOp):
+        name = "mul" if op.latency == 2 else "int"
+        dst = f"r{op.dst}" if op.dst is not None else "-"
+        return f"{pc}{name:8s}{dst} <- {_regs(op.srcs)}"
+    if isinstance(op, FpOp):
+        dst = f"r{op.dst}" if op.dst is not None else "-"
+        return f"{pc}{op.unit:8s}{dst} <- {_regs(op.srcs)}"
+    if isinstance(op, LoadOp):
+        return f"{pc}{'load':8s}r{op.dst} <- {_addr(op.addr)}"
+    if isinstance(op, VecLoadOp):
+        dsts = ",".join(f"r{d}" for d in op.dsts)
+        return f"{pc}{'vload':8s}{dsts} <- {_addr(op.addr)}"
+    if isinstance(op, StoreOp):
+        return f"{pc}{'store':8s}{_addr(op.addr)} <- {_regs(op.srcs) or '-'}"
+    if isinstance(op, AmoOp):
+        return f"{pc}{'amo' + op.kind:8s}r{op.dst} <- {_addr(op.addr)}, {op.value}"
+    if isinstance(op, FenceOp):
+        return f"{pc}fence"
+    if isinstance(op, BarrierOp):
+        return f"{pc}barrier"
+    if isinstance(op, BranchOp):
+        direction = "b" if op.backward else "f"
+        outcome = "taken" if op.taken else "fallthrough"
+        return f"{pc}{'br.' + direction:8s}{outcome}"
+    if isinstance(op, SleepOp):
+        return f"{pc}{'sleep':8s}{op.cycles}"
+    return f"{pc}{type(op).__name__}"
+
+
+def format_trace(ops: Iterable[Op], limit: int = 200) -> str:
+    """Disassemble a sequence of ops, truncating long traces."""
+    lines: List[str] = []
+    for i, op in enumerate(ops):
+        if i >= limit:
+            lines.append(f"... ({i}+ ops)")
+            break
+        lines.append(format_op(op))
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The kernel IR: the timed operations a tile core executes.
+
+Kernels are Python generators that *functionally* compute their result
+while yielding these ops for timing.  Registers are small integers
+allocated by the per-tile kernel context; the core model tracks a ready
+time per register to reproduce single-issue in-order RAW/bypass stalls.
+
+Every op carries a ``pc`` (assigned by the kernel context) so the
+direct-mapped icache model sees a realistic fetch stream: loop bodies
+revisit the same lines, straight-line code streams through new ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class Op:
+    """Base of all IR operations."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self, pc: int = 0) -> None:
+        self.pc = pc
+
+
+class IntOp(Op):
+    """Integer ALU op (also covers address arithmetic and integer mul)."""
+
+    __slots__ = ("dst", "srcs", "latency")
+
+    def __init__(self, dst: Optional[int], srcs: Sequence[int] = (),
+                 latency: int = 1, pc: int = 0) -> None:
+        super().__init__(pc)
+        self.dst = dst
+        self.srcs = tuple(srcs)
+        self.latency = latency
+
+
+class FpOp(Op):
+    """Floating-point op; ``unit`` picks the latency class."""
+
+    __slots__ = ("dst", "srcs", "unit")
+    UNITS = ("fadd", "fmul", "fma", "fdiv", "fsqrt")
+
+    def __init__(self, dst: Optional[int], srcs: Sequence[int] = (),
+                 unit: str = "fadd", pc: int = 0) -> None:
+        super().__init__(pc)
+        if unit not in self.UNITS:
+            raise ValueError(f"unknown FP unit {unit!r}")
+        self.dst = dst
+        self.srcs = tuple(srcs)
+        self.unit = unit
+
+
+class LoadOp(Op):
+    """A word load.  Local-SPM loads complete in the pipeline; remote
+    loads (other SPMs, DRAM spaces) become network packets and resolve
+    through the non-blocking scoreboard."""
+
+    __slots__ = ("dst", "addr", "srcs")
+
+    def __init__(self, dst: int, addr: int, srcs: Sequence[int] = (),
+                 pc: int = 0) -> None:
+        super().__init__(pc)
+        self.dst = dst
+        self.addr = addr
+        self.srcs = tuple(srcs)
+
+
+class VecLoadOp(Op):
+    """Four sequential word loads from one base address.
+
+    This is the idiom Load Packet Compression recognizes: with the
+    feature enabled the whole group travels as one compressed request;
+    without it the core issues four independent loads.
+    """
+
+    __slots__ = ("dsts", "addr", "srcs")
+
+    def __init__(self, dsts: Sequence[int], addr: int,
+                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+        super().__init__(pc)
+        self.dsts = tuple(dsts)
+        self.addr = addr
+        self.srcs = tuple(srcs)
+
+
+class StoreOp(Op):
+    """A word store; non-blocking, tracked for fence completion."""
+
+    __slots__ = ("addr", "srcs")
+
+    def __init__(self, addr: int, srcs: Sequence[int] = (), pc: int = 0) -> None:
+        super().__init__(pc)
+        self.addr = addr
+        self.srcs = tuple(srcs)
+
+
+class AmoOp(Op):
+    """Remote atomic on a cache bank (amoadd/amoor/amoswap/...).
+
+    The functional update happens at the cycle the packet reaches the
+    owning bank, so work distribution orders exactly as timed.  The old
+    value is sent back into the kernel generator.
+    """
+
+    __slots__ = ("dst", "addr", "kind", "value", "srcs")
+    KINDS = ("add", "or", "and", "xor", "swap", "min", "max")
+
+    def __init__(self, dst: Optional[int], addr: int, kind: str, value: int,
+                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+        super().__init__(pc)
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown AMO kind {kind!r}")
+        self.dst = dst
+        self.addr = addr
+        self.kind = kind
+        self.value = value
+        self.srcs = tuple(srcs)
+
+
+class FenceOp(Op):
+    """Memory fence: wait until every outstanding request has completed."""
+
+    __slots__ = ()
+
+
+class BarrierOp(Op):
+    """Join this tile's barrier group (HW tree or SW fallback)."""
+
+    __slots__ = ("group",)
+
+    def __init__(self, group: Optional[object] = None, pc: int = 0) -> None:
+        super().__init__(pc)
+        self.group = group
+
+
+class BranchOp(Op):
+    """A conditional branch with its actual outcome.
+
+    The static predictor takes backward branches and falls through
+    forward ones; a wrong guess costs the 2-cycle flush.
+    """
+
+    __slots__ = ("taken", "backward", "srcs")
+
+    def __init__(self, taken: bool, backward: bool,
+                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+        super().__init__(pc)
+        self.taken = taken
+        self.backward = backward
+        self.srcs = tuple(srcs)
+
+
+class SleepOp(Op):
+    """Idle for a fixed number of cycles (host-side pacing, test aid)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int, pc: int = 0) -> None:
+        super().__init__(pc)
+        self.cycles = cycles
+
+
+AnyOp = Op
+MemoryOps: Tuple[type, ...] = (LoadOp, VecLoadOp, StoreOp, AmoOp)

@@ -1,0 +1,41 @@
+"""Kernel programs: a name, a generator factory and metadata.
+
+A :class:`Kernel` is what the host runtime loads onto a Cell
+(``cell.load_kernel``).  Its factory is called once per tile with that
+tile's :class:`~repro.isa.context.KernelContext` and the launch
+arguments, and must return the tile's op generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator
+
+from .context import KernelContext
+
+KernelFactory = Callable[..., Generator[Any, Any, Any]]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A loadable SPMD program."""
+
+    name: str
+    factory: KernelFactory
+    dwarf: str = ""  # Berkeley dwarf(s) this kernel covers (Table I)
+    category: str = ""  # compute-low-comm / compute-sequential / memory-irregular
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def instantiate(self, ctx: KernelContext, args: Any) -> Generator[Any, Any, Any]:
+        return self.factory(ctx, args)
+
+
+def kernel(name: str, dwarf: str = "", category: str = "",
+           **meta: Any) -> Callable[[KernelFactory], Kernel]:
+    """Decorator turning a generator function into a :class:`Kernel`."""
+
+    def wrap(fn: KernelFactory) -> Kernel:
+        return Kernel(name=name, factory=fn, dwarf=dwarf,
+                      category=category, meta=dict(meta))
+
+    return wrap

@@ -1,0 +1,32 @@
+"""The parallel benchmark suite (paper Table I)."""
+
+from . import (
+    aes,
+    barneshut,
+    bfs,
+    blackscholes,
+    fft,
+    jacobi,
+    pagerank,
+    sgemm,
+    smithwaterman,
+    spgemm,
+)
+from .registry import FIG11_ORDER, SUITE, Benchmark, fast_args
+
+__all__ = [
+    "SUITE",
+    "FIG11_ORDER",
+    "Benchmark",
+    "fast_args",
+    "aes",
+    "blackscholes",
+    "smithwaterman",
+    "sgemm",
+    "fft",
+    "jacobi",
+    "spgemm",
+    "pagerank",
+    "bfs",
+    "barneshut",
+]

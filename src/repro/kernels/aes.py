@@ -1,0 +1,81 @@
+"""AES-128 CTR-style block encryption (Table I: Combinational Logic dwarf).
+
+Compute-intensive, low-communication.  Each tile keeps a private copy of
+the S-box in Local SPM (the paper calls this out explicitly), streams its
+share of 16-byte blocks from Local DRAM, runs ten rounds of table lookups
+and byte mixing per block, and writes ciphertext back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..workloads.dense import aes_blocks
+from .base import Layout, copy_dram_to_spm, num_tiles, range_split, sync, tile_id
+from ..isa.program import kernel
+
+SBOX_WORDS = 64  # 256-byte S-box
+ROUNDS = 10
+
+
+def make_args(blocks_per_tile: int = 4, tiles: int = 128,
+              seed: int = 0) -> Dict[str, Any]:
+    """Plan the Local-DRAM layout and generate plaintext blocks.
+
+    The *total* block count is fixed by ``blocks_per_tile * tiles``; at
+    launch the work is re-split over however many tiles the machine has,
+    so configs of different density see identical work (Fig 10).
+    """
+    total_blocks = blocks_per_tile * tiles
+    layout = Layout()
+    return {
+        "sbox": layout.words("sbox", SBOX_WORDS),
+        "input": layout.array("input", 16 * total_blocks),
+        "output": layout.array("output", 16 * total_blocks),
+        "total_blocks": total_blocks,
+        "plaintext": aes_blocks(total_blocks, seed=seed),
+    }
+
+
+@kernel("AES", dwarf="Combinational Logic", category="compute-low-comm")
+def aes_kernel(t, args):
+    # Phase 1: every tile caches the S-box in its scratchpad.
+    yield from copy_dram_to_spm(t, args["sbox"], 0, SBOX_WORDS)
+    yield from sync(t)
+
+
+    tid = tile_id(t)
+    blk_lo, blk_hi = range_split(args["total_blocks"], num_tiles(t), tid)
+
+    block_top = t.loop_top()
+    for b in range(blk_lo, blk_hi):
+        vl = t.vload(t.local_dram(args["input"] + 16 * b))
+        yield vl
+        state = list(vl.dsts)
+        # Initial AddRoundKey.
+        for w in state:
+            yield t.alu(w, [w])
+        round_top = t.loop_top()
+        for rnd in range(ROUNDS):
+            # SubBytes: 16 S-box lookups from the local scratchpad; the
+            # table index depends on the state word (real data hazard).
+            for byte in range(16):
+                word = state[byte % 4]
+                lookup = t.load(t.spm(4 * (byte * 4 % SBOX_WORDS)),
+                                srcs=[word])
+                yield lookup
+                yield t.alu(word, [word, lookup.dst])
+            # ShiftRows + MixColumns + AddRoundKey: byte shuffles and xors.
+            for col in range(4):
+                yield t.alu(state[col], [state[col], state[(col + 1) % 4]])
+                yield t.mul(state[col], [state[col]])
+                yield t.alu(state[col], [state[col], state[(col + 3) % 4]])
+            yield t.branch_back(round_top, taken=(rnd < ROUNDS - 1))
+        for i, w in enumerate(state):
+            yield t.store(t.local_dram(args["output"] + 16 * b + 4 * i),
+                          srcs=[w])
+        yield t.branch_back(block_top, taken=(b < blk_hi - 1))
+    yield from sync(t)
+
+
+KERNEL = aes_kernel

@@ -1,0 +1,139 @@
+"""Barnes-Hut N-body force computation (Table I: N-Body Methods dwarf).
+
+Memory-intensive, irregular: bodies are distributed with an amoadd
+parallel-for; each body traverses the shared octree with a *private
+stack allocated in Local DRAM* -- 4 KB per tile, the paper's example of
+why Regional IPOLY hashing matters (without it, every tile's stack base
+camps on the same cache bank).  Node visits mix pointer-chasing vloads,
+an fsqrt + fdiv distance test, and data-dependent opening branches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.bodies import Octree, plummer_sphere
+from .base import Layout, sync, tile_id
+from ..isa.program import kernel
+
+NODE_WORDS = 8  # com.xyz, mass, half, child-block pointer, flags, pad
+STACK_BYTES = 4096  # per-tile private stack in Local DRAM
+
+
+def make_args(num_bodies: int = 160, theta: float = 0.8, tiles: int = 128,
+              seed: int = 0) -> Dict[str, Any]:
+    positions = plummer_sphere(num_bodies, seed=seed)
+    tree = Octree(positions)
+    layout = Layout()
+    return {
+        "tree": tree,
+        "theta": theta,
+        "num_bodies": num_bodies,
+        "nodes": layout.array("nodes", 4 * NODE_WORDS * len(tree)),
+        "bodies": layout.array("bodies", 16 * num_bodies),
+        "forces": layout.array("forces", 16 * num_bodies),
+        "stacks": layout.array("stacks", STACK_BYTES * tiles),
+        "counter": layout.array("counter", 64),
+    }
+
+
+@kernel("BH", dwarf="N-Body Methods", category="memory-irregular")
+def barneshut_kernel(t, args):
+    tree: Octree = args["tree"]
+    theta = args["theta"]
+    # A Cell may traverse only a fraction of the bodies while holding the
+    # full (duplicated) octree -- the 2x16x8 duplication model of Fig 15.
+    nb = int(args["num_bodies"] * args.get("traverse_fraction", 1.0))
+
+    tid = tile_id(t)
+    stack_base = args["stacks"] + STACK_BYTES * tid
+
+    body_top = t.loop_top()
+    while True:
+        body = yield t.amoadd(t.local_dram(args["counter"]), 1)
+        yield t.branch_back(body_top, taken=(body < nb))
+        if body >= nb:
+            break
+        bv = t.vload(t.local_dram(args["bodies"] + 16 * body))
+        yield bv
+        bx, by, bz, _bm = bv.dsts
+        pos = tree.positions[body]
+        ax, ay, az = t.reg(), t.reg(), t.reg()
+        yield t.fmul(ax, [])
+        yield t.fmul(ay, [])
+        yield t.fmul(az, [])
+        # Push the root onto the private Local-DRAM stack.
+        sp = 0
+        root_reg = t.reg()
+        yield t.alu(root_reg)
+        yield t.store(t.local_dram(stack_base), srcs=[root_reg])
+        stack = [0]
+        sp = 1
+        walk_top = t.loop_top()
+        while stack:
+            # Pop: load the node index from the private stack.
+            sp -= 1
+            idx_ld = t.load(t.local_dram(stack_base + 4 * (sp % 1024)))
+            yield idx_ld
+            node = tree.nodes[stack.pop()]
+            if node.mass == 0:
+                yield t.branch_back(walk_top, taken=bool(stack))
+                continue
+            # Node record: two compressed 4-word loads (com, mass | geom).
+            nv1 = t.vload(t.local_dram(args["nodes"] + 4 * NODE_WORDS * node.index))
+            yield nv1
+            nv2 = t.vload(t.local_dram(
+                args["nodes"] + 4 * NODE_WORDS * node.index + 16))
+            yield nv2
+            cx, cy, cz, mass = nv1.dsts
+            # Distance: 3 subs, 3 fma (squares), fsqrt, then the MAC test
+            # divide -- the back-to-back iterative-unit visit the paper
+            # flags for BH/BS.
+            dx, dy, dz = t.reg(), t.reg(), t.reg()
+            yield t.fadd(dx, [cx, bx])
+            yield t.fadd(dy, [cy, by])
+            yield t.fadd(dz, [cz, bz])
+            d2 = t.reg()
+            yield t.fmul(d2, [dx, dx])
+            yield t.fma(d2, [d2, dy, dy])
+            yield t.fma(d2, [d2, dz, dz])
+            dist = t.reg()
+            yield t.fsqrt(dist, [d2])
+            ratio = t.reg()
+            yield t.fdiv(ratio, [nv2.dsts[0], dist])
+            d = node.com - pos
+            dval = float(np.sqrt((d * d).sum()) + 1e-9)
+            far = node.is_leaf or (2 * node.half) / dval < theta
+            yield t.branch_fwd(taken=far, srcs=[ratio])
+            if far:
+                if not (node.is_leaf and node.body == body):
+                    # Accumulate the force contribution.
+                    inv3 = t.reg()
+                    yield t.fmul(inv3, [dist, d2])
+                    yield t.fdiv(inv3, [mass, inv3])
+                    yield t.fma(ax, [ax, dx, inv3])
+                    yield t.fma(ay, [ay, dy, inv3])
+                    yield t.fma(az, [az, dz, inv3])
+            else:
+                # Open the node: push each present child onto the stack.
+                for child in node.children:
+                    if child is None:
+                        continue
+                    c_reg = t.reg()
+                    yield t.alu(c_reg)
+                    yield t.store(
+                        t.local_dram(stack_base + 4 * (sp % 1024)),
+                        srcs=[c_reg])
+                    stack.append(child)
+                    sp += 1
+            yield t.branch_back(walk_top, taken=bool(stack))
+        # Write the body's force vector.
+        yield t.store(t.local_dram(args["forces"] + 16 * body), srcs=[ax])
+        yield t.store(t.local_dram(args["forces"] + 16 * body + 4), srcs=[ay])
+        yield t.store(t.local_dram(args["forces"] + 16 * body + 8), srcs=[az])
+    yield from sync(t)
+
+
+KERNEL = barneshut_kernel

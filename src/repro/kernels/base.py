@@ -1,0 +1,106 @@
+"""Shared kernel-authoring helpers.
+
+Kernels in this suite follow the paper's idioms: copy hot data to SPM,
+stream blocks with the vload (Load Packet Compression) idiom, distribute
+irregular work with amoadd parallel-for loops, synchronize with the HW
+barrier.  Generators here only *yield ops*; functional state lives in the
+numpy arrays carried by the launch args.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..isa.context import KernelContext
+
+
+class Layout:
+    """Bump allocator for planning a Cell's Local-DRAM data layout.
+
+    Used by ``make_args`` functions: addresses are virtual, so layouts can
+    be planned host-side without touching the machine.
+    """
+
+    def __init__(self, base: int = 0x10000, align: int = 64) -> None:
+        self._brk = base
+        self._align = align
+        self.offsets: Dict[str, int] = {}
+
+    def array(self, name: str, nbytes: int) -> int:
+        self._brk = (self._brk + self._align - 1) & ~(self._align - 1)
+        self.offsets[name] = self._brk
+        self._brk += max(nbytes, 4)
+        return self.offsets[name]
+
+    def words(self, name: str, nwords: int) -> int:
+        return self.array(name, 4 * nwords)
+
+    def __getitem__(self, name: str) -> int:
+        return self.offsets[name]
+
+
+def tile_id(t: KernelContext) -> int:
+    """Flat id of this tile across all tile groups of the launch."""
+    return t.group_index * t.group_size + t.group_rank
+
+
+def num_tiles(t: KernelContext) -> int:
+    return t.num_groups * t.group_size
+
+
+def range_split(total: int, parts: int, index: int) -> Tuple[int, int]:
+    """Even contiguous split of ``range(total)`` into ``parts`` pieces."""
+    base, rem = divmod(total, parts)
+    start = index * base + min(index, rem)
+    end = start + base + (1 if index < rem else 0)
+    return start, end
+
+
+def copy_dram_to_spm(t: KernelContext, dram_base: int, spm_off: int,
+                     words: int) -> Iterator:
+    """Stream a block from Local DRAM into the local scratchpad.
+
+    Uses the vload idiom so Load Packet Compression can kick in, and
+    pipelines the stores behind the non-blocking loads.
+    """
+    top = t.loop_top()
+    nchunks = (words + 3) // 4
+    for c in range(nchunks):
+        chunk = min(4, words - 4 * c)
+        if chunk == 4:
+            vl = t.vload(t.local_dram(dram_base + 16 * c))
+            yield vl
+            for i, reg in enumerate(vl.dsts):
+                yield t.store(t.spm(spm_off + 16 * c + 4 * i), srcs=[reg])
+        else:
+            for i in range(chunk):
+                ld = t.load(t.local_dram(dram_base + 16 * c + 4 * i))
+                yield ld
+                yield t.store(t.spm(spm_off + 16 * c + 4 * i), srcs=[ld.dst])
+        yield t.branch_back(top, taken=(c < nchunks - 1))
+
+
+def copy_spm_to_dram(t: KernelContext, spm_off: int, dram_base: int,
+                     words: int) -> Iterator:
+    """Stream a scratchpad block out to Local DRAM (write-validate path)."""
+    top = t.loop_top()
+    for w in range(words):
+        ld = t.load(t.spm(spm_off + 4 * w))
+        yield ld
+        yield t.store(t.local_dram(dram_base + 4 * w), srcs=[ld.dst])
+        yield t.branch_back(top, taken=(w < words - 1))
+
+
+def stream_dram_block(t: KernelContext, dram_base: int, words: int) -> Iterator:
+    """Read a sequential DRAM block without retaining it (warm-up/flush)."""
+    top = t.loop_top()
+    nchunks = (words + 3) // 4
+    for c in range(nchunks):
+        yield t.vload(t.local_dram(dram_base + 16 * c))
+        yield t.branch_back(top, taken=(c < nchunks - 1))
+
+
+def sync(t: KernelContext) -> Iterator:
+    """Fence then barrier: the end-of-phase idiom."""
+    yield t.fence()
+    yield t.barrier()

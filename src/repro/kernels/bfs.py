@@ -1,0 +1,207 @@
+"""Direction-optimizing BFS (Table I: Graph Traversal dwarf).
+
+The Beamer push/pull heuristic over a shared frontier:
+
+* forward (push): amoadd parallel-for over the current frontier; each
+  neighbour's distance word is a random DRAM load; unvisited nodes are
+  marked with amoor into the dense next-frontier bitmap (Fig 8 verbatim);
+* backward (pull): parallel-for over unvisited nodes; scan in-neighbours
+  until one is in the current frontier (early-exit branch);
+* switch when the frontier's edge count crosses the alpha/beta thresholds.
+
+The traversal is *functional*: the frontier evolves exactly as the timed
+amoadd/amoor ordering dictates, and tests check distances against a host
+BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.csr import CsrMatrix
+from ..workloads.graphs import roadnet_like
+from .base import Layout, num_tiles, range_split, sync, tile_id
+from ..isa.program import kernel
+
+ALPHA = 14  # push->pull switch: frontier edges > unvisited edges / ALPHA
+BETA = 24  # pull->push switch: frontier < nodes / BETA
+
+
+def reference_bfs(graph: CsrMatrix, source: int) -> np.ndarray:
+    """Host-side BFS distances (graph rows = out-neighbours)."""
+    n = graph.num_rows
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.row_slice(u):
+                if dist[v] < 0:
+                    dist[v] = level + 1
+                    nxt.append(int(v))
+        frontier = nxt
+        level += 1
+    return dist
+
+
+def make_args(graph: CsrMatrix = None, source: int = 0,
+              width: int = 24) -> Dict[str, Any]:
+    if graph is None:
+        graph = roadnet_like(width=width, height=width)
+    n = graph.num_rows
+    layout = Layout()
+    return {
+        "graph": graph,
+        "tgraph": graph.transpose(),
+        "source": source,
+        "offsets": layout.words("offsets", n + 1),
+        "indices": layout.words("indices", graph.nnz),
+        "distance": layout.words("distance", n),
+        "frontier": layout.words("frontier", n),
+        "next_bitmap": layout.words("next_bitmap", (n + 31) // 32),
+        "counters": layout.array("counters", 64 * 128),
+        # Shared traversal state, mutated in timed order by all tiles.
+        "state": {
+            "distance": np.full(n, -1, dtype=np.int64),
+            "frontier": [source],
+            "next": set(),
+            "level": 0,
+            "visited_edges": 0,
+        },
+    }
+
+
+def _should_pull(graph: CsrMatrix, state: Dict[str, Any]) -> bool:
+    n = graph.num_rows
+    frontier_edges = sum(graph.row_nnz(u) for u in state["frontier"])
+    unvisited = int((state["distance"] < 0).sum())
+    unvisited_edges = max(1, graph.nnz * unvisited // max(n, 1))
+    if frontier_edges > unvisited_edges // ALPHA:
+        return True
+    if len(state["frontier"]) < n // BETA:
+        return False
+    return False
+
+
+@kernel("BFS", dwarf="Graph Traversal", category="memory-irregular")
+def bfs_kernel(t, args):
+    g: CsrMatrix = args["graph"]
+    tg: CsrMatrix = args["tgraph"]
+    state = args["state"]
+    n = g.num_rows
+
+    # Tile 0's functional duty: seed the source (all tiles see the shared
+    # state after the first barrier).
+    if t.group_rank == 0 and t.group_index == 0:
+        state["distance"][args["source"]] = 0
+    yield t.barrier()
+
+    epoch = 0
+    while state["frontier"]:
+        level = state["level"]
+        pull = _should_pull(g, state)
+        counter = args["counters"] + 64 * (epoch % 128)
+        epoch += 1
+
+        if not pull:
+            # ---- forward (push) over the current frontier ----
+            frontier = state["frontier"]
+            top = t.loop_top()
+            while True:
+                i = yield t.amoadd(t.local_dram(counter), 1)
+                yield t.branch_back(top, taken=(i < len(frontier)))
+                if i >= len(frontier):
+                    break
+                src = frontier[i]
+                f_ld = t.load(t.local_dram(args["frontier"] + 4 * (i % n)))
+                yield f_ld
+                ext = t.vload(t.local_dram(args["offsets"] + 4 * src), n=2)
+                yield ext
+                lo, hi = int(g.offsets[src]), int(g.offsets[src + 1])
+                e_top = t.loop_top()
+                for ee in range(lo, hi, 4):
+                    ev = t.vload(t.local_dram(args["indices"] + 4 * ee))
+                    yield ev
+                    for e in range(ee, min(ee + 4, hi)):
+                        nz = int(g.indices[e])
+                        d_ld = t.load(t.local_dram(args["distance"] + 4 * nz))
+                        yield d_ld
+                        unvisited = state["distance"][nz] < 0
+                        yield t.branch_fwd(taken=unvisited, srcs=[d_ld.dst])
+                        if unvisited:
+                            word, bit = nz // 32, nz % 32
+                            old = yield t.amoor(
+                                t.local_dram(args["next_bitmap"] + 4 * word),
+                                1 << bit)
+                            if not (old >> bit) & 1:
+                                # This tile won the race: claim the node.
+                                state["distance"][nz] = level + 1
+                                state["next"].add(nz)
+                                d_reg = t.reg()
+                                yield t.alu(d_reg)
+                                yield t.store(
+                                    t.local_dram(args["distance"] + 4 * nz),
+                                    srcs=[d_reg])
+                    yield t.branch_back(e_top, taken=(ee + 4 < hi))
+        else:
+            # ---- backward (pull) over unvisited nodes ----
+            in_frontier = set(state["frontier"])
+            top = t.loop_top()
+            while True:
+                base = yield t.amoadd(t.local_dram(counter), 8)
+                yield t.branch_back(top, taken=(base < n))
+                if base >= n:
+                    break
+                for v in range(base, min(base + 8, n)):
+                    if state["distance"][v] >= 0:
+                        continue
+                    ext = t.vload(t.local_dram(args["offsets"] + 4 * v), n=2)
+                    yield ext
+                    lo, hi = int(tg.offsets[v]), int(tg.offsets[v + 1])
+                    found = False
+                    e_top = t.loop_top()
+                    for e in range(lo, hi):
+                        u = int(tg.indices[e])
+                        u_ld = t.load(t.local_dram(args["indices"] + 4 * e))
+                        yield u_ld
+                        d_ld = t.load(t.local_dram(args["distance"] + 4 * u),
+                                      srcs=[u_ld.dst])
+                        yield d_ld
+                        hit = u in in_frontier
+                        yield t.branch_fwd(taken=hit, srcs=[d_ld.dst])
+                        yield t.branch_back(e_top, taken=(not hit and e < hi - 1))
+                        if hit:
+                            found = True
+                            break
+                    if found:
+                        state["distance"][v] = level + 1
+                        state["next"].add(v)
+                        dist_reg = t.reg()
+                        yield t.alu(dist_reg)
+                        yield t.store(t.local_dram(args["distance"] + 4 * v),
+                                      srcs=[dist_reg])
+
+        yield from sync(t)
+        # Frontier compaction: each tile scans its bitmap slice...
+
+        words = (n + 31) // 32
+        w_lo, w_hi = range_split(words, num_tiles(t), tile_id(t))
+        c_top = t.loop_top()
+        for w in range(w_lo, w_hi):
+            b_ld = t.load(t.local_dram(args["next_bitmap"] + 4 * w))
+            yield b_ld
+            yield t.branch_back(c_top, taken=(w < w_hi - 1))
+        # ...and tile (0,0) publishes the new frontier functionally.
+        if t.group_rank == 0 and t.group_index == 0:
+            state["frontier"] = sorted(state["next"])
+            state["next"] = set()
+            state["level"] = level + 1
+        yield from sync(t)
+    yield from sync(t)
+
+
+KERNEL = bfs_kernel

@@ -1,0 +1,125 @@
+"""Black-Scholes option pricing (Table I: MapReduce/dense dwarf).
+
+Compute-intensive, low-communication, dominated by the FP pipeline:
+log/exp/CND polynomial chains create long bypass dependences, and each
+option prices through two divides and two square roots on the iterative
+unit -- the stall signature Fig 11 reports for BS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.dense import option_batch
+from .base import Layout, num_tiles, range_split, sync, tile_id
+from ..isa.program import kernel
+
+CND_POLY_TERMS = 5  # Abramowitz-Stegun cumulative-normal polynomial
+
+
+def reference_prices(batch) -> np.ndarray:
+    """Host-side reference (call prices) for functional validation."""
+    from math import erf, exp, log, sqrt
+
+    out = np.zeros(len(batch))
+    for i in range(len(batch)):
+        s, k = float(batch.spot[i]), float(batch.strike[i])
+        r, v, tt = float(batch.rate[i]), float(batch.volatility[i]), float(batch.expiry[i])
+        d1 = (log(s / k) + (r + v * v / 2) * tt) / (v * sqrt(tt))
+        d2 = d1 - v * sqrt(tt)
+        nd1 = 0.5 * (1 + erf(d1 / sqrt(2)))
+        nd2 = 0.5 * (1 + erf(d2 / sqrt(2)))
+        out[i] = s * nd1 - k * exp(-r * tt) * nd2
+    return out
+
+
+def make_args(options_per_tile: int = 12, tiles: int = 128,
+              seed: int = 0) -> Dict[str, Any]:
+    n = options_per_tile * tiles
+
+    layout = Layout()
+    return {
+        "inputs": layout.array("inputs", 4 * 5 * n),  # 5 floats per option
+        "outputs": layout.array("outputs", 4 * 2 * n),  # call + put
+        "total_options": n,
+        "batch": option_batch(n, seed=seed),
+    }
+
+
+def _cnd(t, x_reg):
+    """Emit the polynomial cumulative-normal approximation; returns reg."""
+    kreg = t.reg()
+    # k = 1 / (1 + 0.2316419 |x|): one divide on the iterative unit.
+    yield t.fmul(kreg, [x_reg])
+    yield t.fdiv(kreg, [kreg])
+    acc = t.reg()
+    yield t.fmul(acc, [kreg])
+    for _ in range(CND_POLY_TERMS - 1):
+        # Horner steps: each fma depends on the previous (bypass chain).
+        yield t.fma(acc, [acc, kreg])
+    # exp(-x^2/2) factor: square, scale, poly-exp.
+    e = t.reg()
+    yield t.fmul(e, [x_reg, x_reg])
+    for _ in range(3):
+        yield t.fma(e, [e])
+    yield t.fma(acc, [acc, e])
+    return acc
+
+
+@kernel("BS", dwarf="MapReduce", category="compute-low-comm")
+def blackscholes_kernel(t, args):
+
+    tid = tile_id(t)
+    lo, hi = range_split(args["total_options"], num_tiles(t), tid)
+    in_base = args["inputs"]
+    out_base = args["outputs"]
+
+    top = t.loop_top()
+    for i in range(lo, hi):
+        vl = t.vload(t.local_dram(in_base + 20 * i))  # S, K, r, v
+        yield vl
+        s, k, r, v = vl.dsts
+        texp = t.load(t.local_dram(in_base + 20 * i + 16))  # T
+        yield texp
+        # sqrt(T) and v*sqrt(T): the first iterative-unit visit.
+        sqrt_t = t.reg()
+        yield t.fsqrt(sqrt_t, [texp.dst])
+        vsqrt = t.reg()
+        yield t.fmul(vsqrt, [v, sqrt_t])
+        # log(S/K): divide then a 4-term polynomial.
+        ratio = t.reg()
+        yield t.fdiv(ratio, [s, k])
+        logr = t.reg()
+        yield t.fma(logr, [ratio])
+        for _ in range(3):
+            yield t.fma(logr, [logr, ratio])
+        # d1 = (log(S/K) + (r + v^2/2) T) / (v sqrt(T)); d2 = d1 - v sqrt(T).
+        d1 = t.reg()
+        yield t.fma(d1, [v, v])
+        yield t.fma(d1, [d1, r])
+        yield t.fma(d1, [d1, texp.dst, logr])
+        yield t.fdiv(d1, [d1, vsqrt])
+        d2 = t.reg()
+        yield t.fadd(d2, [d1, vsqrt])
+        nd1 = yield from _cnd(t, d1)
+        nd2 = yield from _cnd(t, d2)
+        # Discount factor exp(-rT) and final call/put combination.
+        disc = t.reg()
+        yield t.fmul(disc, [r, texp.dst])
+        for _ in range(3):
+            yield t.fma(disc, [disc])
+        call = t.reg()
+        yield t.fmul(call, [s, nd1])
+        yield t.fma(call, [call, k, disc])
+        put = t.reg()
+        yield t.fma(put, [call, disc])
+        yield t.fma(put, [put, nd2])
+        yield t.store(t.local_dram(out_base + 8 * i), srcs=[call])
+        yield t.store(t.local_dram(out_base + 8 * i + 4), srcs=[put])
+        yield t.branch_back(top, taken=(i < hi - 1))
+    yield from sync(t)
+
+
+KERNEL = blackscholes_kernel

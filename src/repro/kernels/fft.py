@@ -1,0 +1,86 @@
+"""Radix-2 FFT (Table I: Spectral Methods dwarf).
+
+Compute-intensive with power-of-two strided phases: every stage doubles
+the butterfly stride, the access pattern that camps on cache banks under
+plain modulo interleaving and that Regional IPOLY hashing fixes.  Tiles
+synchronize with the HW barrier between stages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.dense import fft_input
+from .base import Layout, range_split, sync, tile_id, num_tiles
+from ..isa.program import kernel
+
+
+def make_args(n: int = 2048, seed: int = 0) -> Dict[str, Any]:
+    if n & (n - 1):
+        raise ValueError("FFT size must be a power of two")
+    layout = Layout()
+    return {
+        "n": n,
+        "data": layout.array("data", 8 * n),  # interleaved re/im
+        "signal": fft_input(n, seed=seed),
+    }
+
+
+@kernel("FFT", dwarf="Spectral Methods", category="compute-sequential")
+def fft_kernel(t, args):
+    n = args["n"]
+    tid = tile_id(t)
+    ntiles = num_tiles(t)
+    stages = n.bit_length() - 1
+    half = n // 2
+    lo, hi = range_split(half, ntiles, tid)
+    base = args["data"]
+
+    stage_top = t.loop_top()
+    for s in range(stages):
+        stride = 1 << s
+        fly_top = t.loop_top()
+        for b in range(lo, hi):
+            # Butterfly b of stage s pairs elements (idx, idx + stride).
+            block = b // stride
+            offset = b % stride
+            idx = block * 2 * stride + offset
+            pair = idx + stride
+            yield t.alu(t.reg())  # index arithmetic
+            if stride == 1 and idx % 2 == 0:
+                # Adjacent complex pair: one compressed 4-word load.
+                vl = t.vload(t.local_dram(base + 8 * idx))
+                yield vl
+                are, aim, bre, bim = vl.dsts
+            else:
+                a_ld = t.vload(t.local_dram(base + 8 * idx), n=2)
+                yield a_ld
+                b_ld = t.vload(t.local_dram(base + 8 * pair), n=2)
+                yield b_ld
+                are, aim = a_ld.dsts
+                bre, bim = b_ld.dsts
+            # Twiddle multiply (4 fmul + 2 fadd) and butterfly add/sub.
+            tre, tim = t.reg(), t.reg()
+            yield t.fmul(tre, [bre])
+            yield t.fma(tre, [tre, bim])
+            yield t.fmul(tim, [bim])
+            yield t.fma(tim, [tim, bre])
+            out0re, out0im = t.reg(), t.reg()
+            out1re, out1im = t.reg(), t.reg()
+            yield t.fadd(out0re, [are, tre])
+            yield t.fadd(out0im, [aim, tim])
+            yield t.fadd(out1re, [are, tre])
+            yield t.fadd(out1im, [aim, tim])
+            yield t.store(t.local_dram(base + 8 * idx), srcs=[out0re])
+            yield t.store(t.local_dram(base + 8 * idx + 4), srcs=[out0im])
+            yield t.store(t.local_dram(base + 8 * pair), srcs=[out1re])
+            yield t.store(t.local_dram(base + 8 * pair + 4), srcs=[out1im])
+            yield t.branch_back(fly_top, taken=(b < hi - 1))
+        # All tiles must see the stage's writes before the next stride.
+        yield from sync(t)
+        yield t.branch_back(stage_top, taken=(s < stages - 1))
+
+
+KERNEL = fft_kernel

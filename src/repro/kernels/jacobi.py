@@ -1,0 +1,118 @@
+"""Jacobi 3-D stencil (Table I: Structured Grids dwarf).
+
+The paper's showcase for Group SPM (Fig 7): each tile owns a 1x1xZ
+column of the grid resident in its scratchpad; neighbour columns are
+read directly from the four adjacent tiles' scratchpads with pipelined
+non-blocking remote loads.  The ``use_spm=False`` variant keeps all data
+in Local DRAM -- the configuration Fig 14 labels "Jacobi (DRAM)" and the
+one that improves 17-48x when the SPM path is enabled (Fig 10).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .base import (Layout, copy_dram_to_spm, copy_spm_to_dram,
+                   num_tiles, sync, tile_id)
+from ..isa.program import kernel
+
+
+def make_args(z_depth: int = 48, iters: int = 2, use_spm: bool = True,
+              tiles: int = 128) -> Dict[str, Any]:
+    layout = Layout()
+    return {
+        "z": z_depth,
+        "total_columns": tiles,
+        "iters": iters,
+        "use_spm": use_spm,
+        # One column of z+2 words (halo) per tile, packed by tile id.
+        "grid": layout.array("grid", 4 * (z_depth + 2) * tiles),
+        "out": layout.array("out", 4 * (z_depth + 2) * tiles),
+    }
+
+
+@kernel("Jacobi", dwarf="Structured Grids", category="compute-sequential")
+def jacobi_kernel(t, args):
+
+    # Constant total work: with fewer tiles than the reference layout,
+    # each tile owns a proportionally deeper column.
+    z = args["z"] * max(1, args.get("total_columns", num_tiles(t))
+                        // num_tiles(t))
+    use_spm = args["use_spm"]
+    tid = tile_id(t)
+    col_words = z + 2
+    my_col = args["grid"] + 4 * col_words * tid
+    my_out = args["out"] + 4 * col_words * tid
+    gw, gh = t.group_shape
+
+    if use_spm:
+        # Phase 1: stage the column (with halo) in the scratchpad.
+        yield from copy_dram_to_spm(t, my_col, 0, col_words)
+        yield from sync(t)
+
+    def neighbour_addr(dx: int, dy: int, word: int) -> int:
+        """Group-SPM pointer into a neighbour's column buffer."""
+        return t.group_spm_ptr(dx, dy, 4 * word)
+
+    px, py = t.tile_x % gw, t.tile_y % gh  # position within the tile group
+    neighbours = []
+    if px > 0:
+        neighbours.append((-1, 0))
+    if px < gw - 1:
+        neighbours.append((1, 0))
+    if py > 0:
+        neighbours.append((0, -1))
+    if py < gh - 1:
+        neighbours.append((0, 1))
+
+    iter_top = t.loop_top()
+    for it in range(args["iters"]):
+        chunk_top = t.loop_top()
+        for z0 in range(1, z + 1, 4):
+            # 22-point load pattern of Fig 7: 6 self + 4x4 neighbours.
+            self_regs = []
+            for j in range(6):
+                if use_spm:
+                    ld = t.load(t.spm(4 * min(z0 - 1 + j, col_words - 1)))
+                else:
+                    ld = t.load(t.local_dram(
+                        my_col + 4 * min(z0 - 1 + j, col_words - 1)))
+                yield ld
+                self_regs.append(ld.dst)
+            nbr_regs = []
+            for dx, dy in neighbours:
+                for j in range(4):
+                    word = min(z0 + j, col_words - 1)
+                    if use_spm:
+                        # Non-blocking remote SPM loads pipeline in the
+                        # network; consumption below creates load-use slack.
+                        ld = t.load(neighbour_addr(dx, dy, word))
+                    else:
+                        nid = tid + dx + dy * gw
+                        ld = t.load(t.local_dram(
+                            args["grid"] + 4 * (col_words * nid + word)))
+                    yield ld
+                    nbr_regs.append(ld.dst)
+            # Compute and store the 1x1x4 output chunk.
+            for j in range(4):
+                acc = t.reg()
+                yield t.fmul(acc, [self_regs[j], self_regs[j + 1]])
+                yield t.fma(acc, [acc, self_regs[j + 2]])
+                for k in range(j, len(nbr_regs), 4):
+                    yield t.fma(acc, [acc, nbr_regs[k]])
+                if use_spm:
+                    yield t.store(t.spm(4 * (z0 + j)), srcs=[acc])
+                else:
+                    yield t.store(t.local_dram(my_out + 4 * (z0 + j)),
+                                  srcs=[acc])
+            yield t.branch_back(chunk_top, taken=(z0 + 4 < z + 1))
+        yield from sync(t)
+        yield t.branch_back(iter_top, taken=(it < args["iters"] - 1))
+
+    if use_spm:
+        # Phase 3: spill the result column back to DRAM.
+        yield from copy_spm_to_dram(t, 0, my_out, col_words)
+        yield from sync(t)
+
+
+KERNEL = jacobi_kernel

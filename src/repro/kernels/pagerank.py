@@ -1,0 +1,126 @@
+"""PageRank, pull-based (Table I: Graph Traversal / Sparse dwarf).
+
+Memory-intensive: per destination node, every in-neighbour's contribution
+is a random-access word load from Local DRAM -- the access pattern that
+saturates HBM2 when enough cores issue non-blocking loads (Fig 11 shows
+PR as HBM-bound).  Nodes are distributed with a chunked amoadd
+parallel-for; iterations separate with fence + barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.csr import CsrMatrix
+from ..workloads.graphs import hollywood_like
+from .base import Layout, sync
+from ..isa.program import kernel
+
+CHUNK = 4
+DAMPING = 0.85
+
+
+def reference_pagerank(graph: CsrMatrix, iters: int) -> np.ndarray:
+    """Host-side reference on the same pull formulation."""
+    n = graph.num_rows
+    out_deg = np.maximum(graph.transpose().degrees(), 1)
+    rank = np.full(n, 1.0 / n)
+    pull = graph  # row v lists the in-neighbours of v
+    for _ in range(iters):
+        contrib = rank / out_deg
+        nxt = np.full(n, (1 - DAMPING) / n)
+        for v in range(n):
+            nxt[v] += DAMPING * contrib[pull.row_slice(v)].sum()
+        rank = nxt
+    return rank
+
+
+def make_args(graph: CsrMatrix = None, iters: int = 2,
+              scale: float = 0.3) -> Dict[str, Any]:
+    if graph is None:
+        graph = hollywood_like(scale=scale)
+    n = graph.num_rows
+    layout = Layout()
+    return {
+        "graph": graph,  # row v = in-neighbours of v
+        "iters": iters,
+        "offsets": layout.words("offsets", n + 1),
+        "indices": layout.words("indices", graph.nnz),
+        "rank": layout.words("rank", n),
+        "contrib": layout.words("contrib", n),
+        "next_rank": layout.words("next_rank", n),
+        "counters": layout.array("counters", 64 * 2 * iters),
+    }
+
+
+@kernel("PR", dwarf="Sparse Linear Algebra", category="memory-irregular")
+def pagerank_kernel(t, args):
+    g: CsrMatrix = args["graph"]
+    n = g.num_rows
+
+    for it in range(args["iters"]):
+        # Phase 1: contrib[u] = rank[u] / out_degree[u].
+        counter = args["counters"] + 64 * (2 * it)
+        top = t.loop_top()
+        while True:
+            base = yield t.amoadd(t.local_dram(counter), CHUNK)
+            yield t.branch_back(top, taken=(base < n))
+            if base >= n:
+                break
+            for v in range(base, min(base + CHUNK, n)):
+                r_ld = t.load(t.local_dram(args["rank"] + 4 * v))
+                yield r_ld
+                d_ld = t.load(t.local_dram(args["offsets"] + 4 * v))
+                yield d_ld
+                c = t.reg()
+                yield t.fdiv(c, [r_ld.dst, d_ld.dst])
+                yield t.store(t.local_dram(args["contrib"] + 4 * v), srcs=[c])
+        yield from sync(t)
+
+        # Phase 2: gather in-neighbour contributions (random access).
+        counter = args["counters"] + 64 * (2 * it + 1)
+        top = t.loop_top()
+        while True:
+            base = yield t.amoadd(t.local_dram(counter), CHUNK)
+            yield t.branch_back(top, taken=(base < n))
+            if base >= n:
+                break
+            # Software-pipelined gather (the "unroll further" remedy the
+            # paper prescribes): issue the whole chunk's offset vloads,
+            # then per node issue all index vloads, then all contribution
+            # loads, and only then consume -- the non-blocking scoreboard
+            # keeps tens of requests in flight.
+            vs = list(range(base, min(base + CHUNK, n)))
+            for v in vs:
+                yield t.vload(t.local_dram(args["offsets"] + 4 * v), n=2)
+            for v in vs:
+                lo, hi = int(g.offsets[v]), int(g.offsets[v + 1])
+                e_top = t.loop_top()
+                for ee in range(lo, hi, 4):
+                    yield t.vload(t.local_dram(args["indices"] + 4 * ee))
+                    yield t.branch_back(e_top, taken=(ee + 4 < hi))
+                c_lds = []
+                g_top = t.loop_top()
+                for e in range(lo, hi):
+                    u = int(g.indices[e])
+                    # The contribution gather is a random DRAM word.
+                    c_ld = t.load(t.local_dram(args["contrib"] + 4 * u))
+                    yield c_ld
+                    c_lds.append(c_ld.dst)
+                    yield t.branch_back(g_top, taken=(e < hi - 1))
+                acc = t.reg()
+                yield t.fmul(acc, [])
+                a_top = t.loop_top()
+                for i, reg in enumerate(c_lds):
+                    yield t.fma(acc, [acc, reg])
+                    yield t.branch_back(a_top, taken=(i < len(c_lds) - 1))
+                yield t.fma(acc, [acc])  # damping
+                yield t.store(t.local_dram(args["next_rank"] + 4 * v),
+                              srcs=[acc])
+        yield from sync(t)
+    yield from sync(t)
+
+
+KERNEL = pagerank_kernel

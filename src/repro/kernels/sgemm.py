@@ -1,0 +1,110 @@
+"""Single-precision GEMM (Table I: Dense Linear Algebra dwarf).
+
+Compute-intensive with sequential access phases: tiles stream A-row
+panels into SPM, stream B columns with the vload/compression idiom, run
+long fma chains, and dump C blocks through the write-validate cache --
+the paper's archetype for the "load big, compute long, store big" class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.dense import random_matrix
+from .base import Layout, range_split, sync, tile_id, num_tiles
+from ..isa.program import kernel
+
+
+def make_args(n: int = 80, seed: int = 0) -> Dict[str, Any]:
+    """C = A @ B with all three matrices n x n in Local DRAM.
+
+    A is row-major, B column-major (the usual pre-transposed layout), so
+    both stream sequentially.
+    """
+    layout = Layout()
+    return {
+        "n": n,
+        "a": layout.array("a", 4 * n * n),
+        "b": layout.array("b", 4 * n * n),
+        "c": layout.array("c", 4 * n * n),
+        "a_data": random_matrix(n, n, seed=seed),
+        "b_data": random_matrix(n, n, seed=seed + 1),
+    }
+
+
+#: C is decomposed into TB x TB register blocks; each block's inner loop
+#: streams A-row and B-column chunks and does TB*TB fmas per 2*TB loaded
+#: words, the register-blocking that gives SGEMM its high core
+#: utilization in Fig 11.
+TB = 4
+
+
+@kernel("SGEMM", dwarf="Dense Linear Algebra", category="compute-sequential")
+def sgemm_kernel(t, args):
+    n = args["n"]
+    if n % TB:
+        raise ValueError(f"matrix size must be a multiple of {TB}")
+    tid = tile_id(t)
+    ntiles = num_tiles(t)
+    blocks_per_dim = n // TB
+    # ``work_fraction`` < 1 computes only a leading fraction of C's
+    # blocks: the constant-total-work splits of Fig 15 use it to model
+    # one Cell of a multi-Cell machine exactly.
+    total_blocks = int(blocks_per_dim * blocks_per_dim
+                       * args.get("work_fraction", 1.0))
+    blk_lo, blk_hi = range_split(total_blocks, ntiles, tid)
+
+    blk_top = t.loop_top()
+    for blk in range(blk_lo, blk_hi):
+        bi, bj = divmod(blk, blocks_per_dim)
+        accs = [t.reg() for _ in range(TB * TB)]
+        for acc in accs:
+            yield t.alu(acc)
+
+        def issue_chunk(k):
+            # One A-row chunk and one B-column chunk per block row/col:
+            # 2*TB compressed loads feeding TB*TB fmas.
+            a_rows = []
+            for r in range(TB):
+                av = t.vload(t.local_dram(
+                    args["a"] + 4 * (n * (bi * TB + r) + k)))
+                yield av
+                a_rows.append(av.dsts)
+            b_cols = []
+            for cidx in range(TB):
+                bv = t.vload(t.local_dram(
+                    args["b"] + 4 * (n * (bj * TB + cidx) + k)))
+                yield bv
+                b_cols.append(bv.dsts)
+            return a_rows, b_cols
+
+        # Double-buffered k loop: chunk k+TB's non-blocking loads are in
+        # the network while chunk k's fmas execute (load-use distance).
+        k_top = t.loop_top()
+        current = yield from issue_chunk(0)
+        for k in range(0, n, TB):
+            last = k + TB >= n
+            nxt = None if last else (yield from issue_chunk(k + TB))
+            a_rows, b_cols = current
+            # u-outermost: 15 other fmas separate successive writes to the
+            # same accumulator, hiding the 3-cycle fma latency.
+            for u in range(TB):
+                for r in range(TB):
+                    for cidx in range(TB):
+                        acc = accs[r * TB + cidx]
+                        yield t.fma(acc, [acc, a_rows[r][u], b_cols[cidx][u]])
+            current = nxt
+            yield t.branch_back(k_top, taken=not last)
+        for r in range(TB):
+            for cidx in range(TB):
+                yield t.store(
+                    t.local_dram(args["c"] + 4 * (n * (bi * TB + r)
+                                                  + bj * TB + cidx)),
+                    srcs=[accs[r * TB + cidx]])
+        yield t.branch_back(blk_top, taken=(blk < blk_hi - 1))
+    yield from sync(t)
+
+
+KERNEL = sgemm_kernel

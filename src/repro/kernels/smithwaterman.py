@@ -1,0 +1,124 @@
+"""Smith-Waterman local sequence alignment (Table I: Dynamic Programming).
+
+Compute-intensive with data-dependent control flow: the inner max()
+cascade branches on real DP values, giving the high branch-miss rate the
+paper attributes to SW (fixable with min/max ISA extensions).  Sequences
+live in SPM; the active DP rows also stay in SPM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..workloads.dense import dna_sequences
+from .base import (Layout, copy_dram_to_spm, num_tiles, range_split,
+                   sync, tile_id)
+from ..isa.program import kernel
+
+MATCH, MISMATCH, GAP = 2, -1, -1
+
+
+def reference_score(query: np.ndarray, ref: np.ndarray) -> int:
+    """Host-side DP for functional validation."""
+    q, r = len(query), len(ref)
+    h = np.zeros((r + 1, q + 1), dtype=np.int64)
+    best = 0
+    for i in range(1, r + 1):
+        for j in range(1, q + 1):
+            sub = MATCH if ref[i - 1] == query[j - 1] else MISMATCH
+            h[i, j] = max(0, h[i - 1, j - 1] + sub,
+                          h[i - 1, j] + GAP, h[i, j - 1] + GAP)
+            best = max(best, int(h[i, j]))
+    return best
+
+
+def make_args(query_len: int = 24, ref_len: int = 32, tiles: int = 128,
+              pairs_per_tile: int = 1, seed: int = 0) -> Dict[str, Any]:
+    num_pairs = tiles * pairs_per_tile
+    queries, refs = dna_sequences(query_len, ref_len, num_pairs, seed=seed)
+    layout = Layout()
+    return {
+        "queries": layout.array("queries", queries.size),
+        "refs": layout.array("refs", refs.size),
+        "scores": layout.words("scores", num_pairs),
+        "query_len": query_len,
+        "ref_len": ref_len,
+        "num_pairs": num_pairs,
+        "query_data": queries,
+        "ref_data": refs,
+    }
+
+
+@kernel("SW", dwarf="Dynamic Programming", category="compute-low-comm")
+def smithwaterman_kernel(t, args):
+
+    qlen, rlen = args["query_len"], args["ref_len"]
+    tid = tile_id(t)
+    lo, hi = range_split(args["num_pairs"], num_tiles(t), tid)
+    qwords = (qlen + 3) // 4
+    rwords = (rlen + 3) // 4
+    row_base = 4 * (qwords + rwords)
+
+    pair_top = t.loop_top()
+    for pair in range(lo, hi):
+        query = args["query_data"][pair]
+        ref = args["ref_data"][pair]
+
+        # Phase 1: pull both sequences into SPM (packed bytes -> words).
+        yield from copy_dram_to_spm(t, args["queries"] + pair * qlen,
+                                    0, qwords)
+        yield from copy_dram_to_spm(t, args["refs"] + pair * rlen,
+                                    4 * qwords, rwords)
+
+        # DP over two SPM-resident rows.  prev/cur values are computed
+        # functionally so every branch outcome is a real comparison.
+        prev = [0] * (qlen + 1)
+        best = 0
+        h_prev_diag = t.reg()
+        outer_top = t.loop_top()
+        for i in range(1, rlen + 1):
+            cur = [0]
+            inner_top = t.loop_top()
+            for j in range(1, qlen + 1):
+                # Load H[i-1][j-1] and H[i-1][j] from the SPM row buffer.
+                diag = t.load(t.spm(row_base + 4 * (j - 1)))
+                yield diag
+                up = t.load(t.spm(row_base + 4 * j))
+                yield up
+                sub = MATCH if ref[i - 1] == query[j - 1] else MISMATCH
+                yield t.alu(h_prev_diag, [diag.dst])  # diag + substitution
+                cand_diag = prev[j - 1] + sub
+                cand_up = prev[j] + GAP
+                cand_left = cur[j - 1] + GAP
+                value = max(0, cand_diag, cand_up, cand_left)
+                # The max() cascade: three data-dependent forward branches.
+                yield t.branch_fwd(taken=(cand_diag >= cand_up),
+                                   srcs=[h_prev_diag, up.dst])
+                yield t.branch_fwd(
+                    taken=(max(cand_diag, cand_up) >= cand_left))
+                yield t.branch_fwd(taken=(value == 0))
+                yield t.alu(h_prev_diag, [h_prev_diag])
+                yield t.store(t.spm(row_base + 4 * (j - 1)),
+                              srcs=[h_prev_diag])
+                if value > best:
+                    best = value
+                    yield t.alu(t.reg(), [h_prev_diag])
+                cur.append(value)
+                yield t.branch_back(inner_top, taken=(j < qlen))
+            prev = cur
+            yield t.branch_back(outer_top, taken=(i < rlen))
+
+        # Publish the pair's best score.
+        score_reg = t.reg()
+        yield t.alu(score_reg)
+        yield t.store(t.local_dram(args["scores"] + 4 * pair),
+                      srcs=[score_reg])
+        # Functional cross-check hook for tests.
+        args.setdefault("computed_scores", {})[pair] = best
+        yield t.branch_back(pair_top, taken=(pair < hi - 1))
+    yield from sync(t)
+
+
+KERNEL = smithwaterman_kernel

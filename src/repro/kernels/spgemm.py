@@ -1,0 +1,107 @@
+"""SpGEMM via Gustavson's algorithm (Table I: Sparse Linear Algebra).
+
+Memory-intensive, irregular: output rows are distributed over tiles with
+an amoadd parallel-for (Fig 8's idiom); each row's work is the real
+flop count of the input matrix, so power-law inputs (WV) produce the
+severe imbalance Fig 12 addresses with tile groups.
+
+Tile-group task parallelism: with ``tasks > 1`` each group multiplies the
+same stationary sparse matrix against a different dense activation
+(the paper's motivating task example), pulling work from its own counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..workloads.csr import CsrMatrix
+from ..workloads.graphs import wiki_vote_like
+from .base import Layout, sync
+from ..isa.program import kernel
+
+
+def make_args(matrix: CsrMatrix = None, tasks: int = 1,
+              scale: float = 0.35) -> Dict[str, Any]:
+    if matrix is None:
+        matrix = wiki_vote_like(scale=scale)
+    n = matrix.num_rows
+    tasks = max(tasks, 1)
+    layout = Layout()
+    return {
+        "matrix": matrix,
+        "tasks": tasks,
+        "offsets": layout.words("offsets", n + 1),
+        # The stationary matrix A is shared; each task multiplies it with
+        # its *own* activation B (same structure, distinct data), so more
+        # concurrent tasks mean a larger resident working set.
+        "indices": layout.words("indices", matrix.nnz * tasks),
+        "values": layout.words("values", matrix.nnz * tasks),
+        "task_stride_words": matrix.nnz,
+        "out_rows": layout.array("out_rows", 4 * matrix.nnz * 4 * tasks),
+        "counters": layout.array("counters", 64 * tasks),
+    }
+
+
+@kernel("SpGEMM", dwarf="Sparse Linear Algebra", category="memory-irregular")
+def spgemm_kernel(t, args):
+    a: CsrMatrix = args["matrix"]
+    n = a.num_rows
+    tasks = args["tasks"]
+    # Each tile group works one task; extra tasks wrap around groups.
+    my_task = t.group_index % max(tasks, 1)
+    counter = args["counters"] + 64 * my_task
+    # This task's private activation-matrix arrays.
+    b_off = 4 * args.get("task_stride_words", 0) * my_task
+    acc_base = 512  # SPM dense-accumulator region
+
+    loop_top = t.loop_top()
+    while True:
+        row = yield t.amoadd(t.local_dram(counter), 1)
+        yield t.branch_back(loop_top, taken=(row < n))
+        if row >= n:
+            break
+        # Row extent: offsets[row], offsets[row+1] are adjacent words.
+        ext = t.vload(t.local_dram(args["offsets"] + 4 * row), n=2)
+        yield ext
+        lo, hi = int(a.offsets[row]), int(a.offsets[row + 1])
+        k_top = t.loop_top()
+        for kk in range(lo, hi, 4):
+            # Stream this row's column indices (sequential).
+            kv = t.vload(t.local_dram(args["indices"] + 4 * kk))
+            yield kv
+            for k in range(kk, min(kk + 4, hi)):
+                col = int(a.indices[k])
+                clo, chi = int(a.offsets[col]), int(a.offsets[col + 1])
+                # B's row `col` starts at a *random* place: pointer chase.
+                bext = t.vload(t.local_dram(args["offsets"] + 4 * col), n=2)
+                yield bext
+                j_top = t.loop_top()
+                for jj in range(clo, chi, 4):
+                    jv = t.vload(t.local_dram(args["indices"] + b_off + 4 * jj))
+                    yield jv
+                    vv = t.vload(t.local_dram(args["values"] + b_off + 4 * jj))
+                    yield vv
+                    for u in range(min(4, chi - jj)):
+                        # Accumulate into the SPM dense row fragment.
+                        slot = acc_base + 4 * ((jj + u) % 512)
+                        acc = t.load(t.spm(slot))
+                        yield acc
+                        yield t.fma(acc.dst, [acc.dst, vv.dsts[u % 4]])
+                        yield t.store(t.spm(slot), srcs=[acc.dst])
+                    yield t.branch_back(j_top, taken=(jj + 4 < chi))
+            yield t.branch_back(k_top, taken=(kk + 4 < hi))
+        # Write the finished output row (write-validate absorbs these).
+        out_nnz = max(1, hi - lo)
+        w_top = t.loop_top()
+        for w in range(out_nnz):
+            val = t.reg()
+            yield t.alu(val)
+            yield t.store(t.local_dram(
+                args["out_rows"] + 16 * a.nnz * my_task
+                + 4 * ((row * 4 + w) % (a.nnz * 4))),
+                srcs=[val])
+            yield t.branch_back(w_top, taken=(w < out_nnz - 1))
+    yield from sync(t)
+
+
+KERNEL = spgemm_kernel

@@ -1,0 +1,8 @@
+"""Memory system: cache banks, MSHRs, scratchpads, HBM2."""
+
+from .cache import CacheBank
+from .hbm import PseudoChannel
+from .mshr import MshrEntry, MshrFile
+from .spm import Scratchpad
+
+__all__ = ["CacheBank", "PseudoChannel", "MshrFile", "MshrEntry", "Scratchpad"]

@@ -1,0 +1,185 @@
+"""Last-level cache banks.
+
+Each bank is independent, maps an exclusive slice of DRAM (no coherence
+hardware needed), and implements the paper's policies:
+
+* **write-validate** -- a store miss allocates the line and validates the
+  written words without fetching from DRAM (vs. the fetch-on-write
+  *write-allocate* baseline used in the Fig 10 ablation);
+* **non-blocking** -- hits proceed under misses; primary misses claim an
+  MSHR entry, secondary misses merge onto it (vs. the blocking baseline
+  where a miss stalls the whole bank until refill);
+* LRU replacement over 64 sets x 8 ways x 64 B lines (Table II).
+
+Timing-only: the bank tracks tags and dirty bits, not data -- functional
+values live with the kernels (and in the machine's atomic memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..arch.params import CacheTiming
+from ..engine import Future, Simulator
+from ..engine.stats import Counter, Interval
+from ..noc.wormhole import WormholeStrip
+from .hbm import PseudoChannel
+from .mshr import MshrFile
+
+
+@dataclass
+class _Line:
+    line: int
+    dirty: bool = False
+
+
+class CacheBank:
+    """One LLC bank embedded in a Cell's north or south strip."""
+
+    def __init__(self, sim: Simulator, timing: CacheTiming,
+                 hbm: PseudoChannel, strip: WormholeStrip, bank_x: int,
+                 write_validate: bool = True, nonblocking: bool = True,
+                 name: str = "bank") -> None:
+        self.sim = sim
+        self.timing = timing
+        self.hbm = hbm
+        self.strip = strip
+        self.bank_x = bank_x
+        self.write_validate = write_validate
+        self.nonblocking = nonblocking
+        self.name = name
+        self._port = Interval()
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(timing.sets)]
+        self._lru: List[List[int]] = [[] for _ in range(timing.sets)]
+        self.mshr = MshrFile(timing.mshr_entries)
+        self.counters = Counter()
+
+    # -- public interface ---------------------------------------------------
+
+    def access(self, mem_addr: int, is_write: bool, time: float,
+               words: int = 1, is_amo: bool = False) -> Future:
+        """Serve one request; the future resolves when the response data is
+        ready to inject into the response network."""
+        fut = Future(self.sim)
+        port_cycles = max(1, words * self.timing.port_cycles_per_access // 2)
+        start = self._port.reserve(time, port_cycles)
+        self.counters.add("accesses")
+        if is_amo:
+            self.counters.add("amos")
+        line = mem_addr // self.timing.block_bytes
+        if self._touch(line):
+            self.counters.add("store_hits" if is_write else "load_hits")
+            if is_write or is_amo:
+                self._mark_dirty(line)
+            fut.resolve_at(start + self.timing.hit_latency, None)
+            return fut
+        self.counters.add("store_misses" if is_write else "load_misses")
+        if is_amo:
+            # Read-modify-write: the old value is needed, so even under
+            # write-validate the line must be fetched; it refills dirty.
+            self._miss(line, fut, start, mark_dirty=True)
+            return fut
+        if is_write and self.write_validate:
+            # Allocate without fetching; only a dirty victim costs DRAM work.
+            self._install(line, dirty=True, time=start)
+            fut.resolve_at(start + self.timing.hit_latency, None)
+            return fut
+        self._miss(line, fut, start, mark_dirty=is_write)
+        return fut
+
+    # -- tag management -------------------------------------------------------
+
+    def _set_of(self, line: int) -> int:
+        return line % self.timing.sets
+
+    def _touch(self, line: int) -> bool:
+        """Probe and LRU-promote; True on hit."""
+        idx = self._set_of(line)
+        if line in self._sets[idx]:
+            lru = self._lru[idx]
+            lru.remove(line)
+            lru.append(line)
+            return True
+        return False
+
+    def _mark_dirty(self, line: int) -> None:
+        self._sets[self._set_of(line)][line].dirty = True
+
+    def _install(self, line: int, dirty: bool, time: float) -> None:
+        idx = self._set_of(line)
+        ways = self._sets[idx]
+        if line in ways:
+            if dirty:
+                ways[line].dirty = True
+            return
+        if len(ways) >= self.timing.ways:
+            victim = self._lru[idx].pop(0)
+            victim_line = ways.pop(victim)
+            self.counters.add("evictions")
+            if victim_line.dirty:
+                self._writeback(victim, time)
+        ways[line] = _Line(line=line, dirty=dirty)
+        self._lru[idx].append(line)
+
+    def _writeback(self, line: int, time: float) -> None:
+        """Dirty eviction: occupy the strip channel and the HBM bus."""
+        self.counters.add("writebacks")
+        addr = line * self.timing.block_bytes
+        _start, done = self.strip.transfer(self.bank_x, self.timing.block_bytes, time)
+        self.hbm.access(addr, is_write=True, time=done)
+
+    # -- miss path ---------------------------------------------------------------
+
+    def _miss(self, line: int, fut: Future, time: float, mark_dirty: bool) -> None:
+        existing = self.mshr.lookup(line)
+        if existing is not None:
+            self.mshr.merge(line, fut)
+            if mark_dirty:
+                # The waiter's write lands after refill; remember dirtiness.
+                existing.waiters.append(self._dirty_marker(line))
+            return
+        if self.mshr.full:
+            retry_at = self.mshr.earliest_completion(time)
+            self.counters.add("mshr_full_stalls")
+            self.sim.schedule_at(
+                retry_at, lambda: self._miss(line, fut, retry_at, mark_dirty)
+            )
+            return
+        addr = line * self.timing.block_bytes
+        mem_done = self.hbm.access(addr, is_write=False, time=time + 1)
+        _start, refill_done = self.strip.transfer(
+            self.bank_x, self.timing.block_bytes, mem_done
+        )
+        entry = self.mshr.allocate(line, time, refill_done)
+        entry.waiters.append(fut)
+        if self.nonblocking is False:
+            # Blocking bank: nothing else is served until the refill lands.
+            self._port.free_at = max(self._port.free_at, refill_done)
+        self.sim.schedule_at(
+            refill_done, lambda: self._refill(line, mark_dirty, refill_done)
+        )
+
+    def _dirty_marker(self, line: int) -> Future:
+        marker = Future(self.sim)
+        marker.add_callback(lambda _v: self._mark_dirty(line))
+        return marker
+
+    def _refill(self, line: int, dirty: bool, time: float) -> None:
+        self._install(line, dirty=dirty, time=time)
+        waiters = self.mshr.release(line)
+        for waiter in waiters:
+            waiter.resolve_at(time + self.timing.hit_latency, None)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def hit_rate(self) -> Optional[float]:
+        hits = self.counters.get("load_hits") + self.counters.get("store_hits")
+        misses = self.counters.get("load_misses") + self.counters.get("store_misses")
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)

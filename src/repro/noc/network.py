@@ -1,0 +1,90 @@
+"""The word-oriented global network: contention-aware packet timing.
+
+Each of the two physical planes (requests, responses) is a
+:class:`Network`.  A packet's delivery time is computed by walking its
+dimension-ordered path once and reserving ``flits`` cycles on every link
+against that link's ``free_at`` horizon.  This reproduces serialization,
+head-of-line waiting and bisection saturation at O(hops) per packet --
+the fidelity tier appropriate to an architectural (non-RTL) model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.geometry import ChipGeometry, Coord
+from ..arch.params import NocTiming
+from ..engine.stats import Counter
+from .routing import route
+from .topology import Topology
+
+
+@dataclass
+class DeliveryReport:
+    """Timing of one packet's traversal."""
+
+    arrival: float
+    hops: int
+    stall_cycles: float
+
+
+class Network:
+    """One physical network plane."""
+
+    def __init__(self, chip: ChipGeometry, timing: NocTiming, ruche: bool,
+                 order: str, name: str = "net",
+                 record_bin_width: Optional[float] = None) -> None:
+        self.chip = chip
+        self.timing = timing
+        self.order = order
+        self.name = name
+        self.topology = Topology(chip, ruche=ruche,
+                                 ruche_factor=timing.ruche_factor)
+        self.counters = Counter()
+        if record_bin_width is not None:
+            for link in self.topology.links():
+                link.enable_series(record_bin_width)
+
+    def send(self, src: Coord, dst: Coord, flits: int, time: float) -> DeliveryReport:
+        """Reserve the path for a packet injected at ``time``.
+
+        Returns the cycle at which the last flit is ejected at ``dst``.
+        Same-node delivery (e.g. a tile loading from a bank in its own
+        column position) still pays inject + eject.
+        """
+        if flits <= 0:
+            raise ValueError("packets carry at least one flit")
+        hop_cost = self.timing.router_latency + self.timing.link_cycles_per_flit
+        stall_total = 0.0
+        path = route(self.topology, src, dst, order=self.order)
+        head = time + self.timing.inject_latency
+        for link in path:
+            earliest = head
+            start = max(earliest, link.free_at)
+            stall = start - earliest
+            stall_total += stall
+            link.stall_cycles += stall
+            link.free_at = start + flits
+            link.busy_cycles += flits
+            link.packets += 1
+            if link.series is not None:
+                link.series.add_range(start, start + flits)
+            head = start + hop_cost
+        arrival = head + (flits - 1) + self.timing.eject_latency
+        self.counters.add("packets")
+        self.counters.add("flits", flits)
+        self.counters.add("hops", len(path))
+        self.counters.add("stall_cycles", stall_total)
+        return DeliveryReport(arrival=arrival, hops=len(path), stall_cycles=stall_total)
+
+    def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
+        """Latency with no contention (for tests and analytic checks)."""
+        hop_cost = self.timing.router_latency + self.timing.link_cycles_per_flit
+        hops = len(route(self.topology, src, dst, order=self.order))
+        return (self.timing.inject_latency + hops * hop_cost
+                + (flits - 1) + self.timing.eject_latency)
+
+    def reset(self) -> None:
+        self.topology.reset_counters()
+        self.counters = Counter()

@@ -1,0 +1,69 @@
+"""Dimension-ordered routing over mesh / half-Ruche topologies.
+
+The paper routes requests X-then-Y and responses Y-then-X (best for
+throughput given cache strips on the Cell's north/south edges).  In the
+X phase, Ruche links of hop distance 3 are taken greedily while at least
+3 columns remain; the remainder travels on mesh links.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arch.geometry import Coord
+from .topology import Link, Topology
+
+
+def _x_steps(x: int, tx: int, topo: Topology) -> List[int]:
+    """Sequence of x coordinates visited between ``x`` and ``tx``."""
+    steps = [x]
+    factor = topo.ruche_factor if topo.ruche else 1
+    while x != tx:
+        dx = tx - x
+        if topo.ruche and abs(dx) >= factor:
+            x += factor if dx > 0 else -factor
+        else:
+            x += 1 if dx > 0 else -1
+        steps.append(x)
+    return steps
+
+
+def route(topo: Topology, src: Coord, dst: Coord, order: str = "xy") -> List[Link]:
+    """Full link path from ``src`` to ``dst`` under dimension order."""
+    if order not in ("xy", "yx"):
+        raise ValueError(f"order must be 'xy' or 'yx', got {order!r}")
+    links: List[Link] = []
+    x, y = src
+    tx, ty = dst
+
+    def walk_x() -> None:
+        nonlocal x
+        xs = _x_steps(x, tx, topo)
+        for a, b in zip(xs, xs[1:]):
+            links.append(topo.link((a, y), (b, y)))
+        x = tx
+
+    def walk_y() -> None:
+        nonlocal y
+        step = 1 if ty > y else -1
+        while y != ty:
+            links.append(topo.link((x, y), (x, y + step)))
+            y += step
+
+    if order == "xy":
+        walk_x()
+        walk_y()
+    else:
+        walk_y()
+        walk_x()
+    return links
+
+
+def hop_count(topo: Topology, src: Coord, dst: Coord) -> int:
+    """Zero-load hop count (ruche-aware), without building Link objects."""
+    dx = abs(dst[0] - src[0])
+    dy = abs(dst[1] - src[1])
+    if topo.ruche:
+        q, r = divmod(dx, topo.ruche_factor)
+        return q + r + dy
+    return dx + dy

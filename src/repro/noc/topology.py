@@ -1,0 +1,129 @@
+"""Network topology: 2-D mesh plus optional half-Ruche horizontal links.
+
+Every node of the global grid (tiles and cache banks alike -- the network
+is homogeneous, per the paper) gets bidirectional mesh links to its four
+neighbours.  When the Ruche network is enabled, every node additionally
+gets horizontal links of hop distance ``RUCHE_FACTOR`` (3): these are the
+long-range channels that pass over intermediate tiles and triple the
+horizontal cut width, for the paper's quoted 4x bisection bandwidth
+(3 ruche + 1 mesh channel per row and direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..arch.geometry import ChipGeometry, Coord
+from ..arch.params import RUCHE_FACTOR
+from ..engine.stats import BinnedSeries
+
+
+class Link:
+    """One directed channel with a reservation horizon and counters."""
+
+    __slots__ = ("src", "dst", "ruche", "free_at", "busy_cycles",
+                 "stall_cycles", "packets", "series")
+
+    def __init__(self, src: Coord, dst: Coord, ruche: bool = False) -> None:
+        self.src = src
+        self.dst = dst
+        self.ruche = ruche
+        self.free_at: float = 0
+        self.busy_cycles: float = 0
+        self.stall_cycles: float = 0
+        self.packets: int = 0
+        self.series: Optional[BinnedSeries] = None
+
+    @property
+    def horizontal(self) -> bool:
+        return self.src[1] == self.dst[1]
+
+    def span(self) -> int:
+        return abs(self.dst[0] - self.src[0]) + abs(self.dst[1] - self.src[1])
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+    def enable_series(self, bin_width: float) -> None:
+        self.series = BinnedSeries(bin_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "ruche" if self.ruche else "mesh"
+        return f"Link({self.src}->{self.dst}, {kind})"
+
+
+class Topology:
+    """All links of one physical network (request or response plane)."""
+
+    def __init__(self, chip: ChipGeometry, ruche: bool,
+                 ruche_factor: int = RUCHE_FACTOR) -> None:
+        self.chip = chip
+        self.ruche = ruche
+        self.ruche_factor = ruche_factor
+        self._links: Dict[Tuple[Coord, Coord], Link] = {}
+        self._build()
+
+    def _build(self) -> None:
+        cols, rows = self.chip.grid_cols, self.chip.grid_rows
+        for y in range(rows):
+            for x in range(cols):
+                src = (x, y)
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    dst = (x + dx, y + dy)
+                    if 0 <= dst[0] < cols and 0 <= dst[1] < rows:
+                        self._links[(src, dst)] = Link(src, dst, ruche=False)
+                if self.ruche:
+                    for dx in (self.ruche_factor, -self.ruche_factor):
+                        dst = (x + dx, y)
+                        if 0 <= dst[0] < cols:
+                            self._links[(src, dst)] = Link(src, dst, ruche=True)
+
+    def link(self, src: Coord, dst: Coord) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError as exc:
+            raise KeyError(f"no link {src}->{dst}") from exc
+
+    def has_link(self, src: Coord, dst: Coord) -> bool:
+        return (src, dst) in self._links
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def cut_links_x(self, plane_x: float) -> List[Link]:
+        """Horizontal links crossing the vertical plane ``x = plane_x``.
+
+        The per-row cut width of this list *is* the bisection channel
+        count: 1 per direction for mesh, 1 + ruche_factor with Ruche.
+        """
+        out = []
+        for link in self._links.values():
+            if not link.horizontal:
+                continue
+            lo, hi = sorted((link.src[0], link.dst[0]))
+            if lo < plane_x < hi:
+                out.append(link)
+        return out
+
+    def cut_links_y(self, plane_y: float) -> List[Link]:
+        """Vertical links crossing the horizontal plane ``y = plane_y``."""
+        out = []
+        for link in self._links.values():
+            if link.horizontal:
+                continue
+            lo, hi = sorted((link.src[1], link.dst[1]))
+            if lo < plane_y < hi:
+                out.append(link)
+        return out
+
+    def reset_counters(self) -> None:
+        for link in self._links.values():
+            link.free_at = 0
+            link.busy_cycles = 0
+            link.stall_cycles = 0
+            link.packets = 0

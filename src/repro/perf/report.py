@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment results: tables and bar charts.
+
+Every experiment harness returns structured rows; these helpers print
+them the way the paper's figures read, so running a bench module shows
+the reproduced figure directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 floatfmt: str = ".3g") -> str:
+    """A simple aligned text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format(cell, floatfmt))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_bars(items: Mapping[str, float], width: int = 40,
+                max_value: Optional[float] = None,
+                suffix: str = "") -> str:
+    """Horizontal bar chart; one row per item."""
+    if not items:
+        return "(empty)"
+    peak = max_value if max_value is not None else max(items.values())
+    peak = max(peak, 1e-12)
+    label_w = max(len(k) for k in items)
+    lines = []
+    for name, value in items.items():
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{name.ljust(label_w)} |{bar}| {value:.3g}{suffix}")
+    return "\n".join(lines)
+
+
+def format_stacked(rows: Mapping[str, Mapping[str, float]],
+                   categories: Sequence[str], width: int = 50,
+                   symbols: str = "#*=+xo-~^%") -> str:
+    """Stacked 100%-bar chart (the Fig 10/11 breakdown style).
+
+    ``rows`` maps a label to ``{category: fraction}``; fractions should
+    sum to at most 1 per row.
+    """
+    label_w = max(len(k) for k in rows) if rows else 0
+    lines = []
+    legend = ", ".join(f"{symbols[i % len(symbols)]}={c}"
+                       for i, c in enumerate(categories))
+    lines.append(f"legend: {legend}")
+    for name, fractions in rows.items():
+        bar = []
+        for i, cat in enumerate(categories):
+            n = int(round(width * fractions.get(cat, 0.0)))
+            bar.append(symbols[i % len(symbols)] * n)
+        body = "".join(bar)[:width].ljust(width, ".")
+        lines.append(f"{name.ljust(label_w)} |{body}|")
+    return "\n".join(lines)
+
+
+def format_series(series: Sequence[Tuple[float, float]], width: int = 60,
+                  height: int = 12, title: str = "") -> str:
+    """Coarse ASCII line plot of a (time, value) series (Fig 3 style)."""
+    if not series:
+        return "(empty series)"
+    xs = [p[0] for p in series]
+    ys = [p[1] for p in series]
+    ymax = max(max(ys), 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in series:
+        col = int((x - xs[0]) / max(xs[-1] - xs[0], 1e-12) * (width - 1))
+        row = int((1 - y / ymax) * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={ymax:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"t: {xs[0]:.0f} .. {xs[-1]:.0f} cycles")
+    return "\n".join(lines)
+
+
+def speedup_table(baseline: Mapping[str, float],
+                  variants: Mapping[str, Mapping[str, float]]) -> str:
+    """Speedup-vs-baseline table keyed by kernel (Fig 10/15 style).
+
+    ``baseline`` maps kernel -> cycles; each variant likewise.
+    """
+    headers = ["kernel"] + list(variants)
+    rows = []
+    for kernel, base_cycles in baseline.items():
+        row: List[object] = [kernel]
+        for name in variants:
+            cycles = variants[name].get(kernel)
+            row.append(base_cycles / cycles if cycles else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows)

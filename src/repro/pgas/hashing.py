@@ -1,0 +1,86 @@
+"""Bank-interleaving hash functions.
+
+*Regional IPOLY hashing* (Rau, ISCA '91) pseudo-randomly distributes a
+Cell's private DRAM space across its cache banks at cache-line
+granularity, eliminating the partition-camping problem of 2**n-stride
+access patterns that plagues plain modulo interleaving.  We implement it
+as CRC-style polynomial division over GF(2): the line address is reduced
+modulo an irreducible polynomial whose degree matches ``log2(banks)``.
+
+The *global* space uses the same mechanism with a different polynomial,
+spread across every bank on the chip (or within a grid partition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# Irreducible polynomials over GF(2) by degree (coefficient bitmasks,
+# including the leading term).  Degree n hashes into 2**n banks.
+_IRREDUCIBLE: Dict[int, int] = {
+    1: 0b11,
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10000011,
+    8: 0b100011011,
+    9: 0b1000010001,
+    10: 0b10000001001,
+}
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ipoly_hash(value: int, banks: int) -> int:
+    """Reduce ``value`` modulo the degree-``log2(banks)`` irreducible poly.
+
+    Equivalent to the remainder of GF(2) polynomial division, i.e. a CRC
+    of the line address.  Requires ``banks`` to be a power of two.
+    """
+    if not _is_pow2(banks):
+        raise ValueError(f"IPOLY hashing needs a power-of-two bank count, got {banks}")
+    if banks == 1:
+        return 0
+    degree = banks.bit_length() - 1
+    poly = _IRREDUCIBLE.get(degree)
+    if poly is None:
+        raise ValueError(f"no irreducible polynomial recorded for degree {degree}")
+    rem = value
+    # Peel bits from the top down to degree, xoring in the polynomial --
+    # plain carry-less long division.
+    while rem.bit_length() > degree:
+        shift = rem.bit_length() - (degree + 1)
+        rem ^= poly << shift
+    return rem
+
+
+def modulo_hash(value: int, banks: int) -> int:
+    """Plain low-bit interleaving: the non-IPOLY baseline."""
+    if banks <= 0:
+        raise ValueError("bank count must be positive")
+    return value % banks
+
+
+def bank_of_line(line_addr: int, banks: int, use_ipoly: bool) -> int:
+    """Map a cache-line address to a bank index."""
+    if use_ipoly:
+        return ipoly_hash(line_addr, banks)
+    return modulo_hash(line_addr, banks)
+
+
+def stride_camping_score(banks: int, stride_lines: int, accesses: int,
+                         use_ipoly: bool) -> float:
+    """Diagnostic: max/mean bank load for a strided stream of line accesses.
+
+    1.0 means perfectly balanced; ``banks`` means everything camped on a
+    single bank.  Used by tests and the Fig 10 ablation narrative.
+    """
+    counts: List[int] = [0] * banks
+    for i in range(accesses):
+        counts[bank_of_line(i * stride_lines, banks, use_ipoly)] += 1
+    mean = accesses / banks
+    return max(counts) / mean if mean else 0.0

@@ -1,0 +1,132 @@
+"""The five PGAS address spaces (paper Fig 5).
+
+Kernel-visible addresses are plain integers.  A tag in the upper bits
+selects the space; lower bits encode tile coordinates and offsets exactly
+as the paper describes ("a few upper bits of an address determine which
+major address space it belongs in").
+
+Layout (LSB on the right)::
+
+    [ tag : 3 ][ field_a : 12 ][ field_b : 12 ][ offset : 32 ]
+
+* LOCAL_SPM   -- offset only (< 4 KB); private to the issuing tile.
+* GROUP_SPM   -- field_a = global tile x, field_b = global tile y,
+                 offset < 4 KB; addresses any tile's scratchpad.
+* LOCAL_DRAM  -- offset into the issuing tile's Cell-private DRAM space.
+* GROUP_DRAM  -- field_a = cell x, field_b = cell y, offset into that
+                 Cell's private DRAM space.
+* GLOBAL_DRAM -- offset into the chip-wide interleaved space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+OFFSET_BITS = 32
+FIELD_BITS = 12
+TAG_SHIFT = OFFSET_BITS + 2 * FIELD_BITS
+
+OFFSET_MASK = (1 << OFFSET_BITS) - 1
+FIELD_MASK = (1 << FIELD_BITS) - 1
+FIELD_B_SHIFT = OFFSET_BITS
+FIELD_A_SHIFT = OFFSET_BITS + FIELD_BITS
+
+SPM_BYTES = 4 * 1024
+
+
+class Space(IntEnum):
+    """Address-space tags."""
+
+    LOCAL_SPM = 0
+    GROUP_SPM = 1
+    LOCAL_DRAM = 2
+    GROUP_DRAM = 3
+    GLOBAL_DRAM = 4
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """An address split into its PGAS components."""
+
+    space: Space
+    offset: int
+    field_a: int = 0
+    field_b: int = 0
+
+    def encode(self) -> int:
+        return encode(self.space, self.offset, self.field_a, self.field_b)
+
+
+def encode(space: Space, offset: int, field_a: int = 0, field_b: int = 0) -> int:
+    """Pack PGAS components into an integer address."""
+    if not 0 <= offset <= OFFSET_MASK:
+        raise ValueError(f"offset {offset:#x} out of range")
+    if not 0 <= field_a <= FIELD_MASK or not 0 <= field_b <= FIELD_MASK:
+        raise ValueError(f"coordinate field out of range: {(field_a, field_b)}")
+    return (
+        (int(space) << TAG_SHIFT)
+        | (field_a << FIELD_A_SHIFT)
+        | (field_b << FIELD_B_SHIFT)
+        | offset
+    )
+
+
+def decode(addr: int) -> DecodedAddress:
+    """Split an integer address into PGAS components."""
+    if addr < 0:
+        raise ValueError("addresses are unsigned")
+    tag = addr >> TAG_SHIFT
+    try:
+        space = Space(tag)
+    except ValueError as exc:
+        raise ValueError(f"unknown address-space tag {tag} in {addr:#x}") from exc
+    return DecodedAddress(
+        space=space,
+        offset=addr & OFFSET_MASK,
+        field_a=(addr >> FIELD_A_SHIFT) & FIELD_MASK,
+        field_b=(addr >> FIELD_B_SHIFT) & FIELD_MASK,
+    )
+
+
+def local_spm(offset: int) -> int:
+    """Address in the issuing tile's own scratchpad."""
+    if not 0 <= offset < SPM_BYTES:
+        raise ValueError(f"SPM offset {offset:#x} exceeds {SPM_BYTES} bytes")
+    return encode(Space.LOCAL_SPM, offset)
+
+
+def group_spm(tile_x: int, tile_y: int, offset: int) -> int:
+    """Address in another tile's scratchpad (global tile coordinates)."""
+    if not 0 <= offset < SPM_BYTES:
+        raise ValueError(f"SPM offset {offset:#x} exceeds {SPM_BYTES} bytes")
+    return encode(Space.GROUP_SPM, offset, tile_x, tile_y)
+
+
+def local_dram(offset: int) -> int:
+    """Address in the issuing Cell's private DRAM space."""
+    return encode(Space.LOCAL_DRAM, offset)
+
+
+def group_dram(cell_x: int, cell_y: int, offset: int) -> int:
+    """Address in another Cell's private DRAM space."""
+    return encode(Space.GROUP_DRAM, offset, cell_x, cell_y)
+
+
+def global_dram(offset: int) -> int:
+    """Address in the chip-wide interleaved DRAM space."""
+    return encode(Space.GLOBAL_DRAM, offset)
+
+
+def is_dram(addr: int) -> bool:
+    return decode(addr).space in (Space.LOCAL_DRAM, Space.GROUP_DRAM, Space.GLOBAL_DRAM)
+
+
+def space_of(addr: int) -> Space:
+    return Space(addr >> TAG_SHIFT)
+
+
+def spm_partner(addr: int, dx: int, dy: int, my_x: int, my_y: int) -> Tuple[int, int]:
+    """Helper for stencil kernels: neighbour tile coordinates."""
+    return my_x + dx, my_y + dy

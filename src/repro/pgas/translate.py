@@ -1,0 +1,138 @@
+"""Address translation: PGAS virtual address -> network destination.
+
+This is the "low-cost combinational logic" of the paper: no TLB, just bit
+slicing plus the bank hash.  The translator is the single authority both
+cores and the host runtime use to find where a word lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from ..arch.geometry import ChipGeometry, Coord
+from .hashing import bank_of_line
+from .spaces import DecodedAddress, Space, decode
+
+
+class TargetKind(Enum):
+    SPM = "spm"
+    CACHE = "cache"
+
+
+# Keeps the chip-wide interleaved space's backing-DRAM addresses disjoint
+# from every Cell-private partition within a bank's exclusive range.
+GLOBAL_DRAM_BASE = 1 << 34
+
+
+@dataclass(frozen=True)
+class Destination:
+    """Where a memory operation physically goes."""
+
+    node: Coord  # global grid coordinate of the serving node
+    kind: TargetKind
+    cell_xy: Coord  # owning Cell
+    bank_index: int  # bank within the Cell (caches only, else 0)
+    mem_addr: int  # byte address within the owning memory
+
+
+class Translator:
+    """Maps kernel-visible addresses onto the machine's node grid."""
+
+    def __init__(self, chip: ChipGeometry, block_bytes: int, use_ipoly: bool,
+                 grid_cells: Tuple[int, int] = (0, 0)) -> None:
+        """``grid_cells`` optionally partitions GLOBAL_DRAM into rectangular
+        grids of Cells (paper Section IV-A(5)); ``(0, 0)`` disables grids
+        and hashes across the whole chip."""
+        self.chip = chip
+        self.block_bytes = block_bytes
+        self.use_ipoly = use_ipoly
+        self.grid_cells = grid_cells
+
+    def translate(self, addr: int, tile_node: Coord) -> Destination:
+        """Translate ``addr`` as issued by the tile at global ``tile_node``."""
+        dec = decode(addr)
+        if dec.space is Space.LOCAL_SPM:
+            return Destination(
+                node=tile_node, kind=TargetKind.SPM,
+                cell_xy=self.chip.to_local(tile_node)[0],
+                bank_index=0, mem_addr=dec.offset,
+            )
+        if dec.space is Space.GROUP_SPM:
+            return self._group_spm(dec)
+        if dec.space is Space.LOCAL_DRAM:
+            cell_xy, _local = self.chip.to_local(tile_node)
+            return self._cell_dram(cell_xy, dec.offset)
+        if dec.space is Space.GROUP_DRAM:
+            cell_xy = (dec.field_a, dec.field_b)
+            self.chip.cell_origin(cell_xy)  # validates the coordinate
+            return self._cell_dram(cell_xy, dec.offset)
+        if dec.space is Space.GLOBAL_DRAM:
+            return self._global_dram(dec.offset)
+        raise ValueError(f"unhandled space {dec.space}")
+
+    def _group_spm(self, dec: DecodedAddress) -> Destination:
+        node = (dec.field_a, dec.field_b)
+        cell_xy, local = self.chip.to_local(node)
+        ly = local[1]
+        if ly == 0 or ly == self.chip.cell.tiles_y + 1:
+            raise ValueError(f"GROUP_SPM address targets a cache node {node}")
+        return Destination(
+            node=node, kind=TargetKind.SPM,
+            cell_xy=cell_xy, bank_index=0, mem_addr=dec.offset,
+        )
+
+    def _cell_dram(self, cell_xy: Coord, offset: int) -> Destination:
+        """A Cell-private DRAM word, striped across that Cell's banks."""
+        line = offset // self.block_bytes
+        bank = bank_of_line(line, self.chip.cell.num_banks, self.use_ipoly)
+        local = self.chip.cell.bank_coord(bank)
+        return Destination(
+            node=self.chip.to_global(cell_xy, local),
+            kind=TargetKind.CACHE,
+            cell_xy=cell_xy,
+            bank_index=bank,
+            mem_addr=offset,
+        )
+
+    def _global_dram(self, offset: int) -> Destination:
+        """Chip-wide space: lines spread over every bank of every Cell.
+
+        With grids enabled, the top offset bits select the grid and the
+        rest hashes within it.
+        """
+        line = offset // self.block_bytes
+        gx, gy = self.grid_cells
+        if gx and gy:
+            grids_x = self.chip.cells_x // gx
+            grids_y = self.chip.cells_y // gy
+            num_grids = max(1, grids_x * grids_y)
+            grid = line % num_grids
+            line //= num_grids
+            grid_origin = ((grid % grids_x) * gx, (grid // grids_x) * gy)
+            cells = [(grid_origin[0] + i, grid_origin[1] + j)
+                     for j in range(gy) for i in range(gx)]
+        else:
+            cells = list(self.chip.cells())
+        banks_per_cell = self.chip.cell.num_banks
+        total = len(cells) * banks_per_cell
+        flat = bank_of_line(line, _round_pow2(total), True) % total
+        cell_xy = cells[flat // banks_per_cell]
+        bank = flat % banks_per_cell
+        local = self.chip.cell.bank_coord(bank)
+        return Destination(
+            node=self.chip.to_global(cell_xy, local),
+            kind=TargetKind.CACHE,
+            cell_xy=cell_xy,
+            bank_index=bank,
+            mem_addr=GLOBAL_DRAM_BASE + offset,
+        )
+
+
+def _round_pow2(n: int) -> int:
+    """Smallest power of two >= n (the hash domain, folded by modulo)."""
+    p = 1
+    while p < n:
+        p <<= 1
+    return p

@@ -1,0 +1,28 @@
+"""Performance debugging tools (paper Section III-D).
+
+Bottleneck diagnosis from run counters, and spatial heatmaps of tile,
+bank and router activity.
+"""
+
+from .blame import Diagnosis, diagnose
+from .heatmap import (
+    bank_access_map,
+    cell_report,
+    full_report,
+    render_grid,
+    router_load_map,
+    tile_finish_map,
+    tile_utilization_map,
+)
+
+__all__ = [
+    "Diagnosis",
+    "diagnose",
+    "render_grid",
+    "cell_report",
+    "full_report",
+    "tile_utilization_map",
+    "tile_finish_map",
+    "bank_access_map",
+    "router_load_map",
+]

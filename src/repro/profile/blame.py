@@ -1,0 +1,140 @@
+"""Bottleneck diagnosis: the paper's performance-debugging methodology.
+
+Section III-D highlights HB's "extensive set of custom performance
+debugging and visualization tools, which analyze where and why the
+processors spend most of the time".  Section V-C then walks each kernel:
+memory-bound kernels should unroll for MLP or split into tile groups,
+barrier-heavy kernels need load balancing, fdiv-heavy kernels want faster
+iterative units, and so on.
+
+:func:`diagnose` encodes that decision procedure over a finished run's
+counters and produces the same kind of reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core import stall as st
+from ..runtime.host import RunResult
+
+
+@dataclass
+class Diagnosis:
+    """One run's bottleneck analysis."""
+
+    verdict: str  # headline classification
+    utilization: float
+    hbm_pressure: float
+    findings: List[str] = field(default_factory=list)
+    suggestions: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"verdict: {self.verdict}",
+                 f"core utilization: {self.utilization:.1%}, "
+                 f"HBM pressure: {self.hbm_pressure:.1%}"]
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  - {f}" for f in self.findings)
+        if self.suggestions:
+            lines.append("suggestions:")
+            lines.extend(f"  - {s}" for s in self.suggestions)
+        return "\n".join(lines)
+
+
+def _get(result: RunResult, cat: str) -> float:
+    return result.core_breakdown.get(cat, 0.0)
+
+
+def diagnose(result: RunResult) -> Diagnosis:
+    """Classify a run and emit the paper's per-bottleneck advice."""
+    bd = result.core_breakdown
+    util = result.core_utilization
+    hbm_active = result.hbm["read"] + result.hbm["write"] + result.hbm["busy"]
+    findings: List[str] = []
+    suggestions: List[str] = []
+
+    mem_stall = (_get(result, st.STALL_DEPEND_LOAD)
+                 + _get(result, st.STALL_AMO)
+                 + _get(result, st.STALL_FENCE)
+                 + _get(result, st.STALL_CREDIT))
+    sync_stall = _get(result, st.STALL_BARRIER) + bd.get("other", 0.0)
+    fp_stall = _get(result, st.STALL_FDIV) + _get(result, st.STALL_BYPASS)
+    ctl_stall = _get(result, st.STALL_BRANCH) + _get(result, st.STALL_ICACHE)
+
+    if hbm_active > 0.9 and mem_stall > 0.1:
+        # A saturated channel trumps the core-side comparison: cores may
+        # still be issuing, but the machine is bandwidth-limited.
+        verdict = "memory-bound (HBM2 saturated)"
+        findings.append(
+            f"the HBM2 channel is {hbm_active:.0%} occupied while cores "
+            f"spend {mem_stall:.0%} of cycles on memory")
+        suggestions.append(
+            "performance cannot improve without more HBM bandwidth "
+            "(the paper's 'usually a good sign')")
+    elif mem_stall >= max(sync_stall, fp_stall, ctl_stall, util):
+        if hbm_active > 0.85:
+            verdict = "memory-bound (HBM2 saturated)"
+            findings.append(
+                f"cores wait on memory {mem_stall:.0%} of cycles with the "
+                f"HBM2 channel {hbm_active:.0%} occupied")
+            suggestions.append(
+                "performance cannot improve without more HBM bandwidth "
+                "(the paper's 'usually a good sign')")
+        else:
+            verdict = "memory-latency-bound (HBM2 underutilized)"
+            findings.append(
+                f"cores wait on memory {mem_stall:.0%} of cycles but the "
+                f"HBM2 channel is only {hbm_active:.0%} occupied")
+            suggestions.append(
+                "generate more outstanding requests per core: unroll the "
+                "loop further / batch independent loads before consuming")
+            suggestions.append(
+                "exploit task-level parallelism: divide the Cell into "
+                "smaller tile groups running independent tasks (Fig 12)")
+        if _get(result, st.STALL_CREDIT) > 0.05:
+            findings.append("the 63-entry scoreboard is a limiter")
+    elif sync_stall >= max(fp_stall, ctl_stall, util):
+        verdict = "synchronization-bound"
+        findings.append(
+            f"barrier/imbalance time is {sync_stall:.0%} of cycles")
+        suggestions.append(
+            "high barrier stall usually indicates tail latency: improve "
+            "load balancing or split work more finely")
+    elif fp_stall >= max(ctl_stall, util):
+        verdict = "FP-pipeline-bound"
+        if _get(result, st.STALL_FDIV) > _get(result, st.STALL_BYPASS):
+            findings.append("the iterative FP divide/sqrt unit dominates")
+            suggestions.append(
+                "a faster iterative divider would help (the paper's note "
+                "on BH and BS back-to-back rsqrt)")
+        else:
+            findings.append("long FP dependency chains stall the bypass")
+            suggestions.append(
+                "interleave independent accumulators to cover fma latency")
+    elif ctl_stall >= util:
+        verdict = "frontend-bound"
+        if _get(result, st.STALL_BRANCH) > _get(result, st.STALL_ICACHE):
+            findings.append("data-dependent branches defeat the static "
+                            "BTFN predictor")
+            suggestions.append(
+                "branchless min/max (RISC-V Zbb-style extensions) would "
+                "remove the flushes (the paper's SW remedy)")
+        else:
+            findings.append("the working code footprint misses the icache")
+            suggestions.append("shrink or split the kernel inner loops")
+    else:
+        verdict = "compute-bound"
+        findings.append(f"cores issue instructions {util:.0%} of cycles")
+        suggestions.append(
+            "easy to accelerate with more tiles: maximize compute density "
+            "(the paper's prime directive)")
+
+    return Diagnosis(
+        verdict=verdict,
+        utilization=util,
+        hbm_pressure=hbm_active,
+        findings=findings,
+        suggestions=suggestions,
+    )

@@ -1,0 +1,101 @@
+"""Spatial visualization: per-tile and per-bank activity over the Cell.
+
+The visual counterpart of the paper's profiling tools: where in the
+array the time goes.  Values render as an ASCII heatmap in the Cell's
+physical layout (cache strips above and below the tile rows), which
+makes imbalance, partition camping and hot banks visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..arch.geometry import Coord
+from ..runtime.machine import Machine
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0:
+        return _SHADES[0]
+    idx = int(min(value, peak) / peak * (len(_SHADES) - 1))
+    return _SHADES[idx]
+
+
+def render_grid(values: Dict[Coord, float], cols: int, rows: int,
+                title: str = "", peak: Optional[float] = None) -> str:
+    """ASCII heatmap of ``values`` on a ``cols x rows`` grid."""
+    peak = peak if peak is not None else max(values.values(), default=0.0)
+    lines: List[str] = []
+    if title:
+        lines.append(f"{title} (peak={peak:.3g})")
+    for y in range(rows):
+        row = "".join(_shade(values.get((x, y), 0.0), peak)
+                      for x in range(cols))
+        lines.append(f"{y:2d} |{row}|")
+    lines.append("    " + "".join(str(x % 10) for x in range(cols)))
+    return "\n".join(lines)
+
+
+def tile_utilization_map(machine: Machine) -> Dict[Coord, float]:
+    """Per-tile fraction of cycles spent issuing instructions."""
+    out: Dict[Coord, float] = {}
+    for node, core in machine.cores.items():
+        total = core.total_cycles()
+        if total <= 0:
+            continue
+        busy = core.counters.get("int") + core.counters.get("fp")
+        out[node] = busy / total
+    return out
+
+
+def tile_finish_map(machine: Machine) -> Dict[Coord, float]:
+    """Per-tile finish time: the load-imbalance / tail-latency view."""
+    return {node: core.finish_time for node, core in machine.cores.items()
+            if core.process is not None}
+
+
+def bank_access_map(machine: Machine) -> Dict[Coord, float]:
+    """Per-cache-bank access counts: partition camping shows up here."""
+    out: Dict[Coord, float] = {}
+    chip = machine.config.chip
+    for (cell_xy, bank_idx), bank in machine.memsys.banks.items():
+        local = chip.cell.bank_coord(bank_idx)
+        node = chip.to_global(cell_xy, local)
+        out[node] = bank.counters.get("accesses")
+    return out
+
+
+def router_load_map(machine: Machine) -> Dict[Coord, float]:
+    """Busy cycles of each node's outgoing request links."""
+    out: Dict[Coord, float] = {}
+    for link in machine.memsys.req_net.topology.links():
+        out[link.src] = out.get(link.src, 0.0) + link.busy_cycles
+    return out
+
+
+def cell_report(machine: Machine, metric: str = "utilization") -> str:
+    """Render one heatmap over the whole chip grid."""
+    makers: Dict[str, Callable[[Machine], Dict[Coord, float]]] = {
+        "utilization": tile_utilization_map,
+        "finish": tile_finish_map,
+        "bank_accesses": bank_access_map,
+        "router_load": router_load_map,
+    }
+    try:
+        values = makers[metric](machine)
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown metric {metric!r}; pick from {sorted(makers)}"
+        ) from exc
+    chip = machine.config.chip
+    return render_grid(values, chip.grid_cols, chip.grid_rows, title=metric)
+
+
+def full_report(machine: Machine) -> str:
+    """All four spatial views, the paper's 'where and why' package."""
+    parts = [cell_report(machine, m)
+             for m in ("utilization", "finish", "bank_accesses",
+                       "router_load")]
+    return "\n\n".join(parts)

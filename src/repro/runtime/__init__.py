@@ -1,0 +1,22 @@
+"""Host runtime: machines, Cells, tile groups, launches."""
+
+from . import dma
+from .cell import Cell, LaunchHandle
+from .host import RunResult, collect_result, run_on_cell, run_on_cells
+from .machine import Machine
+from .memsys import MemorySystem
+from .tilegroup import TileGroup, partition_cell
+
+__all__ = [
+    "dma",
+    "Machine",
+    "MemorySystem",
+    "Cell",
+    "LaunchHandle",
+    "TileGroup",
+    "partition_cell",
+    "RunResult",
+    "run_on_cell",
+    "run_on_cells",
+    "collect_result",
+]

@@ -1,0 +1,76 @@
+"""The top-level machine: simulator + memory system + Cells + cores."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..arch.config import MachineConfig
+from ..arch.geometry import Coord, NodeKind
+from ..core.tile import TileCore
+from ..engine import Simulator
+from .cell import Cell, LaunchHandle
+from .memsys import MemorySystem
+
+
+class Machine:
+    """One instantiated HammerBlade machine model."""
+
+    def __init__(self, config: MachineConfig,
+                 record_bin_width: Optional[float] = None) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.memsys = MemorySystem(self.sim, config,
+                                   record_bin_width=record_bin_width)
+        self.cells: Dict[Coord, Cell] = {
+            xy: Cell(self, xy) for xy in config.chip.cells()
+        }
+        self.cores: Dict[Coord, TileCore] = {}
+        for node, kind in config.chip.all_nodes():
+            if kind is NodeKind.TILE:
+                self.cores[node] = TileCore(
+                    self.sim, node, config.timings, config.features,
+                    self.memsys, name=f"tile{node}",
+                )
+
+    def cell(self, x: int, y: int = 0) -> Cell:
+        """Look up a Cell by its Cell-array coordinate (paper Fig 6)."""
+        try:
+            return self.cells[(x, y)]
+        except KeyError as exc:
+            raise KeyError(
+                f"no cell ({x}, {y}); machine has "
+                f"{self.config.cells_x}x{self.config.cells_y} cells"
+            ) from exc
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Drain the event queue (optionally bounded); returns final time."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_to_completion(self, handles: Iterable[LaunchHandle],
+                          max_events: Optional[int] = None) -> float:
+        """Run until every launch finishes; returns the slowest handle's
+        elapsed cycles (the kernel's wall clock)."""
+        handles = list(handles)
+        self.run(max_events=max_events)
+        unfinished = [h for h in handles if not h.finished]
+        if unfinished:
+            raise RuntimeError(
+                f"{len(unfinished)} launches did not finish; "
+                "a process is deadlocked or waiting on an unresolved future"
+            )
+        return max(h.cycles() for h in handles)
+
+    # -- stats -------------------------------------------------------------------------
+
+    def active_cores(self) -> List[TileCore]:
+        return [c for c in self.cores.values() if c.process is not None]
+
+    def elapsed(self) -> float:
+        cores = self.active_cores()
+        if not cores:
+            return 0.0
+        return (max(c.finish_time for c in cores)
+                - min(c.start_time for c in cores))

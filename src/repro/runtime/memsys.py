@@ -1,0 +1,217 @@
+"""The machine's memory system: PGAS translation + networks + banks + HBM.
+
+One :class:`MemorySystem` wires every tile's remote operations through
+
+    request network -> cache bank / remote SPM -> response network
+
+with the wormhole strips and HBM2 pseudo-channels behind the banks.
+It also owns the *atomic memory*: the functional state atomics operate
+on, updated at the simulated cycle each AMO packet reaches its bank so
+that amoadd-based work distribution is ordered exactly as timed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..arch.config import MachineConfig
+from ..arch.geometry import Coord, NodeKind
+from ..engine import Future, Simulator
+from ..mem.cache import CacheBank
+from ..mem.hbm import PseudoChannel
+from ..mem.spm import Scratchpad
+from ..noc.network import Network
+from ..noc.wormhole import WormholeStrip
+from ..pgas.spaces import (
+    FIELD_A_SHIFT,
+    FIELD_B_SHIFT,
+    FIELD_MASK,
+    TAG_SHIFT,
+    Space,
+)
+from ..pgas.translate import Destination, TargetKind, Translator
+
+
+class MemorySystem:
+    """Shared memory/network fabric for one machine."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig,
+                 record_bin_width: Optional[float] = None) -> None:
+        self.sim = sim
+        self.config = config
+        chip = config.chip
+        feats = config.features
+        timings = config.timings
+        self.translator = Translator(
+            chip, timings.cache.block_bytes, use_ipoly=feats.ipoly_hashing,
+            grid_cells=config.global_grid,
+        )
+        self.req_net = Network(chip, timings.noc, ruche=feats.ruche_network,
+                               order="xy", name="req",
+                               record_bin_width=record_bin_width)
+        self.resp_net = Network(chip, timings.noc, ruche=feats.ruche_network,
+                                order="yx", name="resp",
+                                record_bin_width=record_bin_width)
+        self.hbm: Dict[Coord, PseudoChannel] = {}
+        self.banks: Dict[Tuple[Coord, int], CacheBank] = {}
+        self.strips: Dict[Tuple[Coord, str], WormholeStrip] = {}
+        self.spms: Dict[Coord, Scratchpad] = {}
+        self.atomic_mem: Dict[Any, int] = {}
+        self._build(chip, feats, timings)
+
+    def _build(self, chip, feats, timings) -> None:
+        for cell_xy in chip.cells():
+            channel = PseudoChannel(
+                timings.hbm, name=f"hbm{cell_xy}",
+                bandwidth_scale=self.config.hbm_scale,
+            )
+            self.hbm[cell_xy] = channel
+            north = WormholeStrip(num_banks=chip.cell.tiles_x)
+            south = WormholeStrip(num_banks=chip.cell.tiles_x)
+            self.strips[(cell_xy, "north")] = north
+            self.strips[(cell_xy, "south")] = south
+            for bank_idx in range(chip.cell.num_banks):
+                strip = north if bank_idx < chip.cell.tiles_x else south
+                bank_x = bank_idx % chip.cell.tiles_x
+                self.banks[(cell_xy, bank_idx)] = CacheBank(
+                    self.sim, timings.cache, channel, strip, bank_x,
+                    write_validate=feats.write_validate,
+                    nonblocking=feats.nonblocking_cache,
+                    name=f"bank{cell_xy}:{bank_idx}",
+                )
+        for node, kind in chip.all_nodes():
+            if kind is NodeKind.TILE:
+                self.spms[node] = Scratchpad(self.sim, name=f"spm{node}")
+
+    # -- fast-path helpers used by the core ------------------------------------
+
+    def is_own_spm(self, addr: int, node: Coord) -> bool:
+        """True when a GROUP_SPM address points at the issuing tile itself."""
+        if (addr >> TAG_SHIFT) != Space.GROUP_SPM:
+            return False
+        x = (addr >> FIELD_A_SHIFT) & FIELD_MASK
+        y = (addr >> FIELD_B_SHIFT) & FIELD_MASK
+        return (x, y) == node
+
+    def spm_reserve(self, node: Coord, time: float, words: int = 1) -> float:
+        """Local-pipeline SPM port claim; returns the granted start cycle."""
+        return self.spms[node].reserve(time, words)
+
+    # -- remote operations --------------------------------------------------------
+
+    def remote_request(self, node: Coord, addr: int, is_write: bool,
+                       time: float, words: int = 1) -> Future:
+        """A remote load/store.  The returned future resolves with the
+        response's arrival cycle back at the requesting tile."""
+        dest = self.translator.translate(addr, node)
+        noc = self.config.timings.noc
+        if words > 1:
+            req_flits = noc.compressed_request_flits
+            resp_flits = 1 if is_write else noc.compressed_response_flits
+        else:
+            req_flits = 1
+            resp_flits = 1
+        done = Future(self.sim)
+        report = self.req_net.send(node, dest.node, req_flits, time)
+
+        def serve() -> None:
+            arrival = self.sim.now
+            if dest.kind is TargetKind.SPM:
+                ready = self.spms[dest.node].access(
+                    dest.mem_addr, is_write, arrival, words
+                )
+            else:
+                bank = self.banks[(dest.cell_xy, dest.bank_index)]
+                ready = bank.access(dest.mem_addr, is_write, arrival, words)
+            ready.add_callback(
+                lambda _v: self._respond(dest.node, node, resp_flits, done)
+            )
+
+        self.sim.schedule_at(report.arrival, serve)
+        return done
+
+    def remote_amo(self, node: Coord, addr: int, kind: str, value: int,
+                   time: float) -> Future:
+        """A remote atomic; resolves with ``(arrival_cycle, old_value)``.
+
+        The functional read-modify-write executes when the packet reaches
+        the bank, in event order -- the simulated serialization point.
+        """
+        dest = self.translator.translate(addr, node)
+        if dest.kind is not TargetKind.CACHE:
+            raise ValueError("atomics target DRAM spaces (cache banks) only")
+        done = Future(self.sim)
+        report = self.req_net.send(node, dest.node, 1, time)
+
+        def serve() -> None:
+            arrival = self.sim.now
+            old = self._amo_execute(dest, kind, value)
+            bank = self.banks[(dest.cell_xy, dest.bank_index)]
+            ready = bank.access(dest.mem_addr, is_write=False,
+                                time=arrival, is_amo=True)
+            ready.add_callback(
+                lambda _v: self._respond(dest.node, node, 1, done, payload=old)
+            )
+
+        self.sim.schedule_at(report.arrival, serve)
+        return done
+
+    def _respond(self, src: Coord, dst: Coord, flits: int, done: Future,
+                 payload: Any = None) -> None:
+        report = self.resp_net.send(src, dst, flits, self.sim.now)
+        if payload is None:
+            done.resolve_at(report.arrival, report.arrival)
+        else:
+            done.resolve_at(report.arrival, (report.arrival, payload))
+
+    # -- functional atomic memory ----------------------------------------------------
+
+    @staticmethod
+    def _canonical(dest: Destination) -> Tuple[Coord, int]:
+        return (dest.cell_xy, dest.mem_addr)
+
+    def _amo_execute(self, dest: Destination, kind: str, value: int) -> int:
+        key = self._canonical(dest)
+        old = self.atomic_mem.get(key, 0)
+        if kind == "add":
+            new = old + value
+        elif kind == "or":
+            new = old | value
+        elif kind == "and":
+            new = old & value
+        elif kind == "xor":
+            new = old ^ value
+        elif kind == "swap":
+            new = value
+        elif kind == "min":
+            new = min(old, value)
+        elif kind == "max":
+            new = max(old, value)
+        else:
+            raise ValueError(f"unknown AMO kind {kind!r}")
+        self.atomic_mem[key] = new
+        return old
+
+    def poke(self, addr: int, value: int, node: Coord) -> None:
+        """Host-side functional write to atomic memory (no timing)."""
+        dest = self.translator.translate(addr, node)
+        self.atomic_mem[self._canonical(dest)] = value
+
+    def peek(self, addr: int, node: Coord) -> int:
+        dest = self.translator.translate(addr, node)
+        return self.atomic_mem.get(self._canonical(dest), 0)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def hbm_utilization(self, elapsed: float) -> Dict[Coord, Dict[str, float]]:
+        return {xy: ch.utilization(elapsed) for xy, ch in self.hbm.items()}
+
+    def cache_hit_rate(self, cell_xy: Coord) -> Optional[float]:
+        hits = misses = 0.0
+        for (xy, _idx), bank in self.banks.items():
+            if xy != cell_xy:
+                continue
+            hits += bank.counters.get("load_hits") + bank.counters.get("store_hits")
+            misses += bank.counters.get("load_misses") + bank.counters.get("store_misses")
+        total = hits + misses
+        return hits / total if total else None

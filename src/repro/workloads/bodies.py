@@ -1,0 +1,155 @@
+"""N-body inputs and the reference octree for Barnes-Hut.
+
+The host builds the octree (the paper replicates it per Cell in Local
+DRAM); the kernel traverses it with a private stack, which is the
+Regional-IPOLY-sensitive access pattern Fig 10 highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+def plummer_sphere(n: int, seed: int = 0) -> np.ndarray:
+    """Plummer-model positions, the classic BH benchmark distribution."""
+    rng = np.random.default_rng(seed)
+    # Radius via inverse transform of the Plummer cumulative mass profile.
+    m = rng.uniform(0.0, 0.999, n)
+    r = (m ** (-2.0 / 3.0) - 1.0) ** (-0.5)
+    theta = np.arccos(rng.uniform(-1.0, 1.0, n))
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    x = r * np.sin(theta) * np.cos(phi)
+    y = r * np.sin(theta) * np.sin(phi)
+    z = r * np.cos(theta)
+    return np.stack([x, y, z], axis=1).astype(np.float32)
+
+
+@dataclass
+class OctreeNode:
+    """One internal or leaf node of the BH octree."""
+
+    index: int
+    center: np.ndarray
+    half: float
+    com: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    mass: float = 0.0
+    children: List[Optional[int]] = field(default_factory=lambda: [None] * 8)
+    body: Optional[int] = None  # leaf payload
+
+    @property
+    def is_leaf(self) -> bool:
+        return all(c is None for c in self.children)
+
+
+class Octree:
+    """A standard BH octree with centre-of-mass aggregation."""
+
+    def __init__(self, positions: np.ndarray, masses: Optional[np.ndarray] = None,
+                 max_depth: int = 24) -> None:
+        self.positions = np.asarray(positions, dtype=np.float64)
+        n = len(self.positions)
+        self.masses = (np.ones(n) if masses is None
+                       else np.asarray(masses, dtype=np.float64))
+        self.max_depth = max_depth
+        self.nodes: List[OctreeNode] = []
+        self._build()
+
+    def _new_node(self, center: np.ndarray, half: float) -> OctreeNode:
+        node = OctreeNode(index=len(self.nodes), center=center, half=half)
+        self.nodes.append(node)
+        return node
+
+    def _build(self) -> None:
+        lo = self.positions.min(axis=0)
+        hi = self.positions.max(axis=0)
+        center = (lo + hi) / 2
+        half = float(max((hi - lo).max() / 2, 1e-9)) * 1.001
+        root = self._new_node(center, half)
+        for body in range(len(self.positions)):
+            self._insert(root, body, depth=0)
+        self._summarize(root)
+
+    def _octant(self, node: OctreeNode, pos: np.ndarray) -> int:
+        return int((pos[0] > node.center[0])
+                   + 2 * (pos[1] > node.center[1])
+                   + 4 * (pos[2] > node.center[2]))
+
+    def _child_center(self, node: OctreeNode, octant: int) -> np.ndarray:
+        offs = np.array([
+            1 if octant & 1 else -1,
+            1 if octant & 2 else -1,
+            1 if octant & 4 else -1,
+        ])
+        return node.center + offs * (node.half / 2)
+
+    def _insert(self, node: OctreeNode, body: int, depth: int) -> None:
+        pos = self.positions[body]
+        if node.is_leaf and node.body is None and node.mass == 0:
+            node.body = body
+            return
+        if node.is_leaf and node.body is not None:
+            if depth >= self.max_depth:
+                # Degenerate cluster: merge into the leaf.
+                node.mass += 0  # mass aggregated in _summarize
+                return
+            old = node.body
+            node.body = None
+            self._push_down(node, old, depth)
+        self._push_down(node, body, depth)
+
+    def _push_down(self, node: OctreeNode, body: int, depth: int) -> None:
+        octant = self._octant(node, self.positions[body])
+        child_idx = node.children[octant]
+        if child_idx is None:
+            child = self._new_node(self._child_center(node, octant), node.half / 2)
+            node.children[octant] = child.index
+        else:
+            child = self.nodes[child_idx]
+        self._insert(child, body, depth + 1)
+
+    def _summarize(self, node: OctreeNode) -> None:
+        if node.is_leaf:
+            if node.body is not None:
+                node.mass = float(self.masses[node.body])
+                node.com = self.positions[node.body].copy()
+            return
+        total = 0.0
+        com = np.zeros(3)
+        for child_idx in node.children:
+            if child_idx is None:
+                continue
+            child = self.nodes[child_idx]
+            self._summarize(child)
+            total += child.mass
+            com += child.mass * child.com
+        node.mass = total
+        node.com = com / total if total > 0 else node.center.copy()
+
+    @property
+    def root(self) -> OctreeNode:
+        return self.nodes[0]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def force_on(self, body: int, theta: float = 0.5) -> np.ndarray:
+        """Reference BH force (used by functional tests)."""
+        pos = self.positions[body]
+        acc = np.zeros(3)
+        stack = [0]
+        while stack:
+            node = self.nodes[stack.pop()]
+            if node.mass == 0:
+                continue
+            if node.is_leaf and node.body == body:
+                continue
+            d = node.com - pos
+            dist = float(np.sqrt((d * d).sum()) + 1e-9)
+            if node.is_leaf or (2 * node.half) / dist < theta:
+                acc += node.mass * d / dist ** 3
+            else:
+                stack.extend(c for c in node.children if c is not None)
+        return acc

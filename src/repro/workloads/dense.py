@@ -1,0 +1,66 @@
+"""Dense and streaming inputs for the compute-oriented kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def random_matrix(n: int, m: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, m)).astype(np.float32)
+
+
+def fft_input(n: int, seed: int = 0) -> np.ndarray:
+    """Complex signal of power-of-two length."""
+    if n & (n - 1):
+        raise ValueError("FFT size must be a power of two")
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(np.complex64)
+
+
+def jacobi_grid(nx: int, ny: int, nz: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((nx, ny, nz)).astype(np.float32)
+
+
+@dataclass
+class OptionBatch:
+    """Black-Scholes inputs: one row per option."""
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    expiry: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.spot)
+
+
+def option_batch(n: int, seed: int = 0) -> OptionBatch:
+    rng = np.random.default_rng(seed)
+    return OptionBatch(
+        spot=rng.uniform(5.0, 30.0, n).astype(np.float32),
+        strike=rng.uniform(1.0, 100.0, n).astype(np.float32),
+        rate=np.full(n, 0.02, dtype=np.float32),
+        volatility=rng.uniform(0.05, 0.65, n).astype(np.float32),
+        expiry=rng.uniform(0.25, 10.0, n).astype(np.float32),
+    )
+
+
+def dna_sequences(query_len: int, ref_len: int, num_pairs: int,
+                  seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random DNA pairs for Smith-Waterman (values 0..3)."""
+    rng = np.random.default_rng(seed)
+    queries = rng.integers(0, 4, size=(num_pairs, query_len), dtype=np.int8)
+    refs = rng.integers(0, 4, size=(num_pairs, ref_len), dtype=np.int8)
+    return queries, refs
+
+
+def aes_blocks(num_blocks: int, seed: int = 0) -> np.ndarray:
+    """16-byte plaintext blocks."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(num_blocks, 16), dtype=np.uint8)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.arch.config import small_config
+from repro.runtime.machine import Machine
+
+
+@pytest.fixture
+def tiny_config():
+    """A 4x4-tile single-Cell machine: every mechanism, minimal cost."""
+    return small_config(4, 4)
+
+
+@pytest.fixture
+def tiny_machine(tiny_config):
+    return Machine(tiny_config)
+
+
+@pytest.fixture
+def cell(tiny_machine):
+    return tiny_machine.cell(0, 0)

@@ -1,0 +1,96 @@
+"""Machine configurations and feature sets."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import (
+    ALL_FEATURES,
+    HB_16x8,
+    HB_16x16,
+    HB_2x16x8,
+    HB_32x8,
+    NO_FEATURES,
+    FeatureSet,
+    MachineConfig,
+    TABLE_II,
+    small_config,
+)
+from repro.arch.geometry import CellGeometry
+from repro.arch.params import CacheTiming
+
+
+class TestFeatureSet:
+    def test_all_on_by_default(self):
+        for f in dataclasses.fields(FeatureSet):
+            assert getattr(ALL_FEATURES, f.name) is True
+
+    def test_no_features_all_off(self):
+        for f in dataclasses.fields(FeatureSet):
+            assert getattr(NO_FEATURES, f.name) is False
+
+    def test_describe(self):
+        assert NO_FEATURES.describe() == "none"
+        assert "ruche_network" in ALL_FEATURES.describe()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ALL_FEATURES.ruche_network = False
+
+
+class TestTableII:
+    def test_all_four_presets(self):
+        assert set(TABLE_II) == {"HB-16x8", "HB-16x16", "HB-32x8", "HB-2x16x8"}
+
+    def test_baseline_geometry(self):
+        assert HB_16x8.cell.num_tiles == 128
+        assert HB_16x8.cell.num_banks == 32
+
+    def test_vertical_doubling_keeps_banks(self):
+        assert HB_16x16.cell.num_tiles == 256
+        assert HB_16x16.cell.num_banks == 32
+
+    def test_horizontal_doubling_doubles_banks(self):
+        assert HB_32x8.cell.num_tiles == 256
+        assert HB_32x8.cell.num_banks == 64
+
+    def test_cell_doubling_halves_bandwidth(self):
+        assert HB_2x16x8.num_cells == 2
+        assert HB_2x16x8.hbm_scale == 0.5
+        assert HB_16x8.hbm_scale == 1.0
+
+    def test_cell_cache_capacity_is_1mb(self):
+        assert HB_16x8.cell_cache_bytes == 1 << 20
+
+    def test_32x8_cache_capacity_is_2mb(self):
+        assert HB_32x8.cell_cache_bytes == 2 << 20
+
+    def test_published_areas(self):
+        assert HB_16x8.published["area_mm2"] == 311
+        assert HB_32x8.published["area_mm2"] == 620
+
+
+class TestMachineConfig:
+    def test_with_features(self):
+        cfg = HB_16x8.with_features(NO_FEATURES)
+        assert cfg.features is NO_FEATURES
+        assert HB_16x8.features is not NO_FEATURES  # original untouched
+
+    def test_with_cache(self):
+        cfg = HB_16x8.with_cache(CacheTiming(sets=16))
+        assert cfg.timings.cache.sets == 16
+        assert HB_16x8.timings.cache.sets == 64
+
+    def test_invalid_cells(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", cell=CellGeometry(4, 4), cells_x=0)
+
+    def test_chip_property(self):
+        chip = HB_16x8.chip
+        assert chip.num_tiles == 128
+
+    def test_small_config(self):
+        cfg = small_config(4, 4)
+        assert cfg.cell.num_tiles == 16
+        cfg2 = small_config(4, 4, features=NO_FEATURES)
+        assert cfg2.features is NO_FEATURES

@@ -1,0 +1,107 @@
+"""Cell/chip geometry: coordinates, indices, node kinds."""
+
+import pytest
+
+from repro.arch.geometry import CellGeometry, ChipGeometry, NodeKind, manhattan
+
+
+@pytest.fixture
+def cell():
+    return CellGeometry(tiles_x=4, tiles_y=3)
+
+
+@pytest.fixture
+def chip(cell):
+    return ChipGeometry(cell=cell, cells_x=2, cells_y=2)
+
+
+class TestCellGeometry:
+    def test_counts(self, cell):
+        assert cell.num_tiles == 12
+        assert cell.num_banks == 8
+        assert cell.rows == 5
+        assert cell.cols == 4
+
+    def test_tile_coords_skip_bank_rows(self, cell):
+        ys = {y for _x, y in cell.tile_coords()}
+        assert ys == {1, 2, 3}
+
+    def test_bank_coords_are_strips(self, cell):
+        coords = list(cell.bank_coords())
+        assert len(coords) == 8
+        assert all(y in (0, 4) for _x, y in coords)
+
+    def test_bank_index_roundtrip(self, cell):
+        for i in range(cell.num_banks):
+            assert cell.bank_index(cell.bank_coord(i)) == i
+
+    def test_tile_index_roundtrip(self, cell):
+        for i in range(cell.num_tiles):
+            assert cell.tile_index(cell.tile_coord(i)) == i
+
+    def test_bank_index_rejects_tile_coord(self, cell):
+        with pytest.raises(ValueError):
+            cell.bank_index((0, 1))
+
+    def test_tile_index_rejects_bank_coord(self, cell):
+        with pytest.raises(ValueError):
+            cell.tile_index((0, 0))
+
+    def test_out_of_range_indices(self, cell):
+        with pytest.raises(ValueError):
+            cell.bank_coord(8)
+        with pytest.raises(ValueError):
+            cell.tile_coord(12)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CellGeometry(0, 4)
+
+
+class TestChipGeometry:
+    def test_counts(self, chip):
+        assert chip.num_cells == 4
+        assert chip.num_tiles == 48
+        assert chip.grid_cols == 8
+        assert chip.grid_rows == 10
+
+    def test_cell_origin(self, chip):
+        assert chip.cell_origin((0, 0)) == (0, 0)
+        assert chip.cell_origin((1, 1)) == (4, 5)
+
+    def test_origin_out_of_range(self, chip):
+        with pytest.raises(ValueError):
+            chip.cell_origin((2, 0))
+
+    def test_to_global_and_back(self, chip):
+        node = chip.to_global((1, 0), (2, 3))
+        assert node == (6, 3)
+        cell_xy, local = chip.to_local(node)
+        assert cell_xy == (1, 0)
+        assert local == (2, 3)
+
+    def test_to_local_rejects_outside(self, chip):
+        with pytest.raises(ValueError):
+            chip.to_local((100, 0))
+
+    def test_all_nodes_cover_grid(self, chip):
+        nodes = list(chip.all_nodes())
+        assert len(nodes) == chip.grid_cols * chip.grid_rows
+        assert len({n for n, _k in nodes}) == len(nodes)
+
+    def test_kind_of(self, chip):
+        assert chip.kind_of((0, 0)) is NodeKind.CACHE
+        assert chip.kind_of((0, 1)) is NodeKind.TILE
+        assert chip.kind_of((0, 4)) is NodeKind.CACHE
+        assert chip.kind_of((4, 5)) is NodeKind.CACHE  # next cell's north strip
+
+    def test_kinds_match_coord_generators(self, chip):
+        kinds = dict(chip.all_nodes())
+        tiles = sum(1 for k in kinds.values() if k is NodeKind.TILE)
+        assert tiles == chip.num_tiles
+
+
+def test_manhattan():
+    assert manhattan((0, 0), (3, 4)) == 7
+    assert manhattan((2, 2), (2, 2)) == 0
+    assert manhattan((5, 1), (1, 5)) == 8

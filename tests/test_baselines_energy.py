@@ -1,0 +1,170 @@
+"""Baseline models (feature ladder, hierarchical ET) and energy/area."""
+
+import pytest
+
+from repro.baselines.features import DENSITY_RATIO, ladder, ladder_names
+from repro.baselines.hierarchical import (
+    THREAD_RATIO,
+    WideChannelModel,
+    WordChannelModel,
+    et_config,
+)
+from repro.energy import area, epi
+
+
+class TestFeatureLadder:
+    def test_ten_rungs(self):
+        assert len(ladder()) == 10
+
+    def test_first_rung_has_nothing(self):
+        _name, cfg = ladder()[0]
+        assert not cfg.features.nonblocking_loads
+        assert not cfg.features.ruche_network
+        assert cfg.timings.noc.link_cycles_per_flit == 2
+
+    def test_last_rung_has_everything(self):
+        _name, cfg = ladder()[-1]
+        assert cfg.features.nonblocking_loads
+        assert cfg.features.ruche_network
+        assert cfg.features.write_validate
+        assert cfg.features.load_compression
+        assert cfg.features.ipoly_hashing
+        assert cfg.features.nonblocking_cache
+
+    def test_density_step_grows_tiles(self):
+        rungs = dict(ladder())
+        small = rungs["+cache"].cell.num_tiles
+        full = rungs["+density (cellular baseline)"].cell.num_tiles
+        assert full == small * DENSITY_RATIO
+
+    def test_features_accumulate_monotonically(self):
+        import dataclasses
+
+        prev_on = 0
+        for _name, cfg in ladder():
+            on = sum(1 for f in dataclasses.fields(cfg.features)
+                     if getattr(cfg.features, f.name))
+            assert on >= prev_on
+            prev_on = on
+
+    def test_names_stable(self):
+        names = ladder_names()
+        assert names[0] == "baseline-manycore"
+        assert names[3].startswith("+density")
+
+
+class TestHierarchicalModel:
+    def test_et_thread_ratio(self):
+        cfg = et_config(32, 8)
+        assert cfg.cell.num_tiles == pytest.approx(256 / THREAD_RATIO, rel=0.3)
+
+    def test_et_cache_larger(self):
+        cfg = et_config()
+        assert cfg.timings.cache.sets == 256
+
+    def test_et_has_no_hb_features(self):
+        cfg = et_config()
+        assert not cfg.features.ruche_network
+        assert not cfg.features.load_compression
+
+    def test_sparse_transfer_wastes_wide_channels(self):
+        wide = WideChannelModel(channel_bits=1024)
+        sparse = wide.transfer(1 << 20, sparse=True)
+        dense = wide.transfer(1 << 20, sparse=False)
+        assert sparse.efficiency == pytest.approx(4 / 128)
+        assert dense.efficiency == pytest.approx(1.0)
+        assert sparse.cycles > 20 * dense.cycles
+
+    def test_word_channel_efficiency(self):
+        word = WordChannelModel(links=32, utilization=0.85)
+        est = word.transfer(1 << 20)
+        assert est.efficiency == 1.0
+
+    def test_word_beats_wide_on_sparse(self):
+        wide = WideChannelModel().transfer(1 << 20, sparse=True)
+        word = WordChannelModel(links=32).transfer(1 << 20)
+        assert word.cycles < wide.cycles
+
+    def test_wide_beats_word_on_dense(self):
+        wide = WideChannelModel().transfer(1 << 20, sparse=False)
+        word = WordChannelModel(links=32).transfer(1 << 20)
+        assert wide.cycles < word.cycles
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            WideChannelModel().transfer(-1, sparse=True)
+        with pytest.raises(ValueError):
+            WordChannelModel(links=4, utilization=0)
+
+
+class TestEpi:
+    def test_ratio_band_matches_paper(self):
+        ratios = epi.efficiency_ratios()
+        assert min(ratios.values()) == pytest.approx(3.6, abs=0.15)
+        assert max(ratios.values()) == pytest.approx(15.1, abs=0.15)
+
+    def test_all_classes_favor_hb(self):
+        assert all(r > 1 for r in epi.efficiency_ratios().values())
+
+    def test_load_is_worst_for_piton(self):
+        ratios = epi.efficiency_ratios()
+        assert max(ratios, key=ratios.get) == "load"
+
+    def test_breakdown_sums_to_epi(self):
+        for cls in epi.INSTRUCTION_CLASSES:
+            assert sum(epi.hb_epi_breakdown(cls).values()) == pytest.approx(
+                epi.hb_epi(cls))
+
+    def test_cv2_scale_below_one(self):
+        assert 0 < epi.cv2_scale() < 1
+
+    def test_kernel_energy(self):
+        report = epi.kernel_energy({"int": 100, "fp": 50})
+        assert report.total_pj == pytest.approx(
+            100 * epi.hb_epi("int") + 50 * epi.hb_epi("fp"))
+        assert report.avg_epi > 0
+
+    def test_kernel_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            epi.kernel_energy({"int": -1})
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            epi.hb_epi("simd")
+
+
+class TestArea:
+    def test_hb_density_matches_table(self):
+        hb = area.record("HammerBlade")
+        assert hb.cores_per_mm2 == pytest.approx(26.4, abs=0.1)
+
+    def test_et_ratio_41x(self):
+        ratios = area.density_ratios()
+        assert ratios["ET-SoC-1"]["core_ratio"] == pytest.approx(41.4, abs=0.5)
+
+    def test_openpiton_ratio(self):
+        ratios = area.density_ratios()
+        assert ratios["OpenPiton"]["core_ratio"] == pytest.approx(11.7, abs=0.3)
+
+    def test_fpu_dash_for_fpuless_chips(self):
+        ratios = area.density_ratios()
+        assert ratios["TILE64"]["fpu_ratio"] is None
+        assert ratios["Celerity"]["fpu_ratio"] is None
+
+    def test_celerity_denser_than_hb(self):
+        """Table IV: Celerity's 0.8x is the only sub-1 core ratio."""
+        ratios = area.density_ratios()
+        assert ratios["Celerity"]["core_ratio"] < 1.0
+
+    def test_100k_cores_claim(self):
+        assert area.cores_on_die(600.0) > 100_000
+
+    def test_tile_breakdown_sums_to_one(self):
+        assert sum(area.TILE_BREAKDOWN.values()) == pytest.approx(1.0)
+
+    def test_ruche_overhead_about_4_percent(self):
+        assert area.ruche_router_overhead() == pytest.approx(0.028, abs=0.02)
+
+    def test_unknown_record(self):
+        with pytest.raises(KeyError):
+            area.record("Cray-1")

@@ -1,0 +1,148 @@
+"""Scoreboard, icache, branch predictor in isolation."""
+
+import pytest
+
+from repro.core.branch import BranchPredictor
+from repro.core.icache import ICache
+from repro.core.scoreboard import Scoreboard
+from repro.engine import Simulator
+
+
+class TestScoreboard:
+    def test_acquire_release(self):
+        sb = Scoreboard(Simulator(), entries=2)
+        sb.acquire()
+        sb.acquire()
+        assert sb.full
+        sb.release()
+        assert not sb.full
+        assert sb.outstanding == 1
+
+    def test_over_acquire_raises(self):
+        sb = Scoreboard(Simulator(), entries=1)
+        sb.acquire()
+        with pytest.raises(RuntimeError):
+            sb.acquire()
+
+    def test_release_without_acquire_raises(self):
+        sb = Scoreboard(Simulator())
+        with pytest.raises(RuntimeError):
+            sb.release()
+
+    def test_default_capacity_is_63(self):
+        assert Scoreboard(Simulator()).capacity == 63
+
+    def test_credit_waiter_woken_fifo(self):
+        sim = Simulator()
+        sb = Scoreboard(sim, entries=1)
+        sb.acquire()
+        order = []
+        sb.wait_credit().add_callback(lambda _v: order.append("first"))
+        sb.wait_credit().add_callback(lambda _v: order.append("second"))
+        sb.release()
+        assert order == ["first"]
+        sb.acquire()
+        sb.release()
+        assert order == ["first", "second"]
+
+    def test_drain_waiter(self):
+        sim = Simulator()
+        sb = Scoreboard(sim, entries=4)
+        sb.acquire()
+        sb.acquire()
+        drained = []
+        sb.wait_drain().add_callback(lambda _v: drained.append(True))
+        sb.release()
+        assert not drained
+        sb.release()
+        assert drained == [True]
+
+    def test_drain_when_empty_immediate(self):
+        sb = Scoreboard(Simulator())
+        assert sb.wait_drain().done
+
+    def test_peak_and_total(self):
+        sb = Scoreboard(Simulator(), entries=4)
+        for _ in range(3):
+            sb.acquire()
+        sb.release()
+        sb.acquire()
+        assert sb.peak == 3
+        assert sb.total_issued == 4
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            Scoreboard(Simulator(), entries=0)
+
+
+class TestICache:
+    def test_first_touch_misses(self):
+        ic = ICache(miss_penalty=40)
+        assert ic.access(0) == 40
+        assert ic.misses == 1
+
+    def test_same_line_hits(self):
+        ic = ICache(miss_penalty=40)
+        ic.access(0)
+        for pc in (1, 2, 3):
+            assert ic.access(pc) == 0
+        assert ic.hits == 3
+
+    def test_loop_warm_after_first_iteration(self):
+        ic = ICache(miss_penalty=40)
+        body = list(range(20))
+        first = sum(ic.access(pc) for pc in body)
+        second = sum(ic.access(pc) for pc in body)
+        assert first > 0
+        assert second == 0
+
+    def test_conflict_eviction(self):
+        ic = ICache(miss_penalty=40)
+        ic.access(0)
+        # Same index, different tag: lines apart by num_lines*line_instrs.
+        conflict_pc = ic.num_lines * ic.line_instrs
+        assert ic.access(conflict_pc) == 40
+        assert ic.access(0) == 40  # evicted
+
+    def test_capacity(self):
+        ic = ICache(miss_penalty=40)
+        assert ic.num_lines == 256  # 4 KB / 16 B lines
+
+    def test_miss_rate(self):
+        ic = ICache(miss_penalty=1)
+        ic.access(0)
+        ic.access(1)
+        assert ic.miss_rate() == pytest.approx(0.5)
+        assert ICache(1).miss_rate() == 0.0
+
+
+class TestBranchPredictor:
+    def test_backward_taken_predicted(self):
+        bp = BranchPredictor(miss_penalty=2)
+        assert bp.predict_and_resolve(backward=True, taken=True) == 0
+
+    def test_backward_not_taken_flushes(self):
+        bp = BranchPredictor(miss_penalty=2)
+        assert bp.predict_and_resolve(backward=True, taken=False) == 2
+
+    def test_forward_not_taken_predicted(self):
+        bp = BranchPredictor(miss_penalty=2)
+        assert bp.predict_and_resolve(backward=False, taken=False) == 0
+
+    def test_forward_taken_flushes(self):
+        bp = BranchPredictor(miss_penalty=2)
+        assert bp.predict_and_resolve(backward=False, taken=True) == 2
+
+    def test_miss_rate(self):
+        bp = BranchPredictor(miss_penalty=2)
+        bp.predict_and_resolve(True, True)
+        bp.predict_and_resolve(True, False)
+        assert bp.miss_rate() == pytest.approx(0.5)
+        assert BranchPredictor(2).miss_rate() == 0.0
+
+    def test_loop_pattern_one_miss(self):
+        """An N-iteration loop mispredicts only its final fall-through."""
+        bp = BranchPredictor(miss_penalty=2)
+        flushes = sum(bp.predict_and_resolve(True, i < 9) for i in range(10))
+        assert flushes == 2
+        assert bp.mispredictions == 1

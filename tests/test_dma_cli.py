@@ -1,0 +1,79 @@
+"""Host DMA transfer pricing and the CLI."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.geometry import CellGeometry
+from repro.cli import EXPERIMENTS, main
+from repro.runtime.dma import cell_to_cell, host_to_cell
+from repro.runtime.machine import Machine
+
+
+@pytest.fixture
+def duo():
+    cfg = MachineConfig(name="duo", cell=CellGeometry(4, 4),
+                        cells_x=2, cells_y=1)
+    return Machine(cfg)
+
+
+class TestHostToCell:
+    def test_transfer_completes(self, duo):
+        rep = host_to_cell(duo, (0, 0), offset=0, nbytes=4096)
+        assert rep.done > rep.start
+        assert rep.payload_bytes == 4096
+
+    def test_approaches_channel_bandwidth(self, duo):
+        rep = host_to_cell(duo, (0, 0), offset=0, nbytes=64 * 1024)
+        peak = duo.memsys.hbm[(0, 0)].bytes_per_cycle_peak()
+        assert rep.bandwidth() > 0.5 * peak
+
+    def test_larger_is_slower(self, duo):
+        small = host_to_cell(duo, (0, 0), offset=0, nbytes=1024)
+        big = host_to_cell(duo, (1, 0), offset=0, nbytes=64 * 1024)
+        assert big.cycles > small.cycles
+
+    def test_invalid_size(self, duo):
+        with pytest.raises(ValueError):
+            host_to_cell(duo, (0, 0), offset=0, nbytes=0)
+
+
+class TestCellToCell:
+    def test_dense_transfer(self, duo):
+        rep = cell_to_cell(duo, (0, 0), (1, 0), nbytes=4096, sparse=False)
+        assert rep.done > rep.start
+
+    def test_sparse_slower_than_dense(self, duo):
+        dense = cell_to_cell(duo, (0, 0), (1, 0), nbytes=16 * 1024,
+                             sparse=False)
+        duo2 = Machine(duo.config)
+        sparse = cell_to_cell(duo2, (0, 0), (1, 0), nbytes=16 * 1024,
+                              sparse=True)
+        assert sparse.cycles > dense.cycles
+
+    def test_uses_the_network(self, duo):
+        before = duo.memsys.req_net.counters.get("packets")
+        cell_to_cell(duo, (0, 0), (1, 0), nbytes=1024)
+        assert duo.memsys.req_net.counters.get("packets") > before
+
+    def test_same_cell_rejected(self, duo):
+        with pytest.raises(ValueError):
+            cell_to_cell(duo, (0, 0), (0, 0), nbytes=64)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+
+    def test_unknown(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_registry_complete(self):
+        assert {"fig3", "fig4", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "fig15", "fig16", "tables"} <= set(EXPERIMENTS)
+
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "3.6" in out

@@ -1,0 +1,146 @@
+"""Event-queue semantics: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.engine.event import SimulationError, Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: seen.append("b"))
+    sim.schedule(1, lambda: seen.append("a"))
+    sim.schedule(9, lambda: seen.append("c"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_break_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(3, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(7, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [7]
+    assert sim.now == 7
+
+
+def test_schedule_at_absolute():
+    sim = Simulator()
+    sim.schedule_at(42, lambda: None)
+    sim.run()
+    assert sim.now == 42
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(3, lambda: seen.append("x"))
+    ev.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(3, lambda: None)
+    sim.schedule(8, lambda: None)
+    ev.cancel()
+    assert sim.peek() == 8
+
+
+def test_peek_empty_returns_none():
+    assert Simulator().peek() is None
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5, lambda: seen.append(5))
+    sim.schedule(15, lambda: seen.append(15))
+    sim.run(until=10)
+    assert seen == [5]
+    assert sim.now == 10
+    sim.run()
+    assert seen == [5, 15]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(2, lambda: seen.append("second"))
+
+    sim.schedule(1, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 3
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1, rearm)
+
+    sim.schedule(1, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_drained():
+    sim = Simulator()
+    assert sim.drained()
+    sim.schedule(1, lambda: None)
+    assert not sim.drained()
+    sim.run()
+    assert sim.drained()
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1, nested)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,143 @@
+"""Counters, binned series, interval reservation, geomean."""
+
+import math
+
+import pytest
+
+from repro.engine.stats import BinnedSeries, Counter, Interval, geomean, mean
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("x")
+        c.add("x", 2)
+        assert c.get("x") == 3
+
+    def test_missing_is_zero(self):
+        assert Counter().get("nope") == 0
+
+    def test_total(self):
+        c = Counter()
+        c.add("a", 2)
+        c.add("b", 3)
+        assert c.total() == 5
+
+    def test_fractions_sum_to_one(self):
+        c = Counter()
+        c.add("a", 1)
+        c.add("b", 3)
+        fr = c.fractions()
+        assert fr["a"] == pytest.approx(0.25)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert Counter().fractions() == {}
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+
+
+class TestBinnedSeries:
+    def test_point_adds(self):
+        s = BinnedSeries(10)
+        s.add(5)
+        s.add(15)
+        s.add(17)
+        assert s.series() == [(0, 1.0), (10, 2.0)]
+
+    def test_add_range_within_bin(self):
+        s = BinnedSeries(100)
+        s.add_range(10, 20)
+        assert s.series() == [(0, 10.0)]
+
+    def test_add_range_spanning_bins(self):
+        s = BinnedSeries(10)
+        s.add_range(5, 25)
+        assert s.series() == [(0, 5.0), (10, 10.0), (20, 5.0)]
+
+    def test_total_mass_preserved(self):
+        s = BinnedSeries(7)
+        s.add_range(3, 45)
+        assert sum(v for _t, v in s.series()) == pytest.approx(42)
+
+    def test_gaps_filled_with_zero(self):
+        s = BinnedSeries(10)
+        s.add(5)
+        s.add(35)
+        assert (10, 0.0) in s.series()
+        assert (20, 0.0) in s.series()
+
+    def test_normalized(self):
+        s = BinnedSeries(10)
+        s.add_range(0, 5)
+        assert s.normalized(10) == [(0, 0.5)]
+
+    def test_empty_series(self):
+        assert BinnedSeries(10).series() == []
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(0)
+
+    def test_empty_range_noop(self):
+        s = BinnedSeries(10)
+        s.add_range(5, 5)
+        assert s.series() == []
+
+
+class TestInterval:
+    def test_reserve_when_free(self):
+        iv = Interval()
+        assert iv.reserve(10, 3) == 10
+        assert iv.free_at == 13
+
+    def test_reserve_queues_behind(self):
+        iv = Interval()
+        iv.reserve(0, 5)
+        assert iv.reserve(2, 1) == 5
+
+    def test_busy_accumulates(self):
+        iv = Interval()
+        iv.reserve(0, 5)
+        iv.reserve(0, 5)
+        assert iv.busy_cycles == 10
+
+    def test_utilization(self):
+        iv = Interval()
+        iv.reserve(0, 5)
+        assert iv.utilization(10) == pytest.approx(0.5)
+        assert iv.utilization(0) == 0.0
+
+
+class TestAggregates:
+    def test_geomean_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_geomean_identity(self):
+        assert geomean([3.7]) == pytest.approx(3.7)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_le_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geomean(values) <= mean(values)
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])

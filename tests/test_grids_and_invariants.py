@@ -1,0 +1,124 @@
+"""GLOBAL_DRAM grid partitioning and conservation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import MachineConfig
+from repro.arch.geometry import CellGeometry, ChipGeometry
+from repro.arch.params import HBMTiming, NocTiming
+from repro.mem.hbm import PseudoChannel
+from repro.noc.network import Network
+from repro.pgas import spaces
+from repro.pgas.translate import Translator
+from repro.runtime.machine import Machine
+
+
+class TestGlobalGrids:
+    @pytest.fixture
+    def chip(self):
+        return ChipGeometry(CellGeometry(2, 2), cells_x=4, cells_y=2)
+
+    def test_grid_confines_lines_to_grid_cells(self, chip):
+        tr = Translator(chip, 64, use_ipoly=True, grid_cells=(2, 2))
+        # Lines with grid selector 0 must stay in the first 2x2 grid.
+        cells = set()
+        grids_count = (4 // 2) * (2 // 2)
+        for line in range(0, 64):
+            offset = line * grids_count * 64  # grid index 0 lines
+            dest = tr.translate(spaces.global_dram(offset), (0, 1))
+            cells.add(dest.cell_xy)
+        assert cells <= {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_no_grid_spreads_chipwide(self, chip):
+        tr = Translator(chip, 64, use_ipoly=True)
+        cells = {
+            tr.translate(spaces.global_dram(64 * l), (0, 1)).cell_xy
+            for l in range(256)
+        }
+        assert len(cells) == 8
+
+    def test_machine_wires_grid_through(self):
+        cfg = MachineConfig(name="g", cell=CellGeometry(2, 2),
+                            cells_x=4, cells_y=2, global_grid=(2, 2))
+        machine = Machine(cfg)
+        assert machine.memsys.translator.grid_cells == (2, 2)
+
+    def test_grid_translation_deterministic(self, chip):
+        tr = Translator(chip, 64, use_ipoly=True, grid_cells=(2, 1))
+        a = tr.translate(spaces.global_dram(0x1240), (0, 1))
+        b = tr.translate(spaces.global_dram(0x1240), (7, 2))
+        assert (a.node, a.mem_addr) == (b.node, b.mem_addr)
+
+
+class TestConservation:
+    """Flit/packet/byte conservation across the models."""
+
+    @settings(max_examples=25)
+    @given(sends=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 5),
+                  st.integers(0, 7), st.integers(0, 5),
+                  st.integers(1, 4)),
+        min_size=1, max_size=40))
+    def test_network_flit_conservation(self, sends):
+        from repro.noc.routing import hop_count
+
+        chip = ChipGeometry(CellGeometry(8, 4), 1, 1)
+        net = Network(chip, NocTiming(), ruche=True, order="xy")
+        expected_flits = 0
+        expected_busy = 0
+        for sx, sy, dx, dy, flits in sends:
+            net.send((sx, sy), (dx, dy), flits, 0)
+            expected_flits += flits
+            expected_busy += flits * hop_count(net.topology, (sx, sy),
+                                               (dx, dy))
+        assert net.counters.get("flits") == expected_flits
+        assert net.counters.get("packets") == len(sends)
+        # Busy cycles on links == sum over packets of flits x hops.
+        total_busy = sum(l.busy_cycles for l in net.topology.links())
+        assert total_busy == expected_busy
+
+    @settings(max_examples=25)
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=60))
+    def test_hbm_completion_monotone_per_bank(self, addrs):
+        hbm = PseudoChannel(HBMTiming())
+        per_bank_last = {}
+        for i, addr in enumerate(addrs):
+            addr &= ~63
+            bank, _row = hbm._bank_and_row(addr)
+            done = hbm.access(addr, is_write=False, time=float(i))
+            assert done > i
+            if bank in per_bank_last:
+                assert done > per_bank_last[bank] - 1e-9
+            per_bank_last[bank] = done
+
+    @settings(max_examples=25)
+    @given(addrs=st.lists(st.integers(0, 255), min_size=1, max_size=50))
+    def test_hbm_category_counts_conserve(self, addrs):
+        hbm = PseudoChannel(HBMTiming())
+        for a in addrs:
+            hbm.access(a * 64, False, 0)
+        c = hbm.counters
+        assert (c.get("row_hits") + c.get("row_opens")
+                + c.get("row_conflicts")) == len(addrs)
+        assert c.get("reads") == len(addrs)
+
+    def test_cache_access_counts_conserve(self):
+        from repro.arch.params import CacheTiming
+        from repro.engine import Simulator
+        from repro.mem.cache import CacheBank
+        from repro.noc.wormhole import WormholeStrip
+
+        sim = Simulator()
+        bank = CacheBank(sim, CacheTiming(sets=4, ways=2),
+                         PseudoChannel(HBMTiming()),
+                         WormholeStrip(num_banks=4), bank_x=0)
+        n = 40
+        futs = [bank.access((i % 12) * 64, i % 3 == 0, time=float(i))
+                for i in range(n)]
+        sim.run()
+        assert all(f.done for f in futs)
+        c = bank.counters
+        hits = c.get("load_hits") + c.get("store_hits")
+        misses = c.get("load_misses") + c.get("store_misses")
+        assert hits + misses == n

@@ -1,0 +1,170 @@
+"""Kernel IR: ops, context, pc management, disassembly."""
+
+import pytest
+
+from repro.arch.geometry import Coord
+from repro.isa import (
+    AmoOp,
+    BranchOp,
+    FpOp,
+    IntOp,
+    Kernel,
+    KernelContext,
+    LoadOp,
+    StoreOp,
+    VecLoadOp,
+    format_op,
+    format_trace,
+    kernel,
+)
+from repro.pgas import spaces
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(
+        node=(2, 3), cell_xy=(0, 0), cell_origin=(0, 0),
+        group_rank=5, group_size=16, group_shape=(4, 4),
+        barrier_group=None,
+    )
+
+
+class TestRegisters:
+    def test_fresh_registers(self, ctx):
+        rs = [ctx.reg() for _ in range(10)]
+        assert len(set(rs)) == 10
+        assert 0 not in rs  # r0 is reserved
+
+    def test_regs_bulk(self, ctx):
+        assert len(ctx.regs(4)) == 4
+
+
+class TestPcManagement:
+    def test_sequential_pcs(self, ctx):
+        ops = [ctx.alu(ctx.reg()) for _ in range(5)]
+        assert [op.pc for op in ops] == [0, 1, 2, 3, 4]
+
+    def test_loop_back_reuses_pcs(self, ctx):
+        pcs = []
+        top = ctx.loop_top()
+        for i in range(3):
+            pcs.append(ctx.alu(ctx.reg()).pc)
+            ctx.branch_back(top, taken=(i < 2))
+        assert pcs == [0, 0, 0]
+
+    def test_loop_exit_continues_forward(self, ctx):
+        top = ctx.loop_top()
+        ctx.alu(ctx.reg())
+        ctx.branch_back(top, taken=False)
+        after = ctx.alu(ctx.reg())
+        assert after.pc == 2
+
+    def test_branch_back_is_backward(self, ctx):
+        top = ctx.loop_top()
+        op = ctx.branch_back(top, taken=True)
+        assert op.backward
+
+    def test_branch_fwd_is_forward(self, ctx):
+        assert not ctx.branch_fwd(taken=False).backward
+
+
+class TestOpConstruction:
+    def test_fp_units(self, ctx):
+        assert ctx.fma(1, []).unit == "fma"
+        assert ctx.fdiv(1, []).unit == "fdiv"
+        assert ctx.fsqrt(1, []).unit == "fsqrt"
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            FpOp(1, [], unit="fmadd17")
+
+    def test_mul_latency(self, ctx):
+        assert ctx.mul(1).latency == 2
+        assert ctx.alu(1).latency == 1
+
+    def test_load_auto_allocates_dst(self, ctx):
+        ld = ctx.load(ctx.spm(0))
+        assert ld.dst > 0
+
+    def test_vload_default_four(self, ctx):
+        vl = ctx.vload(ctx.local_dram(0))
+        assert len(vl.dsts) == 4
+
+    def test_amo_kinds(self, ctx):
+        assert ctx.amoadd(ctx.local_dram(0)).kind == "add"
+        assert ctx.amoor(ctx.local_dram(0), 4).kind == "or"
+        assert ctx.amoswap(ctx.local_dram(0), 9).kind == "swap"
+        with pytest.raises(ValueError):
+            AmoOp(1, 0, "nand", 1)
+
+
+class TestAddressHelpers:
+    def test_tile_identity(self, ctx):
+        assert ctx.tile_x == 2
+        assert ctx.tile_y == 2  # node y=3 minus origin minus bank row
+
+    def test_group_spm_ptr_relative(self, ctx):
+        addr = ctx.group_spm_ptr(-1, 0, 0x20)
+        dec = spaces.decode(addr)
+        assert (dec.field_a, dec.field_b) == (1, 3)
+
+    def test_tile_spm_ptr_cell_local(self, ctx):
+        addr = ctx.tile_spm_ptr(0, 0, 0)
+        dec = spaces.decode(addr)
+        assert (dec.field_a, dec.field_b) == (0, 1)
+
+    def test_dram_helpers(self, ctx):
+        assert spaces.space_of(ctx.local_dram(0)) is spaces.Space.LOCAL_DRAM
+        assert spaces.space_of(ctx.group_dram(1, 0, 0)) is spaces.Space.GROUP_DRAM
+        assert spaces.space_of(ctx.global_dram(0)) is spaces.Space.GLOBAL_DRAM
+
+
+class TestKernelDecorator:
+    def test_decorator_builds_kernel(self):
+        @kernel("k", dwarf="Dense", category="compute")
+        def k(t, args):
+            yield t.alu(t.reg())
+
+        assert isinstance(k, Kernel)
+        assert k.name == "k"
+        assert k.dwarf == "Dense"
+
+    def test_instantiate_returns_generator(self, ctx):
+        @kernel("k2")
+        def k2(t, args):
+            yield t.alu(t.reg())
+
+        gen = k2.instantiate(ctx, None)
+        op = next(gen)
+        assert isinstance(op, IntOp)
+
+
+class TestDisasm:
+    def test_formats_all_op_kinds(self, ctx):
+        ops = [
+            ctx.alu(ctx.reg()),
+            ctx.mul(ctx.reg()),
+            ctx.fma(ctx.reg(), [1]),
+            ctx.load(ctx.local_dram(0x40)),
+            ctx.vload(ctx.local_dram(0x80)),
+            ctx.store(ctx.spm(0), srcs=[1]),
+            ctx.amoadd(ctx.local_dram(0)),
+            ctx.fence(),
+            ctx.barrier(),
+            ctx.branch_fwd(taken=True),
+            ctx.sleep(5),
+        ]
+        text = format_trace(ops)
+        assert "load" in text
+        assert "amoadd" in text
+        assert "barrier" in text
+        assert "LOCAL_DRAM" in text
+
+    def test_trace_truncation(self, ctx):
+        ops = [ctx.alu(ctx.reg()) for _ in range(10)]
+        text = format_trace(ops, limit=3)
+        assert "ops)" in text
+
+    def test_format_op_single(self, ctx):
+        line = format_op(ctx.load(ctx.spm(4)))
+        assert "LOCAL_SPM" in line

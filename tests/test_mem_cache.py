@@ -1,0 +1,208 @@
+"""Cache-bank behaviour: hits/misses, write-validate, MSHRs, blocking."""
+
+import pytest
+
+from repro.arch.params import CacheTiming, HBMTiming
+from repro.engine import Simulator
+from repro.mem.cache import CacheBank
+from repro.mem.hbm import PseudoChannel
+from repro.noc.wormhole import WormholeStrip
+
+
+def make_bank(sim, write_validate=True, nonblocking=True, sets=4, ways=2,
+              mshrs=4):
+    timing = CacheTiming(sets=sets, ways=ways, mshr_entries=mshrs)
+    hbm = PseudoChannel(HBMTiming())
+    strip = WormholeStrip(num_banks=4)
+    return CacheBank(sim, timing, hbm, strip, bank_x=0,
+                     write_validate=write_validate, nonblocking=nonblocking)
+
+
+def complete(sim, fut):
+    done = []
+    fut.add_callback(lambda _v: done.append(sim.now))
+    sim.run()
+    assert done, "access never completed"
+    return done[0]
+
+
+class TestHitsAndMisses:
+    def test_cold_load_misses(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        complete(sim, bank.access(0x0, is_write=False, time=0))
+        assert bank.counters.get("load_misses") == 1
+
+    def test_second_load_hits(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        complete(sim, bank.access(0x0, is_write=False, time=0))
+        t = complete(sim, bank.access(0x4, is_write=False, time=sim.now))
+        assert bank.counters.get("load_hits") == 1
+        assert t - sim.now <= 0  # resolved by run
+
+    def test_hit_is_much_faster_than_miss(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        miss_done = complete(sim, bank.access(0x0, False, 0))
+        start = sim.now
+        hit_done = complete(sim, bank.access(0x0, False, start))
+        assert (hit_done - start) < miss_done
+
+    def test_distinct_lines_miss_separately(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        complete(sim, bank.access(0x0, False, 0))
+        complete(sim, bank.access(0x40, False, sim.now))
+        assert bank.counters.get("load_misses") == 2
+
+    def test_hit_rate(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        complete(sim, bank.access(0x0, False, 0))
+        for _ in range(3):
+            complete(sim, bank.access(0x0, False, sim.now))
+        assert bank.hit_rate() == pytest.approx(0.75)
+
+    def test_hit_rate_none_when_unused(self):
+        assert make_bank(Simulator()).hit_rate() is None
+
+
+class TestWriteValidate:
+    def test_store_miss_allocates_without_dram_read(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=True)
+        done = complete(sim, bank.access(0x0, is_write=True, time=0))
+        assert done <= 5  # port + hit latency, no DRAM round trip
+        assert bank.hbm.counters.get("reads") == 0
+
+    def test_write_allocate_fetches_line(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=False)
+        done = complete(sim, bank.access(0x0, is_write=True, time=0))
+        assert bank.hbm.counters.get("reads") == 1
+        assert done > 20
+
+    def test_validated_line_hits_later_loads(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=True)
+        complete(sim, bank.access(0x0, True, 0))
+        complete(sim, bank.access(0x0, False, sim.now))
+        assert bank.counters.get("load_hits") == 1
+
+    def test_dirty_eviction_writes_back(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=True, sets=1, ways=2)
+        # Fill both ways dirty, then force an eviction.
+        complete(sim, bank.access(0x0, True, 0))
+        complete(sim, bank.access(0x40, True, sim.now))
+        complete(sim, bank.access(0x80, True, sim.now))
+        assert bank.counters.get("evictions") == 1
+        assert bank.counters.get("writebacks") == 1
+        sim.run()
+        assert bank.hbm.counters.get("writes") == 1
+
+    def test_clean_eviction_no_writeback(self):
+        sim = Simulator()
+        bank = make_bank(sim, sets=1, ways=2)
+        complete(sim, bank.access(0x0, False, 0))
+        complete(sim, bank.access(0x40, False, sim.now))
+        complete(sim, bank.access(0x80, False, sim.now))
+        assert bank.counters.get("evictions") == 1
+        assert bank.counters.get("writebacks") == 0
+
+
+class TestLru:
+    def test_lru_victim_is_least_recent(self):
+        sim = Simulator()
+        bank = make_bank(sim, sets=1, ways=2)
+        complete(sim, bank.access(0x0, False, 0))  # A
+        complete(sim, bank.access(0x40, False, sim.now))  # B
+        complete(sim, bank.access(0x0, False, sim.now))  # touch A
+        complete(sim, bank.access(0x80, False, sim.now))  # C evicts B
+        complete(sim, bank.access(0x0, False, sim.now))  # A still resident
+        assert bank.counters.get("load_misses") == 3
+
+    def test_occupancy_bounded(self):
+        sim = Simulator()
+        bank = make_bank(sim, sets=2, ways=2)
+        for i in range(16):
+            complete(sim, bank.access(i * 0x40, False, sim.now))
+        assert bank.occupancy() <= 4
+
+
+class TestMshr:
+    def test_secondary_miss_merges(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        f1 = bank.access(0x0, False, 0)
+        f2 = bank.access(0x4, False, 0)  # same line, while miss in flight
+        sim.run()
+        assert f1.done and f2.done
+        assert bank.counters.get("load_misses") == 2
+        assert bank.hbm.counters.get("reads") == 1
+        assert bank.mshr.secondary_merges == 1
+
+    def test_mshr_full_retries_and_completes(self):
+        sim = Simulator()
+        bank = make_bank(sim, mshrs=2)
+        futs = [bank.access(i * 0x40, False, 0) for i in range(6)]
+        sim.run()
+        assert all(f.done for f in futs)
+        assert bank.counters.get("mshr_full_stalls") > 0
+
+    def test_secondary_store_marks_dirty(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=False, sets=1, ways=1)
+        bank.access(0x0, False, 0)
+        bank.access(0x4, True, 0)  # merges, marks dirty on refill
+        sim.run()
+        complete(sim, bank.access(0x40, False, sim.now))  # evict -> writeback
+        assert bank.counters.get("writebacks") == 1
+
+
+class TestBlockingVariant:
+    def test_blocking_bank_serializes_miss_then_hit(self):
+        sim = Simulator()
+        bank = make_bank(sim, nonblocking=False)
+        complete(sim, bank.access(0x0, False, 0))
+        first_done = sim.now
+
+        sim2 = Simulator()
+        bank2 = make_bank(sim2, nonblocking=False)
+        bank2.access(0x0, False, 0)
+        hit = bank2.access(0x0, False, 1)  # same line: hit after refill only
+        done = []
+        hit.add_callback(lambda _v: done.append(sim2.now))
+        sim2.run()
+        assert done[0] >= first_done
+
+    def test_nonblocking_hit_under_miss(self):
+        sim = Simulator()
+        bank = make_bank(sim, nonblocking=True)
+        complete(sim, bank.access(0x40, False, 0))  # warm a line
+        t0 = sim.now
+        bank.access(0x80, False, t0)  # miss in flight
+        hit = bank.access(0x40, False, t0)
+        done = []
+        hit.add_callback(lambda _v: done.append(sim.now))
+        sim.run()
+        assert done[0] - t0 < 10  # served under the miss
+
+
+class TestAmo:
+    def test_amo_miss_fetches_and_dirties(self):
+        sim = Simulator()
+        bank = make_bank(sim, write_validate=True, sets=1, ways=1)
+        complete(sim, bank.access(0x0, False, 0, is_amo=True))
+        assert bank.hbm.counters.get("reads") == 1  # RMW needs the line
+        complete(sim, bank.access(0x40, False, sim.now))  # evict amo line
+        assert bank.counters.get("writebacks") == 1
+
+    def test_amo_hit_dirties(self):
+        sim = Simulator()
+        bank = make_bank(sim, sets=1, ways=1)
+        complete(sim, bank.access(0x0, False, 0))
+        complete(sim, bank.access(0x0, False, sim.now, is_amo=True))
+        complete(sim, bank.access(0x40, False, sim.now))
+        assert bank.counters.get("writebacks") == 1

@@ -1,0 +1,122 @@
+"""HBM2 pseudo-channel timing: row buffers, bank parallelism, bandwidth."""
+
+import pytest
+
+from repro.arch.params import HBMTiming
+from repro.mem.hbm import PseudoChannel
+
+
+@pytest.fixture
+def hbm():
+    return PseudoChannel(HBMTiming())
+
+
+class TestRowBuffer:
+    def test_first_access_opens_row(self, hbm):
+        hbm.access(0, False, 0)
+        assert hbm.counters.get("row_opens") == 1
+
+    def test_same_row_hits(self, hbm):
+        t = hbm.access(0, False, 0)
+        hbm.access(64, False, t)
+        assert hbm.counters.get("row_hits") == 1
+
+    def test_conflict_after_window(self, hbm):
+        t = hbm.access(0, False, 0)
+        # Another row in the same bank, far outside the reorder window.
+        far = t + PseudoChannel.REORDER_WINDOW + HBMTiming().row_bytes
+        other_row_same_bank = HBMTiming().row_bytes * HBMTiming().banks
+        hbm.access(other_row_same_bank, False, far)
+        hbm.access(0, False, far + 1000)
+        assert hbm.counters.get("row_conflicts") >= 1
+
+    def test_hit_faster_than_conflict(self, hbm):
+        t = HBMTiming()
+        base = hbm.access(0, False, 0)
+        hit = hbm.access(64, False, base) - base
+        row_stride = t.row_bytes * t.banks
+        start = base + hit + 10000
+        conflict = hbm.access(row_stride, False, start) - start
+        assert conflict > hit
+
+    def test_reorder_window_groups_interleaved_rows(self, hbm):
+        """Two streams interleaving at one bank still mostly row-hit."""
+        t = 0.0
+        stride = HBMTiming().row_bytes * HBMTiming().banks  # same bank
+        for i in range(8):
+            t = hbm.access(i * 64, False, t)
+            t = hbm.access(stride + i * 64, False, t)
+        hits = hbm.counters.get("row_hits")
+        assert hits >= 12  # 16 accesses, 2 opens, rest hit
+
+
+class TestBankParallelism:
+    def test_different_banks_overlap(self, hbm):
+        t = HBMTiming()
+        done_same = 0.0
+        for i in range(4):
+            done_same = max(done_same, hbm.access(
+                i * t.row_bytes * t.banks, False, 0))
+        hbm2 = PseudoChannel(HBMTiming())
+        done_diff = 0.0
+        for i in range(4):
+            done_diff = max(done_diff, hbm2.access(i * t.row_bytes, False, 0))
+        assert done_diff <= done_same
+
+    def test_bank_mapping_interleaves_rows(self, hbm):
+        t = HBMTiming()
+        banks = {hbm._bank_and_row(i * t.row_bytes)[0] for i in range(t.banks)}
+        assert len(banks) == t.banks
+
+
+class TestBandwidth:
+    def test_streaming_approaches_peak(self, hbm):
+        lines = 256
+        done = 0.0
+        for i in range(lines):
+            done = max(done, hbm.access(i * 64, False, i * 2))
+        ideal = lines * HBMTiming().t_bl
+        assert done < ideal * 1.5
+
+    def test_bandwidth_scale_stretches_bursts(self):
+        full = PseudoChannel(HBMTiming(), bandwidth_scale=1.0)
+        half = PseudoChannel(HBMTiming(), bandwidth_scale=0.5)
+        assert half.burst_cycles == 2 * full.burst_cycles
+        assert half.bytes_per_cycle_peak() == full.bytes_per_cycle_peak() / 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PseudoChannel(HBMTiming(), bandwidth_scale=0)
+
+
+class TestUtilizationAccounting:
+    def test_idle_channel(self, hbm):
+        u = hbm.utilization(1000)
+        assert u["idle"] == 1.0
+
+    def test_read_write_split(self, hbm):
+        t = hbm.access(0, False, 0)
+        hbm.access(1 << 20, True, t)
+        u = hbm.utilization(t * 4)
+        assert u["read"] > 0
+        assert u["write"] > 0
+
+    def test_busy_counts_queueing(self, hbm):
+        # Flood one bank so requests queue.
+        for _i in range(50):
+            hbm.access(0, False, 0)
+        u = hbm.utilization(hbm.last_completion)
+        assert u["busy"] > 0
+
+    def test_fractions_bounded(self, hbm):
+        for i in range(100):
+            hbm.access(i * 64, False, 0)
+        u = hbm.utilization(hbm.last_completion)
+        assert all(0 <= v <= 1 for v in u.values())
+        assert sum(u.values()) <= 1.3  # refresh adjustment can overlap
+
+    def test_reset(self, hbm):
+        hbm.access(0, False, 0)
+        hbm.reset()
+        assert hbm.counters.total() == 0
+        assert hbm.utilization(100)["idle"] == 1.0

@@ -1,0 +1,153 @@
+"""MSHR file, scratchpad, wormhole strips."""
+
+import pytest
+
+from repro.engine import Future, Simulator
+from repro.mem.mshr import MshrFile
+from repro.mem.spm import Scratchpad
+from repro.noc.wormhole import WormholeStrip
+
+
+class TestMshrFile:
+    def test_allocate_and_release(self):
+        sim = Simulator()
+        m = MshrFile(2)
+        entry = m.allocate(5, time=0, expected_done=50)
+        entry.waiters.append(Future(sim))
+        assert len(m) == 1
+        waiters = m.release(5)
+        assert len(waiters) == 1
+        assert len(m) == 0
+
+    def test_full(self):
+        m = MshrFile(1)
+        m.allocate(1, 0, 10)
+        assert m.full
+        with pytest.raises(RuntimeError):
+            m.allocate(2, 0, 10)
+
+    def test_double_allocate_same_line(self):
+        m = MshrFile(4)
+        m.allocate(1, 0, 10)
+        with pytest.raises(RuntimeError):
+            m.allocate(1, 0, 10)
+
+    def test_merge_counts(self):
+        sim = Simulator()
+        m = MshrFile(2)
+        m.allocate(1, 0, 10)
+        m.merge(1, Future(sim))
+        m.merge(1, Future(sim))
+        assert m.secondary_merges == 2
+        assert len(m.release(1)) == 2
+
+    def test_earliest_completion(self):
+        m = MshrFile(2)
+        m.allocate(1, 0, 30)
+        m.allocate(2, 0, 20)
+        assert m.earliest_completion(0) == 20
+        assert m.earliest_completion(25) == 30
+
+    def test_earliest_completion_fallback(self):
+        m = MshrFile(2)
+        assert m.earliest_completion(100) == 101
+
+    def test_peak_occupancy(self):
+        m = MshrFile(4)
+        m.allocate(1, 0, 10)
+        m.allocate(2, 0, 10)
+        m.release(1)
+        assert m.peak_occupancy == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestScratchpad:
+    def test_access_latency(self):
+        sim = Simulator()
+        spm = Scratchpad(sim)
+        done = []
+        spm.access(0, False, 0).add_callback(lambda _v: done.append(sim.now))
+        sim.run()
+        assert done == [1]
+
+    def test_port_serialization(self):
+        sim = Simulator()
+        spm = Scratchpad(sim)
+        done = []
+        spm.access(0, False, 0).add_callback(lambda _v: done.append(sim.now))
+        spm.access(4, False, 0).add_callback(lambda _v: done.append(sim.now))
+        sim.run()
+        assert done == [1, 2]
+
+    def test_reserve_returns_grant(self):
+        spm = Scratchpad(Simulator())
+        assert spm.reserve(0) == 0
+        assert spm.reserve(0) == 1
+        assert spm.reserve(10) == 10
+
+    def test_offset_bounds(self):
+        spm = Scratchpad(Simulator())
+        with pytest.raises(ValueError):
+            spm.access(4096, False, 0)
+        with pytest.raises(ValueError):
+            spm.check_offset(-4)
+
+    def test_counters(self):
+        sim = Simulator()
+        spm = Scratchpad(sim)
+        spm.access(0, False, 0)
+        spm.access(0, True, 0)
+        assert spm.counters.get("reads") == 1
+        assert spm.counters.get("writes") == 1
+
+    def test_utilization(self):
+        sim = Simulator()
+        spm = Scratchpad(sim)
+        spm.reserve(0, words=5)
+        assert spm.utilization(10) == pytest.approx(0.5)
+
+
+class TestWormholeStrip:
+    def test_transfer_occupies_channel(self):
+        strip = WormholeStrip(num_banks=8, num_channels=1)
+        s1, d1 = strip.transfer(0, 64, 0)
+        s2, _d2 = strip.transfer(0, 64, 0)
+        assert s2 >= d1 - strip._transit_latency(0)
+
+    def test_parallel_channels(self):
+        strip = WormholeStrip(num_banks=8, num_channels=2)
+        s1, _ = strip.transfer(0, 64, 0)
+        s2, _ = strip.transfer(0, 64, 0)
+        assert s1 == s2 == 0  # each takes its own channel
+
+    def test_middle_banks_benefit_from_skip(self):
+        near = WormholeStrip(num_banks=16, skip_distance=1)
+        skip = WormholeStrip(num_banks=16, skip_distance=4)
+        _s1, d_near = near.transfer(8, 64, 0)
+        _s2, d_skip = skip.transfer(8, 64, 0)
+        assert d_skip < d_near
+
+    def test_edge_banks_fast(self):
+        strip = WormholeStrip(num_banks=16)
+        _s, d_edge = strip.transfer(0, 64, 0)
+        strip2 = WormholeStrip(num_banks=16)
+        _s, d_mid = strip2.transfer(8, 64, 0)
+        assert d_edge <= d_mid
+
+    def test_stats(self):
+        strip = WormholeStrip(num_banks=4)
+        strip.transfer(0, 64, 0)
+        strip.transfer(1, 128, 0)
+        assert strip.transfers == 2
+        assert strip.bytes_moved == 192
+        assert strip.utilization(100) > 0
+
+    def test_bounds(self):
+        strip = WormholeStrip(num_banks=4)
+        with pytest.raises(ValueError):
+            strip.transfer(4, 64, 0)
+        with pytest.raises(ValueError):
+            strip.transfer(0, 0, 0)

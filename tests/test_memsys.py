@@ -1,0 +1,182 @@
+"""The memory system end-to-end: translation + networks + banks + SPMs."""
+
+import pytest
+
+from repro.arch.config import FeatureSet, MachineConfig, small_config
+from repro.arch.geometry import CellGeometry
+from repro.pgas import spaces
+from repro.runtime.machine import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(small_config(4, 4))
+
+
+@pytest.fixture
+def duo():
+    return Machine(MachineConfig(name="duo", cell=CellGeometry(4, 4),
+                                 cells_x=2, cells_y=1))
+
+
+def wait(machine, fut):
+    machine.run()
+    assert fut.done
+    return fut.value
+
+
+class TestRemoteRequests:
+    def test_dram_load_roundtrip(self, machine):
+        tile = (0, 1)
+        fut = machine.memsys.remote_request(
+            tile, spaces.local_dram(0x100), is_write=False, time=0)
+        arrival = wait(machine, fut)
+        assert arrival > 10  # network + miss + network
+
+    def test_warm_load_is_faster(self, machine):
+        tile = (0, 1)
+        addr = spaces.local_dram(0x100)
+        cold = wait(machine, machine.memsys.remote_request(
+            tile, addr, is_write=False, time=0))
+        warm_fut = machine.memsys.remote_request(
+            tile, addr, is_write=False, time=cold)
+        warm = wait(machine, warm_fut) - cold
+        assert warm < cold
+
+    def test_remote_spm_access(self, machine):
+        src = (0, 1)
+        dst = (3, 4)
+        addr = spaces.group_spm(dst[0], dst[1], 0x40)
+        arrival = wait(machine, machine.memsys.remote_request(
+            src, addr, is_write=False, time=0))
+        assert arrival > 0
+        assert machine.memsys.spms[dst].counters.get("reads") == 1
+
+    def test_store_gets_ack(self, machine):
+        fut = machine.memsys.remote_request(
+            (1, 2), spaces.local_dram(0x80), is_write=True, time=0)
+        assert wait(machine, fut) > 0
+
+    def test_compressed_vs_single_flits(self, machine):
+        ms = machine.memsys
+        before = ms.req_net.counters.get("flits")
+        ms.remote_request((0, 1), spaces.local_dram(0), False, 0, words=4)
+        compressed = ms.req_net.counters.get("flits") - before
+        before = ms.req_net.counters.get("flits")
+        for w in range(4):
+            ms.remote_request((0, 1), spaces.local_dram(4 * w), False, 0)
+        singles = ms.req_net.counters.get("flits") - before
+        assert compressed == 1
+        assert singles == 4
+        machine.run()
+
+    def test_is_own_spm(self, machine):
+        ms = machine.memsys
+        assert ms.is_own_spm(spaces.group_spm(2, 3, 0), (2, 3))
+        assert not ms.is_own_spm(spaces.group_spm(2, 3, 0), (1, 1))
+        assert not ms.is_own_spm(spaces.local_dram(0), (2, 3))
+
+
+class TestAtomics:
+    def test_amo_serializes_across_tiles(self, machine):
+        ms = machine.memsys
+        addr = spaces.local_dram(0)
+        olds = []
+        for i, tile in enumerate(((0, 1), (3, 4), (1, 2), (2, 3))):
+            fut = ms.remote_amo(tile, addr, "add", 1, time=0)
+            fut.add_callback(lambda v: olds.append(v[1]))
+        machine.run()
+        assert sorted(olds) == [0, 1, 2, 3]
+
+    def test_amo_kinds(self, machine):
+        ms = machine.memsys
+        addr = spaces.local_dram(0x40)
+        ms.poke(addr, 0b1010, (0, 1))
+        got = []
+        ms.remote_amo((0, 1), addr, "or", 0b0101, 0).add_callback(
+            lambda v: got.append(v[1]))
+        machine.run()
+        assert got == [0b1010]
+        assert ms.peek(addr, (0, 1)) == 0b1111
+
+    def test_amo_swap(self, machine):
+        ms = machine.memsys
+        addr = spaces.local_dram(0x80)
+        ms.remote_amo((0, 1), addr, "swap", 42, 0)
+        machine.run()
+        assert ms.peek(addr, (0, 1)) == 42
+
+    def test_amo_rejects_spm_target(self, machine):
+        with pytest.raises(ValueError):
+            machine.memsys.remote_amo(
+                (0, 1), spaces.group_spm(1, 1, 0), "add", 1, 0)
+
+    def test_counters_per_cell_are_independent(self, duo):
+        ms = duo.memsys
+        addr = spaces.local_dram(0)
+        tile_cell0, tile_cell1 = (0, 1), (4, 1)
+        got = []
+        ms.remote_amo(tile_cell0, addr, "add", 1, 0).add_callback(
+            lambda v: got.append(("c0", v[1])))
+        ms.remote_amo(tile_cell1, addr, "add", 1, 0).add_callback(
+            lambda v: got.append(("c1", v[1])))
+        duo.run()
+        assert sorted(got) == [("c0", 0), ("c1", 0)]  # separate words
+
+
+class TestCrossCell:
+    def test_group_dram_reaches_other_cell(self, duo):
+        ms = duo.memsys
+        addr = spaces.group_dram(1, 0, 0x100)
+        fut = ms.remote_request((0, 1), addr, is_write=False, time=0)
+        wait(duo, fut)
+        cell1_accesses = sum(
+            b.counters.get("accesses")
+            for (xy, _i), b in ms.banks.items() if xy == (1, 0))
+        assert cell1_accesses == 1
+
+    def test_global_dram_spreads(self, duo):
+        ms = duo.memsys
+        for line in range(32):
+            ms.remote_request((0, 1), spaces.global_dram(64 * line),
+                              is_write=True, time=0)
+        duo.run()
+        per_cell = {}
+        for (xy, _i), b in ms.banks.items():
+            per_cell[xy] = per_cell.get(xy, 0) + b.counters.get("accesses")
+        assert per_cell[(0, 0)] > 0
+        assert per_cell[(1, 0)] > 0
+
+    def test_global_and_local_dram_do_not_alias(self, duo):
+        """Same offset in LOCAL and GLOBAL space are different words."""
+        ms = duo.memsys
+        t = (0, 1)
+        ms.poke(spaces.local_dram(0x40), 7, t)
+        assert ms.peek(spaces.global_dram(0x40), t) != 7 or \
+            ms.peek(spaces.global_dram(0x40), t) == 0
+
+
+class TestFeatureWiring:
+    def test_modulo_hash_when_ipoly_off(self):
+        cfg = small_config(4, 4, features=FeatureSet(ipoly_hashing=False))
+        machine = Machine(cfg)
+        tr = machine.memsys.translator
+        assert not tr.use_ipoly
+
+    def test_blocking_cache_config_reaches_banks(self):
+        cfg = small_config(4, 4, features=FeatureSet(nonblocking_cache=False))
+        machine = Machine(cfg)
+        bank = next(iter(machine.memsys.banks.values()))
+        assert bank.nonblocking is False
+
+    def test_write_validate_config_reaches_banks(self):
+        cfg = small_config(4, 4, features=FeatureSet(write_validate=False))
+        machine = Machine(cfg)
+        bank = next(iter(machine.memsys.banks.values()))
+        assert bank.write_validate is False
+
+    def test_bank_count_matches_geometry(self, duo):
+        assert len(duo.memsys.banks) == 2 * duo.config.cell.num_banks
+
+    def test_spm_per_tile(self, duo):
+        assert len(duo.memsys.spms) == duo.config.num_tiles

@@ -1,0 +1,139 @@
+"""HW barrier tree and SW barrier models."""
+
+import pytest
+
+from repro.arch.params import BarrierTiming
+from repro.engine import Simulator
+from repro.noc.barrier import (
+    HwBarrierGroup,
+    SwBarrierGroup,
+    analytic_hw_latency,
+    analytic_sw_latency,
+    barrier_hops,
+    tree_root,
+)
+
+
+def make_members(w, h):
+    return [(x, y) for y in range(h) for x in range(w)]
+
+
+class TestBarrierHops:
+    def test_mesh_hops_are_manhattan(self):
+        assert barrier_hops((0, 0), (3, 4), ruche=False) == 7
+
+    def test_ruche_compresses_horizontal(self):
+        assert barrier_hops((0, 0), (9, 0), ruche=True) == 3
+        assert barrier_hops((0, 0), (8, 0), ruche=True) == 4  # 2 ruche + 2 mesh
+
+    def test_vertical_unaffected(self):
+        assert barrier_hops((0, 0), (0, 5), ruche=True) == 5
+
+    def test_paper_example_16x8(self):
+        """The remotest tile of a 16x8 group reaches the root in 8 cycles."""
+        members = make_members(16, 8)
+        root = tree_root(members)
+        worst = max(barrier_hops(m, root, ruche=True) for m in members)
+        assert worst == 8
+
+
+class TestTreeRoot:
+    def test_root_is_central(self):
+        root = tree_root(make_members(5, 5))
+        assert root == (2, 2)
+
+    def test_root_is_member(self):
+        members = [(0, 0), (10, 0)]
+        assert tree_root(members) in members
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_root([])
+
+
+class TestHwBarrier:
+    def test_all_members_released(self):
+        sim = Simulator()
+        members = make_members(4, 2)
+        group = HwBarrierGroup(sim, members, BarrierTiming())
+        released = []
+        for m in members:
+            group.arrive(m, 0).add_callback(lambda _v, m=m: released.append(m))
+        sim.run()
+        assert sorted(released) == sorted(members)
+
+    def test_latency_bounded_by_analytic(self):
+        sim = Simulator()
+        members = make_members(8, 4)
+        group = HwBarrierGroup(sim, members, BarrierTiming(), ruche=True)
+        done = {}
+        for m in members:
+            group.arrive(m, 0).add_callback(lambda _v, m=m: done.setdefault(m, sim.now))
+        sim.run()
+        assert max(done.values()) == analytic_hw_latency(8, 4, ruche=True)
+
+    def test_staggered_arrivals_wait_for_last(self):
+        sim = Simulator()
+        members = [(0, 0), (1, 0)]
+        group = HwBarrierGroup(sim, members, BarrierTiming())
+        releases = []
+        group.arrive((0, 0), 0).add_callback(lambda _v: releases.append(sim.now))
+        group.arrive((1, 0), 100).add_callback(lambda _v: releases.append(sim.now))
+        sim.run()
+        assert min(releases) >= 100
+
+    def test_reusable_across_epochs(self):
+        sim = Simulator()
+        members = [(0, 0), (1, 0)]
+        group = HwBarrierGroup(sim, members, BarrierTiming())
+        for _epoch in range(3):
+            futs = [group.arrive(m, sim.now) for m in members]
+            sim.run()
+            assert all(f.done for f in futs)
+        assert group.epochs == 3
+
+    def test_double_arrival_rejected(self):
+        sim = Simulator()
+        group = HwBarrierGroup(sim, [(0, 0), (1, 0)], BarrierTiming())
+        group.arrive((0, 0), 0)
+        with pytest.raises(ValueError):
+            group.arrive((0, 0), 1)
+
+    def test_non_member_rejected(self):
+        sim = Simulator()
+        group = HwBarrierGroup(sim, [(0, 0)], BarrierTiming())
+        with pytest.raises(ValueError):
+            group.arrive((5, 5), 0)
+
+
+class TestSwBarrier:
+    def test_all_released(self):
+        sim = Simulator()
+        members = make_members(4, 2)
+        group = SwBarrierGroup(sim, members)
+        futs = [group.arrive(m, 0) for m in members]
+        sim.run()
+        assert all(f.done for f in futs)
+
+    def test_sw_slower_than_hw(self):
+        sim = Simulator()
+        members = make_members(8, 4)
+        hw = HwBarrierGroup(sim, members, BarrierTiming())
+        sw = SwBarrierGroup(sim, members)
+        hw_done, sw_done = [], []
+        for m in members:
+            hw.arrive(m, 0).add_callback(lambda _v: hw_done.append(sim.now))
+            sw.arrive(m, 0).add_callback(lambda _v: sw_done.append(sim.now))
+        sim.run()
+        assert max(sw_done) > max(hw_done)
+
+    def test_serialization_grows_with_size(self):
+        small = analytic_sw_latency(4, 4)
+        large = analytic_sw_latency(16, 8)
+        assert large > small + 100  # linear-in-size serialization
+
+    def test_hw_scales_much_better(self):
+        """Fig 4's point: HW latency grows ~sqrt, SW grows linearly."""
+        hw_ratio = analytic_hw_latency(32, 16, True) / analytic_hw_latency(4, 4, True)
+        sw_ratio = analytic_sw_latency(32, 16) / analytic_sw_latency(4, 4)
+        assert sw_ratio > 3 * hw_ratio

@@ -1,0 +1,125 @@
+"""Topology construction and dimension-ordered routing."""
+
+import pytest
+
+from repro.arch.geometry import CellGeometry, ChipGeometry
+from repro.noc.routing import hop_count, route
+from repro.noc.topology import Topology
+
+
+@pytest.fixture
+def chip():
+    return ChipGeometry(CellGeometry(8, 4), cells_x=1, cells_y=1)
+
+
+@pytest.fixture
+def mesh(chip):
+    return Topology(chip, ruche=False)
+
+
+@pytest.fixture
+def ruche(chip):
+    return Topology(chip, ruche=True)
+
+
+class TestTopology:
+    def test_mesh_link_count(self, chip, mesh):
+        cols, rows = chip.grid_cols, chip.grid_rows
+        expected = 2 * ((cols - 1) * rows + (rows - 1) * cols)
+        assert mesh.num_links() == expected
+
+    def test_ruche_adds_horizontal_links(self, chip, mesh, ruche):
+        extra = ruche.num_links() - mesh.num_links()
+        cols, rows = chip.grid_cols, chip.grid_rows
+        assert extra == 2 * (cols - 3) * rows
+
+    def test_no_ruche_links_in_mesh(self, mesh):
+        assert all(not l.ruche for l in mesh.links())
+
+    def test_ruche_links_span_three(self, ruche):
+        spans = {l.span() for l in ruche.links() if l.ruche}
+        assert spans == {3}
+
+    def test_link_lookup(self, ruche):
+        link = ruche.link((0, 0), (3, 0))
+        assert link.ruche
+        with pytest.raises(KeyError):
+            ruche.link((0, 0), (2, 0))
+
+    def test_cut_width_mesh(self, mesh, chip):
+        cut = mesh.cut_links_x(3.5)
+        assert len(cut) == 2 * chip.grid_rows  # 1 per direction per row
+
+    def test_cut_width_ruche_is_4x(self, ruche, chip):
+        cut = ruche.cut_links_x(3.5)
+        assert len(cut) == 8 * chip.grid_rows  # (1 mesh + 3 ruche) x 2 dirs
+
+    def test_cut_on_node_column_excludes_mesh(self, ruche, chip):
+        cut = ruche.cut_links_x(4.0)
+        assert all(l.ruche for l in cut)
+
+    def test_horizontal_cut(self, mesh, chip):
+        cut = mesh.cut_links_y(2.5)
+        assert len(cut) == 2 * chip.grid_cols
+
+    def test_reset_counters(self, mesh):
+        link = next(iter(mesh.links()))
+        link.busy_cycles = 10
+        link.free_at = 50
+        mesh.reset_counters()
+        assert link.busy_cycles == 0
+        assert link.free_at == 0
+
+
+class TestRouting:
+    def test_xy_routes_x_first(self, mesh):
+        path = route(mesh, (0, 0), (3, 3), order="xy")
+        xs = [l.src for l in path]
+        assert xs[0] == (0, 0)
+        assert path[2].dst == (3, 0)  # finished X phase at row 0
+        assert path[-1].dst == (3, 3)
+
+    def test_yx_routes_y_first(self, mesh):
+        path = route(mesh, (0, 0), (3, 3), order="yx")
+        assert path[2].dst == (0, 3)
+        assert path[-1].dst == (3, 3)
+
+    def test_path_is_connected(self, ruche):
+        path = route(ruche, (0, 5), (7, 0), order="xy")
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+
+    def test_ruche_shortens_path(self, mesh, ruche):
+        mesh_path = route(mesh, (0, 0), (7, 0))
+        ruche_path = route(ruche, (0, 0), (7, 0))
+        assert len(ruche_path) < len(mesh_path)
+        assert len(ruche_path) == 3  # 3 + 3 + 1 mesh... 2 ruche + 1 mesh
+
+    def test_ruche_path_mixes_links(self, ruche):
+        path = route(ruche, (0, 0), (7, 0))
+        assert [l.ruche for l in path] == [True, True, False]
+
+    def test_same_node_empty_path(self, mesh):
+        assert route(mesh, (2, 2), (2, 2)) == []
+
+    def test_westward_routing(self, ruche):
+        path = route(ruche, (7, 2), (0, 2))
+        assert path[0].src == (7, 2)
+        assert path[-1].dst == (0, 2)
+
+    def test_invalid_order(self, mesh):
+        with pytest.raises(ValueError):
+            route(mesh, (0, 0), (1, 1), order="zz")
+
+    def test_hop_count_matches_route(self, mesh, ruche):
+        for topo in (mesh, ruche):
+            for dst in ((5, 3), (7, 0), (1, 4)):
+                assert hop_count(topo, (0, 1), dst) == len(
+                    route(topo, (0, 1), dst)
+                )
+
+    def test_hop_count_ruche_16_wide(self):
+        chip = ChipGeometry(CellGeometry(16, 8), 1, 1)
+        topo = Topology(chip, ruche=True)
+        # dx=8 -> 2 ruche + 2 mesh = 4 hops.
+        assert hop_count(topo, (0, 1), (8, 1)) == 4

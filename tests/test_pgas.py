@@ -1,0 +1,196 @@
+"""PGAS address spaces, hashing, translation."""
+
+import pytest
+
+from repro.arch.geometry import CellGeometry, ChipGeometry
+from repro.pgas import hashing, spaces
+from repro.pgas.translate import GLOBAL_DRAM_BASE, TargetKind, Translator
+
+
+class TestSpaces:
+    def test_encode_decode_roundtrip(self):
+        for space in spaces.Space:
+            addr = spaces.encode(space, 0x1234, 5, 9)
+            dec = spaces.decode(addr)
+            assert dec.space is space
+            assert dec.offset == 0x1234
+            assert dec.field_a == 5
+            assert dec.field_b == 9
+
+    def test_local_spm_range_check(self):
+        spaces.local_spm(0)
+        spaces.local_spm(4095)
+        with pytest.raises(ValueError):
+            spaces.local_spm(4096)
+
+    def test_group_spm_encodes_coords(self):
+        addr = spaces.group_spm(3, 7, 0x10)
+        dec = spaces.decode(addr)
+        assert dec.space is spaces.Space.GROUP_SPM
+        assert (dec.field_a, dec.field_b) == (3, 7)
+
+    def test_group_dram_encodes_cell(self):
+        addr = spaces.group_dram(1, 0, 0x40)
+        dec = spaces.decode(addr)
+        assert dec.space is spaces.Space.GROUP_DRAM
+        assert (dec.field_a, dec.field_b) == (1, 0)
+
+    def test_space_of(self):
+        assert spaces.space_of(spaces.local_dram(4)) is spaces.Space.LOCAL_DRAM
+        assert spaces.space_of(spaces.global_dram(4)) is spaces.Space.GLOBAL_DRAM
+
+    def test_is_dram(self):
+        assert spaces.is_dram(spaces.local_dram(0))
+        assert spaces.is_dram(spaces.group_dram(0, 0, 0))
+        assert spaces.is_dram(spaces.global_dram(0))
+        assert not spaces.is_dram(spaces.local_spm(0))
+        assert not spaces.is_dram(spaces.group_spm(0, 0, 0))
+
+    def test_spaces_are_disjoint(self):
+        addrs = {
+            spaces.local_spm(0x100),
+            spaces.group_spm(0, 0, 0x100),
+            spaces.local_dram(0x100),
+            spaces.group_dram(0, 0, 0x100),
+            spaces.global_dram(0x100),
+        }
+        assert len(addrs) == 5
+
+    def test_decode_rejects_bad_tag(self):
+        with pytest.raises(ValueError):
+            spaces.decode(7 << spaces.TAG_SHIFT)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spaces.decode(-1)
+
+    def test_offset_range_check(self):
+        with pytest.raises(ValueError):
+            spaces.encode(spaces.Space.LOCAL_DRAM, 1 << 33)
+
+
+class TestHashing:
+    def test_ipoly_in_range(self):
+        for banks in (2, 4, 8, 16, 32, 64):
+            for line in range(200):
+                assert 0 <= hashing.ipoly_hash(line, banks) < banks
+
+    def test_ipoly_requires_pow2(self):
+        with pytest.raises(ValueError):
+            hashing.ipoly_hash(1, 12)
+
+    def test_single_bank(self):
+        assert hashing.ipoly_hash(123, 1) == 0
+
+    def test_modulo(self):
+        assert hashing.modulo_hash(37, 8) == 5
+        with pytest.raises(ValueError):
+            hashing.modulo_hash(1, 0)
+
+    def test_sequential_lines_balanced_under_ipoly(self):
+        score = hashing.stride_camping_score(32, 1, 2048, use_ipoly=True)
+        assert score < 1.5
+
+    def test_pow2_stride_camps_under_modulo(self):
+        # Stride of 32 lines onto 32 banks: total camping.
+        score = hashing.stride_camping_score(32, 32, 1024, use_ipoly=False)
+        assert score == pytest.approx(32.0)
+
+    def test_pow2_stride_balanced_under_ipoly(self):
+        score = hashing.stride_camping_score(32, 32, 1024, use_ipoly=True)
+        assert score < 2.0
+
+    def test_ipoly_is_deterministic(self):
+        assert [hashing.ipoly_hash(i, 16) for i in range(50)] == [
+            hashing.ipoly_hash(i, 16) for i in range(50)
+        ]
+
+
+class TestTranslator:
+    @pytest.fixture
+    def chip(self):
+        return ChipGeometry(CellGeometry(4, 4), cells_x=2, cells_y=1)
+
+    @pytest.fixture
+    def translator(self, chip):
+        return Translator(chip, block_bytes=64, use_ipoly=True)
+
+    def test_local_spm_stays_home(self, translator):
+        tile = (1, 2)
+        dest = translator.translate(spaces.local_spm(0x80), tile)
+        assert dest.kind is TargetKind.SPM
+        assert dest.node == tile
+        assert dest.mem_addr == 0x80
+
+    def test_group_spm_targets_named_tile(self, translator):
+        dest = translator.translate(spaces.group_spm(2, 3, 0x10), (0, 1))
+        assert dest.kind is TargetKind.SPM
+        assert dest.node == (2, 3)
+
+    def test_group_spm_rejects_cache_rows(self, translator):
+        with pytest.raises(ValueError):
+            translator.translate(spaces.group_spm(0, 0, 0x10), (0, 1))
+
+    def test_local_dram_stays_in_cell(self, translator, chip):
+        tile = (1, 2)  # cell (0, 0)
+        for off in range(0, 4096, 64):
+            dest = translator.translate(spaces.local_dram(off), tile)
+            assert dest.kind is TargetKind.CACHE
+            assert dest.cell_xy == (0, 0)
+
+    def test_local_dram_from_other_cell(self, translator, chip):
+        tile = (5, 2)  # cell (1, 0)
+        dest = translator.translate(spaces.local_dram(0), tile)
+        assert dest.cell_xy == (1, 0)
+
+    def test_group_dram_targets_named_cell(self, translator):
+        dest = translator.translate(spaces.group_dram(1, 0, 0x40), (1, 2))
+        assert dest.cell_xy == (1, 0)
+
+    def test_group_dram_rejects_bad_cell(self, translator):
+        with pytest.raises(ValueError):
+            translator.translate(spaces.group_dram(5, 5, 0), (1, 2))
+
+    def test_same_offset_same_bank_for_all_requesters(self, translator):
+        a = translator.translate(spaces.local_dram(0x1000), (1, 1))
+        b = translator.translate(spaces.local_dram(0x1000), (2, 3))
+        assert a.node == b.node
+        assert a.mem_addr == b.mem_addr
+
+    def test_local_dram_striped_across_banks(self, translator):
+        banks = {
+            translator.translate(spaces.local_dram(off), (1, 1)).bank_index
+            for off in range(0, 64 * 64, 64)
+        }
+        assert len(banks) > 4
+
+    def test_global_dram_spreads_over_cells(self, translator):
+        cells = {
+            translator.translate(spaces.global_dram(off), (1, 1)).cell_xy
+            for off in range(0, 64 * 128, 64)
+        }
+        assert cells == {(0, 0), (1, 0)}
+
+    def test_global_dram_disjoint_backing_addresses(self, translator):
+        g = translator.translate(spaces.global_dram(0x40), (1, 1))
+        assert g.mem_addr == GLOBAL_DRAM_BASE + 0x40
+
+    def test_words_in_same_line_share_bank(self, translator):
+        dests = {
+            translator.translate(spaces.local_dram(0x400 + w * 4), (1, 1)).bank_index
+            for w in range(16)
+        }
+        assert len(dests) == 1
+
+    def test_modulo_variant_camps(self, chip):
+        tr = Translator(chip, block_bytes=64, use_ipoly=False)
+        banks = {
+            tr.translate(spaces.local_dram(off * 64 * 8), (1, 1)).bank_index
+            for off in range(32)
+        }
+        ip = Translator(chip, block_bytes=64, use_ipoly=True)
+        banks_ip = {
+            ip.translate(spaces.local_dram(off * 64 * 8), (1, 1)).bank_index
+            for off in range(32)
+        }
+        assert len(banks_ip) > len(banks)

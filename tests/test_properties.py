@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.geometry import CellGeometry, ChipGeometry
+from repro.arch.params import NocTiming
+from repro.engine.event import Simulator
+from repro.engine.stats import BinnedSeries, Interval, geomean
+from repro.noc.routing import hop_count, route
+from repro.noc.topology import Topology
+from repro.pgas import spaces
+from repro.pgas.hashing import ipoly_hash
+from repro.workloads.csr import CsrMatrix
+
+import numpy as np
+
+
+# -- PGAS encoding ----------------------------------------------------------
+
+@given(
+    space=st.sampled_from(list(spaces.Space)),
+    offset=st.integers(0, spaces.OFFSET_MASK),
+    a=st.integers(0, spaces.FIELD_MASK),
+    b=st.integers(0, spaces.FIELD_MASK),
+)
+def test_encode_decode_roundtrip(space, offset, a, b):
+    dec = spaces.decode(spaces.encode(space, offset, a, b))
+    assert (dec.space, dec.offset, dec.field_a, dec.field_b) == \
+        (space, offset, a, b)
+
+
+@given(
+    s1=st.sampled_from(list(spaces.Space)),
+    s2=st.sampled_from(list(spaces.Space)),
+    offset=st.integers(0, spaces.OFFSET_MASK),
+)
+def test_different_spaces_never_collide(s1, s2, offset):
+    if s1 != s2:
+        assert spaces.encode(s1, offset) != spaces.encode(s2, offset)
+
+
+# -- IPOLY hashing ------------------------------------------------------------
+
+@given(line=st.integers(0, 1 << 24),
+       banks=st.sampled_from([2, 4, 8, 16, 32, 64]))
+def test_ipoly_in_range(line, banks):
+    assert 0 <= ipoly_hash(line, banks) < banks
+
+
+@given(banks=st.sampled_from([4, 8, 16, 32]),
+       start=st.integers(0, 1 << 16))
+def test_ipoly_balances_any_aligned_window(banks, start):
+    """Any window of banks*4 consecutive lines hits every bank equally
+    often: IPOLY is a bijection on each aligned block."""
+    counts = [0] * banks
+    base = (start // (banks * 4)) * banks * 4
+    for i in range(banks * 4):
+        counts[ipoly_hash(base + i, banks)] += 1
+    assert max(counts) == min(counts) == 4
+
+
+# -- routing ------------------------------------------------------------------
+
+coords = st.tuples(st.integers(0, 11), st.integers(0, 7))
+
+
+@settings(max_examples=50)
+@given(src=coords, dst=coords, ruche=st.booleans(),
+       order=st.sampled_from(["xy", "yx"]))
+def test_route_is_connected_and_terminates(src, dst, ruche, order):
+    chip = ChipGeometry(CellGeometry(12, 6), 1, 1)
+    topo = Topology(chip, ruche=ruche)
+    path = route(topo, src, dst, order=order)
+    at = src
+    for link in path:
+        assert link.src == at
+        at = link.dst
+    assert at == dst
+
+
+@settings(max_examples=50)
+@given(src=coords, dst=coords)
+def test_ruche_never_longer_than_mesh(src, dst):
+    chip = ChipGeometry(CellGeometry(12, 6), 1, 1)
+    mesh = Topology(chip, ruche=False)
+    ruche = Topology(chip, ruche=True)
+    assert hop_count(ruche, src, dst) <= hop_count(mesh, src, dst)
+
+
+@settings(max_examples=50)
+@given(src=coords, dst=coords)
+def test_request_response_hop_symmetry(src, dst):
+    """X->Y there and Y->X back visit the same number of links."""
+    chip = ChipGeometry(CellGeometry(12, 6), 1, 1)
+    topo = Topology(chip, ruche=True)
+    there = route(topo, src, dst, order="xy")
+    back = route(topo, dst, src, order="yx")
+    assert len(there) == len(back)
+
+
+# -- engine -------------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+def test_event_order_is_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run()
+    assert fired == sorted(delays)
+
+
+@settings(max_examples=30)
+@given(reservations=st.lists(
+    st.tuples(st.integers(0, 100), st.integers(1, 10)),
+    min_size=1, max_size=30))
+def test_interval_reservations_never_overlap(reservations):
+    iv = Interval()
+    granted = []
+    for earliest, dur in reservations:
+        start = iv.reserve(earliest, dur)
+        assert start >= earliest
+        granted.append((start, start + dur))
+    granted.sort()
+    for (a1, b1), (a2, _b2) in zip(granted, granted[1:]):
+        assert b1 <= a2
+
+
+@settings(max_examples=30)
+@given(ranges=st.lists(
+    st.tuples(st.floats(0, 1000), st.floats(0, 200)),
+    min_size=1, max_size=20),
+    width=st.sampled_from([1, 7, 64]))
+def test_binned_series_conserves_mass(ranges, width):
+    s = BinnedSeries(width)
+    total = 0.0
+    for start, length in ranges:
+        s.add_range(start, start + length)
+        total += length
+    mass = sum(v for _t, v in s.series())
+    assert abs(mass - total) < 1e-6 * max(1.0, total)
+
+
+@given(values=st.lists(st.floats(0.01, 1e6), min_size=1, max_size=30))
+def test_geomean_bounded_by_extremes(values):
+    g = geomean(values)
+    assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+# -- CSR ------------------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(
+    n=st.integers(2, 40),
+    edges=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)),
+                   min_size=0, max_size=200),
+)
+def test_csr_from_edges_valid(n, edges):
+    rows = np.array([min(r, n - 1) for r, _c in edges], dtype=np.int64)
+    cols = np.array([min(c, n - 1) for _r, c in edges], dtype=np.int64)
+    m = CsrMatrix.from_edges(n, n, rows, cols)
+    m.validate()
+    assert m.nnz <= len(edges)
+    # Row slices sorted and in range.
+    for r in range(n):
+        sl = m.row_slice(r)
+        assert np.all(np.diff(sl) > 0)
+
+
+@settings(max_examples=20)
+@given(
+    n=st.integers(2, 25),
+    seed=st.integers(0, 1000),
+)
+def test_csr_transpose_is_involution(n, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, 50)
+    cols = rng.integers(0, n, 50)
+    m = CsrMatrix.from_edges(n, n, rows, cols)
+    tt = m.transpose().transpose()
+    assert np.array_equal(tt.offsets, m.offsets)
+    assert np.array_equal(tt.indices, m.indices)
+
+
+# -- barrier --------------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(w=st.integers(1, 20), h=st.integers(1, 12))
+def test_hw_barrier_latency_monotone_in_size(w, h):
+    from repro.noc.barrier import analytic_hw_latency
+
+    base = analytic_hw_latency(w, h, ruche=True)
+    bigger = analytic_hw_latency(w + 3, h, ruche=True)
+    assert bigger >= base
+    assert analytic_hw_latency(w, h, ruche=True) <= \
+        analytic_hw_latency(w, h, ruche=False)

@@ -1,0 +1,85 @@
+"""Additional rendering and disassembly coverage."""
+
+import pytest
+
+from repro.isa.context import KernelContext
+from repro.perf.report import format_bars, format_series, format_table
+
+
+@pytest.fixture
+def ctx():
+    return KernelContext(node=(1, 1), cell_xy=(0, 0), cell_origin=(0, 0),
+                         group_rank=0, group_size=4, group_shape=(2, 2),
+                         barrier_group=None)
+
+
+class TestTableFormatting:
+    def test_float_format(self):
+        out = format_table(["x"], [[1.23456]], floatfmt=".2f")
+        assert "1.23" in out
+
+    def test_mixed_types(self):
+        out = format_table(["a", "b"], [["s", 42], [None, 1.5]])
+        assert "None" in out
+        assert "42" in out
+
+    def test_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines if l.strip()}) <= 2
+
+
+class TestBars:
+    def test_max_value_override(self):
+        out = format_bars({"a": 1.0}, width=10, max_value=2.0)
+        assert out.count("#") == 5
+
+    def test_suffix(self):
+        out = format_bars({"a": 0.5}, suffix="%")
+        assert "%" in out
+
+    def test_clamps_above_peak(self):
+        out = format_bars({"a": 5.0}, width=10, max_value=1.0)
+        assert out.count("#") == 10
+
+
+class TestSeries:
+    def test_title_and_axis(self):
+        out = format_series([(0, 1), (100, 2)], title="demo")
+        assert "demo" in out
+        assert "0 .. 100 cycles" in out
+
+    def test_single_point(self):
+        out = format_series([(5, 1.0)])
+        assert "*" in out
+
+
+class TestContextEdges:
+    def test_zero_register_is_reserved(self, ctx):
+        assert ctx.zero == 0
+        assert ctx.reg() != 0
+
+    def test_spm_offset_validation_via_spaces(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.spm(4096)
+
+    def test_vload_n2(self, ctx):
+        assert len(ctx.vload(ctx.local_dram(0), n=2).dsts) == 2
+
+    def test_barrier_carries_group(self):
+        sentinel = object()
+        ctx = KernelContext(node=(1, 1), cell_xy=(0, 0), cell_origin=(0, 0),
+                            group_rank=0, group_size=1, group_shape=(1, 1),
+                            barrier_group=sentinel)
+        assert ctx.barrier().group is sentinel
+
+    def test_group_identity_fields(self):
+        ctx = KernelContext(node=(3, 2), cell_xy=(0, 0), cell_origin=(0, 0),
+                            group_rank=5, group_size=8, group_shape=(4, 2),
+                            barrier_group=None, num_groups=2, group_index=1)
+        assert ctx.num_groups == 2
+        assert ctx.group_index == 1
+        from repro.kernels.base import num_tiles, tile_id
+
+        assert num_tiles(ctx) == 16
+        assert tile_id(ctx) == 13

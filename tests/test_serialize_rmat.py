@@ -1,0 +1,94 @@
+"""Config serialization round-trips and the RMAT generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import serialize
+from repro.arch.config import (
+    HB_16x8,
+    HB_2x16x8,
+    NO_FEATURES,
+    TABLE_II,
+    small_config,
+)
+from repro.workloads.graphs import rmat
+
+
+class TestSerialize:
+    @pytest.mark.parametrize("name", list(TABLE_II))
+    def test_table2_roundtrip(self, name):
+        cfg = TABLE_II[name]
+        again = serialize.from_dict(serialize.to_dict(cfg))
+        assert again == cfg
+
+    def test_json_roundtrip(self):
+        cfg = small_config(4, 4, features=NO_FEATURES)
+        again = serialize.from_json(serialize.to_json(cfg))
+        assert again == cfg
+
+    def test_rebuilt_config_builds_machine(self):
+        from repro.runtime.machine import Machine
+
+        again = serialize.from_json(serialize.to_json(small_config(2, 2)))
+        machine = Machine(again)
+        assert len(machine.cores) == 4
+
+    def test_hbm_scale_and_grid_preserved(self):
+        d = serialize.to_dict(HB_2x16x8)
+        assert d["hbm_scale"] == 0.5
+        again = serialize.from_dict(d)
+        assert again.hbm_scale == 0.5
+        assert again.global_grid == (0, 0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            serialize.from_dict({"name": "x"})
+
+    def test_json_is_stable(self):
+        a = serialize.to_json(HB_16x8)
+        b = serialize.to_json(HB_16x8)
+        assert a == b
+
+
+class TestRmat:
+    def test_basic_structure(self):
+        g = rmat(256, avg_degree=8.0)
+        assert g.num_rows == 256
+        assert g.nnz > 256
+        g.validate()
+
+    def test_heavy_tails_both_directions(self):
+        g = rmat(512, avg_degree=16.0)
+        out_cv = g.degree_cv()
+        in_cv = g.transpose().degree_cv()
+        assert out_cv > 0.8
+        assert in_cv > 0.8
+
+    def test_skew_exceeds_uniform(self):
+        from repro.workloads.graphs import uniform_random
+
+        g = rmat(512, avg_degree=8.0)
+        u = uniform_random(512, avg_degree=8.0)
+        assert g.degree_cv() > 2 * u.degree_cv()
+
+    def test_requires_pow2(self):
+        with pytest.raises(ValueError):
+            rmat(100)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(64, a=0.5, b=0.3, c=0.2)  # d == 0
+
+    def test_deterministic(self):
+        a = rmat(128, seed=3)
+        b = rmat(128, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    @settings(max_examples=10)
+    @given(seed=st.integers(0, 100))
+    def test_always_valid(self, seed):
+        g = rmat(64, avg_degree=4.0, seed=seed)
+        g.validate()
+        assert g.indices.max(initial=0) < 64

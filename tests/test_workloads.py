@@ -1,0 +1,187 @@
+"""Workload generators: CSR structure, graph statistics, octrees."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bodies import Octree, plummer_sphere
+from repro.workloads.csr import CsrMatrix
+from repro.workloads.dense import (
+    aes_blocks,
+    dna_sequences,
+    fft_input,
+    jacobi_grid,
+    option_batch,
+    random_matrix,
+)
+from repro.workloads.graphs import (
+    hollywood_like,
+    offshore_like,
+    power_law_graph,
+    roadnet_like,
+    standard_graphs,
+    uniform_random,
+    wiki_vote_like,
+)
+
+
+class TestCsr:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[1, 0, 2], [0, 0, 0], [3, 4, 0]], dtype=float)
+        m = CsrMatrix.from_dense(dense)
+        assert m.nnz == 4
+        assert list(m.row_slice(0)) == [0, 2]
+        assert m.row_nnz(1) == 0
+
+    def test_from_edges_dedups(self):
+        m = CsrMatrix.from_edges(3, 3, np.array([0, 0, 1]),
+                                 np.array([1, 1, 2]))
+        assert m.nnz == 2
+
+    def test_validation_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(2, 2, np.array([0, 1]), np.array([0]))
+
+    def test_validation_rejects_bad_indices(self):
+        with pytest.raises(ValueError):
+            CsrMatrix(1, 2, np.array([0, 1]), np.array([5]))
+
+    def test_transpose_preserves_nnz(self):
+        m = uniform_random(64, 4.0)
+        t = m.transpose()
+        assert t.nnz == m.nnz
+        assert t.num_rows == m.num_cols
+
+    def test_transpose_involution(self):
+        m = uniform_random(32, 3.0)
+        tt = m.transpose().transpose()
+        assert np.array_equal(tt.offsets, m.offsets)
+        assert np.array_equal(tt.indices, m.indices)
+
+    def test_spmv_matches_dense(self):
+        dense = np.array([[1, 2], [0, 3]], dtype=float)
+        m = CsrMatrix.from_dense(dense)
+        x = np.array([1.0, 10.0])
+        assert np.allclose(m.spmv(x), dense @ x)
+
+    def test_degree_cv(self):
+        balanced = CsrMatrix.from_dense(np.ones((4, 4)))
+        assert balanced.degree_cv() == 0.0
+
+    def test_spgemm_flops_positive(self):
+        m = wiki_vote_like(scale=0.1)
+        assert m.spgemm_flops() > m.nnz
+
+
+class TestGraphGenerators:
+    def test_power_law_has_heavy_tail(self):
+        g = power_law_graph(512, 8.0, seed=1)
+        deg = g.degrees()
+        assert deg.max() > 5 * max(deg.mean(), 1)
+
+    def test_wiki_vote_high_variance(self):
+        g = wiki_vote_like()
+        assert g.degree_cv() > 1.0
+        assert g.name == "WV"
+
+    def test_roadnet_low_degree_high_diameter(self):
+        g = roadnet_like(width=16, height=16)
+        assert g.degrees().mean() < 4.0
+        assert g.degree_cv() < 0.5
+
+    def test_roadnet_symmetric(self):
+        g = roadnet_like(width=8, height=8)
+        t = g.transpose()
+        assert np.array_equal(np.sort(g.indices), np.sort(t.indices))
+
+    def test_offshore_banded(self):
+        g = offshore_like(n=128, band=4)
+        rows = np.repeat(np.arange(g.num_rows), np.diff(g.offsets))
+        assert np.all(np.abs(rows - g.indices) <= 4)
+
+    def test_standard_graphs_registry(self):
+        graphs = standard_graphs(scale=0.1)
+        assert set(graphs) == {"WV", "HW", "RC", "OS", "UR"}
+        assert all(g.nnz > 0 for g in graphs.values())
+
+    def test_determinism(self):
+        a = wiki_vote_like(scale=0.2)
+        b = wiki_vote_like(scale=0.2)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_scale_shrinks(self):
+        assert hollywood_like(0.1).num_rows < hollywood_like(0.5).num_rows
+
+
+class TestDenseInputs:
+    def test_random_matrix_shape(self):
+        assert random_matrix(4, 6).shape == (4, 6)
+
+    def test_fft_input_pow2_only(self):
+        assert len(fft_input(64)) == 64
+        with pytest.raises(ValueError):
+            fft_input(100)
+
+    def test_jacobi_grid(self):
+        assert jacobi_grid(2, 3, 4).shape == (2, 3, 4)
+
+    def test_option_batch(self):
+        b = option_batch(32)
+        assert len(b) == 32
+        assert np.all(b.volatility > 0)
+        assert np.all(b.expiry > 0)
+
+    def test_dna_sequences(self):
+        q, r = dna_sequences(8, 16, 4)
+        assert q.shape == (4, 8)
+        assert r.shape == (4, 16)
+        assert q.max() <= 3
+
+    def test_aes_blocks(self):
+        blocks = aes_blocks(10)
+        assert blocks.shape == (10, 16)
+
+
+class TestOctree:
+    def test_plummer_shape(self):
+        pos = plummer_sphere(100, seed=1)
+        assert pos.shape == (100, 3)
+
+    def test_tree_mass_conserved(self):
+        pos = plummer_sphere(64, seed=2)
+        tree = Octree(pos)
+        assert tree.root.mass == pytest.approx(64.0)
+
+    def test_every_body_reachable(self):
+        pos = plummer_sphere(50, seed=3)
+        tree = Octree(pos)
+        found = set()
+        stack = [0]
+        while stack:
+            node = tree.nodes[stack.pop()]
+            if node.body is not None:
+                found.add(node.body)
+            stack.extend(c for c in node.children if c is not None)
+        assert found == set(range(50))
+
+    def test_com_inside_bounds(self):
+        pos = plummer_sphere(64, seed=4)
+        tree = Octree(pos)
+        root = tree.root
+        assert np.all(np.abs(root.com - root.center) <= root.half * 1.01)
+
+    def test_force_roughly_central(self):
+        """Forces in a Plummer sphere point roughly toward the centre."""
+        pos = plummer_sphere(256, seed=5)
+        tree = Octree(pos)
+        # Pick the outermost body: its force must point inward.
+        body = int(np.argmax((pos ** 2).sum(axis=1)))
+        force = tree.force_on(body, theta=0.5)
+        assert float(np.dot(force, pos[body])) < 0
+
+    def test_theta_controls_accuracy(self):
+        pos = plummer_sphere(128, seed=6)
+        tree = Octree(pos)
+        exact = tree.force_on(0, theta=0.0)
+        approx = tree.force_on(0, theta=0.9)
+        rel = np.linalg.norm(exact - approx) / (np.linalg.norm(exact) + 1e-12)
+        assert rel < 0.5
