@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Engine host-throughput benchmark: events/sec and wall-clock per kernel.
+
+Measures how fast the discrete-event engine itself runs (host wall-clock
+and executed events per second) on a subset of the suite kernels, and
+writes the results to ``BENCH_engine.json``.  Simulated cycle counts are
+deterministic, so this file doubles as a quick regression check: if the
+cycles in two ``BENCH_engine.json`` files differ for the same size and
+config, the model changed behaviour, not just speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full run
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI seconds
+    PYTHONPATH=src python benchmarks/bench_engine.py --kernels PR BFS
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch.config import HB_16x8, small_config  # noqa: E402
+from repro.profile.speed import measure_suite  # noqa: E402
+
+#: The kernels the default run times (a spread of network-bound, compute-
+#: bound and irregular workloads); --kernels overrides.
+DEFAULT_KERNELS = ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny machine, two kernels, one repeat (CI)")
+    parser.add_argument("--size", default="small",
+                        choices=("tiny", "small", "full"))
+    parser.add_argument("--kernels", nargs="+", default=None,
+                        metavar="NAME", help=f"default: {DEFAULT_KERNELS}")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats; best is reported")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="output path (default: ./BENCH_engine.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = small_config(4, 4)
+        size = "tiny"
+        kernels = args.kernels or ["PR", "AES"]
+        repeats = 1
+    else:
+        config = HB_16x8
+        size = args.size
+        kernels = args.kernels or list(DEFAULT_KERNELS)
+        repeats = args.repeats
+
+    print(f"config={config.name} size={size} repeats={repeats}")
+    samples = {}
+    for name in kernels:
+        sample = measure_suite(config, size=size, kernels=[name],
+                               repeats=repeats)[name]
+        samples[name] = sample
+        print(f"{name:8s} wall={sample['wall_seconds']:.3f}s "
+              f"events={sample['events']:>9d} "
+              f"events/sec={sample['events_per_sec']:>12,.0f} "
+              f"cycles={sample['cycles']:g}")
+
+    payload = {
+        "config": config.name,
+        "size": size,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "kernels": samples,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,9 @@
 
 Runs one of the paper-figure harnesses (or the whole set) and prints the
 reproduced figure.  ``python -m repro list`` shows what is available.
+``python -m repro bench-speed`` measures the engine's own host
+throughput; ``--profile`` wraps any experiment in cProfile and prints
+the hottest functions.
 """
 
 from __future__ import annotations
@@ -49,6 +52,27 @@ COST_HINT = {
 }
 
 
+def _bench_speed(args: argparse.Namespace) -> int:
+    """Measure host events/sec per suite kernel (the engine benchmark)."""
+    import json
+
+    from .arch.config import HB_16x8
+    from .profile.speed import measure_suite
+
+    kernels = args.kernels or ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi"]
+    samples = measure_suite(HB_16x8, size=args.size, kernels=kernels,
+                            repeats=args.repeats)
+    for name, s in samples.items():
+        print(f"{name:8s} wall={s['wall_seconds']:.3f}s "
+              f"events/sec={s['events_per_sec']:>12,.0f} "
+              f"cycles={s['cycles']:g}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(samples, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,14 +80,34 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="one of: " + ", ".join(EXPERIMENTS) + ", list, all",
+        help="one of: " + ", ".join(EXPERIMENTS) + ", bench-speed, list, all",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the 25 hottest functions",
+    )
+    parser.add_argument("--size", default="small",
+                        choices=("tiny", "small", "full"),
+                        help="bench-speed: input size (default: small)")
+    parser.add_argument("--kernels", nargs="+", default=None, metavar="NAME",
+                        help="bench-speed: suite kernels to measure")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="bench-speed: wall-clock repeats (best wins)")
+    parser.add_argument("--out", default=None,
+                        help="bench-speed: also write samples as JSON")
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if name == "list":
         for key in EXPERIMENTS:
             print(f"{key:8s} ({COST_HINT[key]})")
+        print("bench-speed (engine host-throughput benchmark)")
         return 0
+    if name == "bench-speed":
+        if args.profile:
+            from .profile.speed import profile_top
+            print(profile_top(_bench_speed, args))
+            return 0
+        return _bench_speed(args)
     if name == "all":
         for key, fn in EXPERIMENTS.items():
             print(f"\n########## {key} ##########")
@@ -74,6 +118,10 @@ def main(argv=None) -> int:
     except KeyError:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
+    if args.profile:
+        from .profile.speed import profile_top
+        print(profile_top(fn))
+        return 0
     fn()
     return 0
 

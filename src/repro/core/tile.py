@@ -14,6 +14,11 @@ The core runs as one generator process; pure compute streams advance a
 local clock without touching the event queue, and the process only
 synchronizes with the simulator when it interacts with shared state
 (network, barriers, waiting on futures).
+
+The issue loop is the hottest Python in the whole model (one iteration
+per simulated instruction), so it aggressively localizes attribute
+lookups and updates counters through ``Counter.raw`` -- C-level dict
+increments instead of method calls.  None of this changes timing.
 """
 
 from __future__ import annotations
@@ -44,6 +49,14 @@ from .scoreboard import Scoreboard
 
 RegReady = Union[float, Future]
 
+#: reg_kind value -> stall category charged while waiting on that producer.
+_KIND_STALL = {
+    "mem": st.STALL_DEPEND_LOAD,
+    "fdiv": st.STALL_FDIV,
+    "int": st.STALL_BYPASS,
+    "fp": st.STALL_BYPASS,
+}
+
 
 class TileCore:
     """One compute tile's execution engine."""
@@ -67,6 +80,9 @@ class TileCore:
         self.start_time: float = 0
         self.finish_time: float = 0
         self.process: Optional[Process] = None
+        #: Last reason this core blocked on the event queue (a Table III
+        #: stall category) -- surfaced by deadlock diagnostics.
+        self.last_stall: Optional[str] = None
         self._fp_latency = {
             "fadd": timings.core.fadd,
             "fmul": timings.core.fmul,
@@ -74,6 +90,10 @@ class TileCore:
             "fdiv": timings.core.fdiv,
             "fsqrt": timings.core.fsqrt,
         }
+        # One closure for the whole core: releases a scoreboard credit
+        # when a remote response lands (avoids a lambda per request).
+        sb = self.scoreboard
+        self._sb_release = lambda _v, _release=sb.release: _release()
 
     # -- launch ---------------------------------------------------------------
 
@@ -107,70 +127,95 @@ class TileCore:
     def _run(self, gen: Generator[Any, Any, Any]) -> Generator[Any, Any, float]:
         sim = self.sim
         c = self.counters
+        cv = c.raw
         core_t = self.timings.core
         reg_ready = self.reg_ready
         reg_kind = self.reg_kind
+        reg_ready_get = reg_ready.get
+        reg_kind_get = reg_kind.get
         sb = self.scoreboard
-        nonblocking = self.features.nonblocking_loads
         compression = self.features.load_compression
+        memsys = self.memsys
+        is_own_spm = memsys.is_own_spm
+        spm_reserve = memsys.spm_reserve
+        icache_access = self.icache.access
+        branch_resolve = self.branch.predict_and_resolve
+        fp_latency = self._fp_latency
+        gen_send = gen.send
+        local_load = core_t.local_load
 
-        t = sim.now
+        # Hot names pulled into locals: stall categories and op classes.
+        EXEC_INT = st.EXEC_INT
+        EXEC_FP = st.EXEC_FP
+        S_DEPEND = st.STALL_DEPEND_LOAD
+        S_FDIV = st.STALL_FDIV
+        S_BYPASS = st.STALL_BYPASS
+        S_ICACHE = st.STALL_ICACHE
+        S_BRANCH = st.STALL_BRANCH
+        _IntOp, _FpOp, _BranchOp = IntOp, FpOp, BranchOp
+        _LoadOp, _VecLoadOp, _StoreOp = LoadOp, VecLoadOp, StoreOp
+        _AmoOp, _FenceOp, _BarrierOp, _SleepOp = AmoOp, FenceOp, BarrierOp, SleepOp
+        _Future = Future
+
+        t = sim._now
         self.start_time = t
         send_val: Any = None
 
         while True:
             try:
-                op = gen.send(send_val)
+                op = gen_send(send_val)
             except StopIteration:
                 break
             send_val = None
 
             # Instruction fetch.
-            miss = self.icache.access(op.pc)
+            miss = icache_access(op.pc)
             if miss:
                 t += miss
-                c.add(st.STALL_ICACHE, miss)
+                cv[S_ICACHE] += miss
 
             cls = op.__class__
 
-            if cls is IntOp or cls is FpOp or cls is BranchOp:
+            if cls is _IntOp or cls is _FpOp or cls is _BranchOp:
                 # Source dependencies (compute fast-path: usually floats).
                 for s in op.srcs:
-                    r = reg_ready.get(s)
+                    r = reg_ready_get(s)
                     if r is None:
                         continue
-                    if isinstance(r, Future):
-                        if not r.done:
-                            if t > sim.now:
-                                yield t - sim.now
+                    if r.__class__ is _Future:
+                        if not r._done:
+                            kind = reg_kind_get(s, "int")
+                            self.last_stall = _KIND_STALL[kind]
+                            if t > sim._now:
+                                yield t - sim._now
                             yield r
-                        ready = r.value
+                        ready = r._value
                         reg_ready[s] = ready
                     else:
                         ready = r
                     if ready > t:
                         gap = ready - t
-                        kind = reg_kind.get(s, "int")
+                        kind = reg_kind_get(s, "int")
                         if kind == "mem":
-                            c.add(st.STALL_DEPEND_LOAD, gap)
+                            cv[S_DEPEND] += gap
                         elif kind == "fdiv":
-                            c.add(st.STALL_FDIV, gap)
+                            cv[S_FDIV] += gap
                         else:
-                            c.add(st.STALL_BYPASS, gap)
+                            cv[S_BYPASS] += gap
                         t = ready
 
-                if cls is IntOp:
+                if cls is _IntOp:
                     issue = t
                     t += 1
-                    c.add(st.EXEC_INT)
+                    cv[EXEC_INT] += 1
                     if op.dst is not None:
                         reg_ready[op.dst] = issue + op.latency
                         reg_kind[op.dst] = "int" if op.latency == 1 else "fp"
-                elif cls is FpOp:
-                    lat = self._fp_latency[op.unit]
+                elif cls is _FpOp:
+                    lat = fp_latency[op.unit]
                     if op.unit in ("fdiv", "fsqrt"):
                         if self._fdiv_free > t:
-                            c.add(st.STALL_FDIV, self._fdiv_free - t)
+                            cv[S_FDIV] += self._fdiv_free - t
                             t = self._fdiv_free
                         issue = t
                         self._fdiv_free = issue + lat
@@ -179,17 +224,17 @@ class TileCore:
                         issue = t
                         kind = "fp"
                     t += 1
-                    c.add(st.EXEC_FP)
+                    cv[EXEC_FP] += 1
                     if op.dst is not None:
                         reg_ready[op.dst] = issue + lat
                         reg_kind[op.dst] = kind
                 else:  # BranchOp
                     t += 1
-                    c.add(st.EXEC_INT)
-                    flush = self.branch.predict_and_resolve(op.backward, op.taken)
+                    cv[EXEC_INT] += 1
+                    flush = branch_resolve(op.backward, op.taken)
                     if flush:
                         t += flush
-                        c.add(st.STALL_BRANCH, flush)
+                        cv[S_BRANCH] += flush
                 continue
 
             # Memory and synchronization ops.
@@ -197,18 +242,18 @@ class TileCore:
             if srcs:
                 t = yield from self._wait_srcs(srcs, t)
 
-            if cls is LoadOp:
-                if (op.addr >> TAG_SHIFT) == 0 or self.memsys.is_own_spm(op.addr, self.node):
-                    start = self.memsys.spm_reserve(self.node, t)
+            if cls is _LoadOp:
+                if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
+                    start = spm_reserve(self.node, t)
                     t += 1
-                    c.add(st.EXEC_INT)
-                    reg_ready[op.dst] = start + core_t.local_load
+                    cv[EXEC_INT] += 1
+                    reg_ready[op.dst] = start + local_load
                     reg_kind[op.dst] = "mem"
                 else:
                     t = yield from self._issue_remote(
                         op.addr, False, t, words=1, dsts=(op.dst,),
                     )
-            elif cls is VecLoadOp:
+            elif cls is _VecLoadOp:
                 if compression:
                     t = yield from self._issue_remote(
                         op.addr, False, t, words=len(op.dsts), dsts=op.dsts,
@@ -219,56 +264,59 @@ class TileCore:
                         t = yield from self._issue_remote(
                             op.addr + 4 * i, False, t, words=1, dsts=(dst,),
                         )
-            elif cls is StoreOp:
-                if (op.addr >> TAG_SHIFT) == 0 or self.memsys.is_own_spm(op.addr, self.node):
-                    self.memsys.spm_reserve(self.node, t)
+            elif cls is _StoreOp:
+                if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
+                    spm_reserve(self.node, t)
                     t += 1
-                    c.add(st.EXEC_INT)
+                    cv[EXEC_INT] += 1
                 else:
                     t = yield from self._issue_remote(
                         op.addr, True, t, words=1, dsts=(),
                     )
-            elif cls is AmoOp:
+            elif cls is _AmoOp:
                 t, old = yield from self._issue_amo(op, t)
                 send_val = old
                 if op.dst is not None:
                     reg_ready[op.dst] = t
                     reg_kind[op.dst] = "mem"
-            elif cls is FenceOp:
+            elif cls is _FenceOp:
                 t += 1
-                c.add(st.EXEC_INT)
+                cv[EXEC_INT] += 1
                 if not sb.empty:
-                    if t > sim.now:
-                        yield t - sim.now
+                    self.last_stall = st.STALL_FENCE
+                    if t > sim._now:
+                        yield t - sim._now
                     fut = sb.wait_drain()
                     yield fut
-                    drained = max(t, sim.now)
-                    c.add(st.STALL_FENCE, drained - t)
+                    drained = max(t, sim._now)
+                    cv[st.STALL_FENCE] += drained - t
                     t = drained
-            elif cls is BarrierOp:
+            elif cls is _BarrierOp:
                 t += 1
-                c.add(st.EXEC_INT)
-                if t > sim.now:
-                    yield t - sim.now
+                cv[EXEC_INT] += 1
+                self.last_stall = st.STALL_BARRIER
+                if t > sim._now:
+                    yield t - sim._now
                 fut = op.group.arrive(self.node, t)
                 yield fut
-                released = max(t, sim.now)
-                c.add(st.STALL_BARRIER, released - t)
+                released = max(t, sim._now)
+                cv[st.STALL_BARRIER] += released - t
                 t = released
-            elif cls is SleepOp:
+            elif cls is _SleepOp:
                 t += op.cycles
-                c.add(st.STALL_IDLE, op.cycles)
+                cv[st.STALL_IDLE] += op.cycles
             else:
                 raise TypeError(f"core cannot execute {op!r}")
 
         # Implicit drain: a tile is not finished while requests are in flight.
         if not sb.empty:
-            if t > sim.now:
-                yield t - sim.now
+            self.last_stall = st.STALL_FENCE
+            if t > sim._now:
+                yield t - sim._now
             fut = sb.wait_drain()
             yield fut
-            drained = max(t, sim.now)
-            c.add(st.STALL_FENCE, drained - t)
+            drained = max(t, sim._now)
+            cv[st.STALL_FENCE] += drained - t
             t = drained
         self.finish_time = t
         return t
@@ -278,30 +326,32 @@ class TileCore:
     def _wait_srcs(self, srcs, t: float):
         """Wait for source registers; returns the advanced clock."""
         sim = self.sim
-        c = self.counters
+        cv = self.counters.raw
         reg_ready = self.reg_ready
+        reg_kind_get = self.reg_kind.get
         for s in srcs:
             r = reg_ready.get(s)
             if r is None:
                 continue
-            if isinstance(r, Future):
-                if not r.done:
-                    if t > sim.now:
-                        yield t - sim.now
+            if r.__class__ is Future:
+                if not r._done:
+                    self.last_stall = _KIND_STALL[reg_kind_get(s, "int")]
+                    if t > sim._now:
+                        yield t - sim._now
                     yield r
-                ready = r.value
+                ready = r._value
                 reg_ready[s] = ready
             else:
                 ready = r
             if ready > t:
-                kind = self.reg_kind.get(s, "int")
+                kind = reg_kind_get(s, "int")
                 gap = ready - t
                 if kind == "mem":
-                    c.add(st.STALL_DEPEND_LOAD, gap)
+                    cv[st.STALL_DEPEND_LOAD] += gap
                 elif kind == "fdiv":
-                    c.add(st.STALL_FDIV, gap)
+                    cv[st.STALL_FDIV] += gap
                 else:
-                    c.add(st.STALL_BYPASS, gap)
+                    cv[st.STALL_BYPASS] += gap
                 t = ready
         return t
 
@@ -310,12 +360,13 @@ class TileCore:
         sim = self.sim
         sb = self.scoreboard
         if sb.full:
-            if t > sim.now:
-                yield t - sim.now
+            self.last_stall = st.STALL_CREDIT
+            if t > sim._now:
+                yield t - sim._now
             fut = sb.wait_credit()
             yield fut
-            granted = max(t, sim.now)
-            self.counters.add(st.STALL_CREDIT, granted - t)
+            granted = max(t, sim._now)
+            self.counters.raw[st.STALL_CREDIT] += granted - t
             t = granted
         sb.acquire()
         return t
@@ -324,45 +375,45 @@ class TileCore:
                       words: int, dsts):
         """Inject a remote load/store; non-blocking unless the feature is off."""
         sim = self.sim
-        c = self.counters
-        sb = self.scoreboard
+        cv = self.counters.raw
         t = yield from self._acquire_credit(t)
-        if t > sim.now:
-            yield t - sim.now
+        if t > sim._now:
+            yield t - sim._now
         fut = self.memsys.remote_request(
             self.node, addr, is_write=is_write, time=t, words=words,
         )
-        fut.add_callback(lambda _v: sb.release())
-        issue = t
+        fut.add_callback(self._sb_release)
         t += 1
-        c.add(st.EXEC_INT)
+        cv[st.EXEC_INT] += 1
+        reg_ready = self.reg_ready
+        reg_kind = self.reg_kind
         for dst in dsts:
-            self.reg_ready[dst] = fut
-            self.reg_kind[dst] = "mem"
+            reg_ready[dst] = fut
+            reg_kind[dst] = "mem"
         if not self.features.nonblocking_loads and not is_write:
+            self.last_stall = st.STALL_DEPEND_LOAD
             yield fut
-            arrival = fut.value
-            c.add(st.STALL_DEPEND_LOAD, max(0.0, arrival - t))
+            arrival = fut._value
+            cv[st.STALL_DEPEND_LOAD] += max(0.0, arrival - t)
             t = max(t, arrival)
             for dst in dsts:
-                self.reg_ready[dst] = arrival
-        del issue
+                reg_ready[dst] = arrival
         return t
 
     def _issue_amo(self, op: AmoOp, t: float):
         """Atomics block the kernel generator: it needs the old value."""
         sim = self.sim
-        c = self.counters
-        sb = self.scoreboard
+        cv = self.counters.raw
         t = yield from self._acquire_credit(t)
-        if t > sim.now:
-            yield t - sim.now
+        if t > sim._now:
+            yield t - sim._now
         fut = self.memsys.remote_amo(self.node, op.addr, op.kind, op.value, t)
-        fut.add_callback(lambda _v: sb.release())
+        fut.add_callback(self._sb_release)
         t += 1
-        c.add(st.EXEC_INT)
+        cv[st.EXEC_INT] += 1
+        self.last_stall = st.STALL_AMO
         yield fut
-        arrival, old = fut.value
-        c.add(st.STALL_AMO, max(0.0, arrival - t))
+        arrival, old = fut._value
+        cv[st.STALL_AMO] += max(0.0, arrival - t)
         t = max(t, arrival)
         return t, old

@@ -1,19 +1,41 @@
 """Discrete-event simulation core.
 
-The simulator maintains a priority queue of ``(time, sequence, callback)``
-entries.  Time is measured in core clock cycles (integers by convention,
-though floats are accepted).  Ties are broken by a monotonically increasing
-sequence number so that runs are fully deterministic.
+The simulator maintains a two-lane event queue:
 
-This engine is deliberately tiny: components interact by scheduling plain
-callbacks or by running generator-based :class:`~repro.engine.process.Process`
-objects on top of it.
+* a **heap lane** of ``(time, sequence, event)`` entries for future
+  events, and
+* a **zero-delay FIFO lane** (a deque) for events scheduled at the
+  *current* simulation time -- the dominant case, since processes resume
+  through a delay-0 hop for deterministic ordering.
+
+Both lanes share one monotonically increasing sequence counter, and the
+dispatcher always executes the globally smallest ``(time, sequence)``
+pair, so the observable order is exactly the classic single-heap order:
+time-sorted, ties broken by schedule order.  The FIFO lane merely avoids
+the O(log n) sift for the events that would land at the top of the heap
+anyway.
+
+Time is measured in core clock cycles (integers by convention, though
+floats are accepted).  This engine is deliberately tiny: components
+interact by scheduling plain callbacks or by running generator-based
+:class:`~repro.engine.process.Process` objects on top of it.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+#: Sentinel meaning "call the event's callback with no argument".
+_NO_ARG = object()
+
+#: Recycled internal event records kept per simulator (see ``_post``).
+_POOL_MAX = 2048
+
+#: Compact the heap once cancelled entries outnumber live ones and the
+#: absolute count is large enough to matter.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -23,23 +45,38 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.
 
-    Events are returned by :meth:`Simulator.schedule` and may be cancelled
-    before they fire.  Cancelled events stay in the heap but are skipped.
+    Events are returned by :meth:`Simulator.schedule` and may be
+    cancelled before they fire.  Cancelled events stay queued but are
+    skipped (and lazily purged once they dominate the heap).
     """
 
-    __slots__ = ("time", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "arg", "cancelled", "pooled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[[], None]) -> None:
+    def __init__(self, sim: Optional["Simulator"], time: float, seq: int,
+                 fn: Optional[Callable[..., None]], arg: Any,
+                 pooled: bool = False) -> None:
         self.time = time
+        self.seq = seq
         self.fn = fn
+        self.arg = arg
         self.cancelled = False
+        self.pooled = pooled
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing."""
+        """Prevent this event from firing (no-op after it has fired)."""
+        if self.cancelled or self._sim is None:
+            return
         self.cancelled = True
+        self._sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self._sim is None:
+            state = "fired"
+        else:
+            state = "pending"
         return f"Event(t={self.time}, {state}, fn={self.fn!r})"
 
 
@@ -48,74 +85,249 @@ class Simulator:
 
     A single :class:`Simulator` instance drives one machine model.  All
     model components hold a reference to it and use :meth:`schedule` /
-    :meth:`schedule_at` to advance state.
+    :meth:`schedule_at` to advance state.  Engine-internal callers use
+    :meth:`_post`, which skips the :class:`Event` hand-out and recycles
+    ``__slots__``-ed records through a free list.
     """
 
     def __init__(self) -> None:
         self._queue: List[Tuple[float, int, Event]] = []
+        self._fast: Deque[Event] = deque()
+        self._pool: List[Event] = []
         self._seq = 0
         self._now: float = 0
         self._running = False
+        self._ncancelled = 0
+        #: Total events dispatched over this simulator's lifetime
+        #: (the numerator of the host events/sec throughput metric).
+        self.events_executed = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in cycles."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay`` cycles from now."""
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 arg: Any = _NO_ARG) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now.
+
+        With ``arg`` given, the callback fires as ``fn(arg)`` -- this lets
+        hot callers pass a bound method plus its argument instead of
+        allocating a closure per event.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn)
+        return self.schedule_at(self._now + delay, fn, arg)
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+    def schedule_at(self, time: float, fn: Callable[..., None],
+                    arg: Any = _NO_ARG) -> Event:
         """Schedule ``fn`` to run at absolute ``time``."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at t={time} before now={self._now}"
+                f"cannot schedule at t={time} before now={now}"
             )
-        event = Event(time, fn)
-        heapq.heappush(self._queue, (time, self._seq, event))
+        event = Event(self, time, self._seq, fn, arg)
         self._seq += 1
+        if time == now:
+            self._fast.append(event)
+        else:
+            heapq.heappush(self._queue, (time, event.seq, event))
         return event
+
+    def _post(self, time: float, fn: Callable[..., None], arg: Any) -> None:
+        """Internal fast-path schedule: no :class:`Event` escapes.
+
+        The record comes from (and returns to) a free list, so steady-state
+        process resumption allocates nothing.  Callers must never need to
+        cancel -- use :meth:`schedule_at` for that.
+        """
+        now = self._now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.arg = arg
+        else:
+            event = Event(self, time, seq, fn, arg, pooled=True)
+        if time == now:
+            self._fast.append(event)
+        else:
+            heapq.heappush(self._queue, (time, seq, event))
+
+    # -- cancellation bookkeeping ------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._ncancelled += 1
+        n = self._ncancelled
+        if n >= _COMPACT_MIN and 2 * n > len(self._queue) + len(self._fast):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Purge cancelled entries so they cannot rot in the heap forever.
+
+        Mutates the containers in place: ``run()``'s drain loop holds
+        direct references to them, and compaction can be triggered from a
+        callback mid-drain.
+        """
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
+        heapq.heapify(self._queue)
+        if any(ev.cancelled for ev in self._fast):
+            live = [ev for ev in self._fast if not ev.cancelled]
+            self._fast.clear()
+            self._fast.extend(live)
+        self._ncancelled = 0
+
+    # -- dispatch -----------------------------------------------------------
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0][0]
+        fast = self._fast
+        while fast and fast[0].cancelled:
+            fast.popleft()
+            self._ncancelled -= 1
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._ncancelled -= 1
+        if fast:
+            return self._now  # FIFO-lane events always run at the current time
+        if queue:
+            return queue[0][0]
+        return None
+
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the next live event in (time, seq) order."""
+        fast = self._fast
+        queue = self._queue
+        while True:
+            if fast:
+                if queue:
+                    head = queue[0]
+                    # A heap entry at the current time was scheduled before
+                    # the clock reached it, hence carries a smaller seq.
+                    if head[0] == self._now and head[1] < fast[0].seq:
+                        event = heapq.heappop(queue)[2]
+                    else:
+                        event = fast.popleft()
+                else:
+                    event = fast.popleft()
+            elif queue:
+                event = heapq.heappop(queue)[2]
+            else:
+                return None
+            if event.cancelled:
+                self._ncancelled -= 1
+                continue
+            return event
 
     def step(self) -> bool:
         """Run the next event.  Returns ``False`` when the queue is empty."""
-        while self._queue:
-            time, _seq, event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = time
-            event.fn()
-            return True
-        return False
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        fn = event.fn
+        arg = event.arg
+        # Detach (and recycle) before the callback runs so the record is
+        # immediately reusable by whatever the callback schedules.
+        event.fn = None
+        event.arg = None
+        if event.pooled:
+            if len(self._pool) < _POOL_MAX:
+                self._pool.append(event)
+        else:
+            event._sim = None
+        self.events_executed += 1
+        if arg is _NO_ARG:
+            fn()
+        else:
+            fn(arg)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains (or a limit is hit).
 
         ``until`` stops the loop once simulated time would exceed it; the
-        clock is then advanced to ``until``.  ``max_events`` guards against
-        runaway models.  Returns the final simulation time.
+        clock is then advanced to ``until`` (never backwards).  Events at
+        exactly ``t == until`` still execute.  ``max_events`` guards
+        against runaway models.  Returns the final simulation time.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        count = 0
         try:
+            if until is None and max_events is None:
+                # Hot path: ``step``/``_pop_next`` inlined into one drain
+                # loop -- two fewer Python calls per event.  ``_compact``
+                # mutates the containers in place, so the local aliases
+                # stay valid across callbacks.
+                fast = self._fast
+                queue = self._queue
+                pool = self._pool
+                heappop = heapq.heappop
+                executed = 0
+                try:
+                    while True:
+                        if fast:
+                            if queue:
+                                head = queue[0]
+                                # Heap entries at the current time predate
+                                # the clock's arrival, so carry smaller seqs.
+                                if head[0] == self._now and head[1] < fast[0].seq:
+                                    event = heappop(queue)[2]
+                                else:
+                                    event = fast.popleft()
+                            else:
+                                event = fast.popleft()
+                        elif queue:
+                            event = heappop(queue)[2]
+                        else:
+                            break
+                        if event.cancelled:
+                            self._ncancelled -= 1
+                            continue
+                        self._now = event.time
+                        fn = event.fn
+                        arg = event.arg
+                        event.fn = None
+                        event.arg = None
+                        if event.pooled:
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                        else:
+                            event._sim = None
+                        executed += 1
+                        if arg is _NO_ARG:
+                            fn()
+                        else:
+                            fn(arg)
+                finally:
+                    self.events_executed += executed
+                return self._now
+            count = 0
             while True:
                 nxt = self.peek()
                 if nxt is None:
+                    # Queue drained before the horizon: the clock still
+                    # advances to ``until`` (never backwards), so callers
+                    # can rely on ``run(until=T)`` leaving ``now == T``.
+                    if until is not None and until > self._now:
+                        self._now = until
                     break
                 if until is not None and nxt > until:
-                    self._now = until
+                    if until > self._now:
+                        self._now = until
                     break
                 self.step()
                 count += 1
@@ -130,3 +342,7 @@ class Simulator:
     def drained(self) -> bool:
         """True when no runnable events remain."""
         return self.peek() is None
+
+    def queue_depth(self) -> int:
+        """Pending (non-cancelled) events across both lanes."""
+        return len(self._queue) + len(self._fast) - self._ncancelled

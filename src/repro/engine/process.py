@@ -10,11 +10,20 @@ A *process* is a Python generator that yields one of:
 Processes are how tile cores, DMA engines and host programs are written.
 Each process owns a :class:`Future` (``process.done``) that resolves with
 the generator's return value, enabling fork/join composition.
+
+Hot-path note: every resume travels through the simulator's internal
+``_post`` lane with a *prebound* ``_advance`` method and the resume value
+as the event argument, so steady-state process scheduling allocates no
+closures and no :class:`~repro.engine.event.Event` objects.  An already-
+resolved future short-circuits straight to the queue without touching the
+callback list.  Ordering is identical to the classic path: resumption
+always takes one delay-0 hop through the queue, keeping wake-up order
+deterministic when many processes block on the same future.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List
 
 from .event import Simulator, SimulationError
 
@@ -46,13 +55,15 @@ class Future:
             raise SimulationError("future resolved twice")
         self._done = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(value)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for fn in callbacks:
+                fn(value)
 
     def resolve_at(self, time: float, value: Any = None) -> None:
         """Resolve the future at absolute simulation time ``time``."""
-        self.sim.schedule_at(time, lambda: self.resolve(value))
+        self.sim._post(time, self.resolve, value)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         """Run ``fn(value)`` on resolution (immediately if already done)."""
@@ -89,7 +100,7 @@ def join(sim: Simulator, futures: Iterable[Future]) -> Future:
 class Process:
     """Drives a generator against the simulator clock."""
 
-    __slots__ = ("sim", "gen", "done", "name")
+    __slots__ = ("sim", "gen", "done", "name", "_step", "_wake")
 
     def __init__(
         self,
@@ -102,7 +113,14 @@ class Process:
         self.gen = gen
         self.done = Future(sim)
         self.name = name
-        sim.schedule(start_delay, lambda: self._advance(None))
+        if start_delay < 0:
+            raise SimulationError(
+                f"cannot schedule in the past (delay={start_delay})"
+            )
+        # Bind once; every subsequent resume reuses these two callables.
+        self._step = self._advance
+        self._wake = self._resume_soon
+        sim._post(sim._now + start_delay, self._step, None)
 
     def _advance(self, send_value: Any) -> None:
         try:
@@ -110,19 +128,21 @@ class Process:
         except StopIteration as stop:
             self.done.resolve(stop.value)
             return
-        self._dispatch(yielded)
-
-    def _dispatch(self, yielded: Any) -> None:
+        sim = self.sim
         if isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {yielded}"
                 )
-            self.sim.schedule(yielded, lambda: self._advance(None))
+            sim._post(sim._now + yielded, self._step, None)
         elif isinstance(yielded, Future):
-            yielded.add_callback(self._resume_soon)
+            if yielded._done:
+                # Fast lane: no callback registration, straight to the queue.
+                sim._post(sim._now, self._step, yielded._value)
+            else:
+                yielded._callbacks.append(self._wake)
         elif isinstance(yielded, (list, tuple)):
-            join(self.sim, yielded).add_callback(self._resume_soon)
+            join(sim, yielded).add_callback(self._wake)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported {yielded!r}"
@@ -131,7 +151,8 @@ class Process:
     def _resume_soon(self, value: Any) -> None:
         # Resume through the event queue so resolution order stays
         # deterministic even when many processes wake on the same future.
-        self.sim.schedule(0, lambda: self._advance(value))
+        sim = self.sim
+        sim._post(sim._now, self._step, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.done.done else "running"

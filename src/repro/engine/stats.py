@@ -21,6 +21,15 @@ class Counter:
     def add(self, name: str, amount: float = 1) -> None:
         self._values[name] += amount
 
+    @property
+    def raw(self) -> Dict[str, float]:
+        """The backing (default)dict, for hot loops that inline ``add``.
+
+        ``counter.raw[name] += amount`` is a C-level dict update; binding
+        ``raw`` once outside a loop removes a Python call per increment.
+        """
+        return self._values
+
     def get(self, name: str) -> float:
         return self._values.get(name, 0.0)
 
@@ -126,7 +135,8 @@ class Interval:
         self.busy_cycles: float = 0
 
     def reserve(self, earliest: float, duration: float) -> float:
-        start = max(earliest, self.free_at)
+        free_at = self.free_at
+        start = free_at if free_at > earliest else earliest
         self.free_at = start + duration
         self.busy_cycles += duration
         return start

@@ -108,33 +108,55 @@ class KernelContext:
 
     # -- compute ops --------------------------------------------------------
 
+    # The compute/memory constructors below inline the pc bump
+    # (``self._pc``) instead of calling :meth:`_pc_next`: kernels create
+    # one op per simulated instruction, so each avoided call counts.
+
     def alu(self, dst: Optional[int] = None, srcs: Sequence[int] = ()) -> IntOp:
-        return IntOp(dst, srcs, latency=1, pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return IntOp(dst, srcs, 1, pc)
 
     def mul(self, dst: Optional[int] = None, srcs: Sequence[int] = ()) -> IntOp:
-        return IntOp(dst, srcs, latency=2, pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return IntOp(dst, srcs, 2, pc)
 
     def fadd(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
-        return FpOp(dst, srcs, unit="fadd", pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return FpOp(dst, srcs, "fadd", pc)
 
     def fmul(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
-        return FpOp(dst, srcs, unit="fmul", pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return FpOp(dst, srcs, "fmul", pc)
 
     def fma(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
-        return FpOp(dst, srcs, unit="fma", pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return FpOp(dst, srcs, "fma", pc)
 
     def fdiv(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
-        return FpOp(dst, srcs, unit="fdiv", pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return FpOp(dst, srcs, "fdiv", pc)
 
     def fsqrt(self, dst: int, srcs: Sequence[int] = ()) -> FpOp:
-        return FpOp(dst, srcs, unit="fsqrt", pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return FpOp(dst, srcs, "fsqrt", pc)
 
     # -- memory ops ----------------------------------------------------------
 
     def load(self, addr: int, dst: Optional[int] = None,
              srcs: Sequence[int] = ()) -> LoadOp:
-        return LoadOp(dst if dst is not None else self.reg(), addr,
-                      srcs=srcs, pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        if dst is None:
+            dst = self._next_reg
+            self._next_reg = dst + 1
+        return LoadOp(dst, addr, srcs, pc)
 
     def vload(self, addr: int, n: int = 4,
               srcs: Sequence[int] = ()) -> VecLoadOp:
@@ -142,7 +164,9 @@ class KernelContext:
         return VecLoadOp(self.regs(n), addr, srcs=srcs, pc=self._pc_next())
 
     def store(self, addr: int, srcs: Sequence[int] = ()) -> StoreOp:
-        return StoreOp(addr, srcs=srcs, pc=self._pc_next())
+        pc = self._pc
+        self._pc = pc + 1
+        return StoreOp(addr, srcs, pc)
 
     def amoadd(self, addr: int, value: int = 1) -> AmoOp:
         return AmoOp(self.reg(), addr, "add", value, pc=self._pc_next())

@@ -31,7 +31,7 @@ class IntOp(Op):
 
     def __init__(self, dst: Optional[int], srcs: Sequence[int] = (),
                  latency: int = 1, pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.dst = dst
         self.srcs = tuple(srcs)
         self.latency = latency
@@ -45,7 +45,7 @@ class FpOp(Op):
 
     def __init__(self, dst: Optional[int], srcs: Sequence[int] = (),
                  unit: str = "fadd", pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         if unit not in self.UNITS:
             raise ValueError(f"unknown FP unit {unit!r}")
         self.dst = dst
@@ -62,7 +62,7 @@ class LoadOp(Op):
 
     def __init__(self, dst: int, addr: int, srcs: Sequence[int] = (),
                  pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.dst = dst
         self.addr = addr
         self.srcs = tuple(srcs)
@@ -80,7 +80,7 @@ class VecLoadOp(Op):
 
     def __init__(self, dsts: Sequence[int], addr: int,
                  srcs: Sequence[int] = (), pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.dsts = tuple(dsts)
         self.addr = addr
         self.srcs = tuple(srcs)
@@ -92,7 +92,7 @@ class StoreOp(Op):
     __slots__ = ("addr", "srcs")
 
     def __init__(self, addr: int, srcs: Sequence[int] = (), pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.addr = addr
         self.srcs = tuple(srcs)
 
@@ -110,7 +110,7 @@ class AmoOp(Op):
 
     def __init__(self, dst: Optional[int], addr: int, kind: str, value: int,
                  srcs: Sequence[int] = (), pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         if kind not in self.KINDS:
             raise ValueError(f"unknown AMO kind {kind!r}")
         self.dst = dst
@@ -132,7 +132,7 @@ class BarrierOp(Op):
     __slots__ = ("group",)
 
     def __init__(self, group: Optional[object] = None, pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.group = group
 
 
@@ -147,7 +147,7 @@ class BranchOp(Op):
 
     def __init__(self, taken: bool, backward: bool,
                  srcs: Sequence[int] = (), pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.taken = taken
         self.backward = backward
         self.srcs = tuple(srcs)
@@ -159,7 +159,7 @@ class SleepOp(Op):
     __slots__ = ("cycles",)
 
     def __init__(self, cycles: int, pc: int = 0) -> None:
-        super().__init__(pc)
+        self.pc = pc
         self.cycles = cycles
 
 

@@ -13,11 +13,15 @@ hardware needed), and implements the paper's policies:
 
 Timing-only: the bank tracks tags and dirty bits, not data -- functional
 values live with the kernels (and in the machine's atomic memory).
+
+Each set is one insertion-ordered dict (line -> :class:`_Line`): a hit
+pops and re-inserts its key (MRU at the back), so the LRU victim is
+always the first key -- replacing the seed's O(ways) list scans with
+C-level dict operations of identical replacement order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..arch.params import CacheTiming
@@ -28,10 +32,14 @@ from .hbm import PseudoChannel
 from .mshr import MshrFile
 
 
-@dataclass
 class _Line:
-    line: int
-    dirty: bool = False
+    """One resident cache line's tag state."""
+
+    __slots__ = ("line", "dirty")
+
+    def __init__(self, line: int, dirty: bool = False) -> None:
+        self.line = line
+        self.dirty = dirty
 
 
 class CacheBank:
@@ -51,9 +59,14 @@ class CacheBank:
         self.name = name
         self._port = Interval()
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(timing.sets)]
-        self._lru: List[List[int]] = [[] for _ in range(timing.sets)]
         self.mshr = MshrFile(timing.mshr_entries)
         self.counters = Counter()
+        # Hot-path constants.
+        self._nsets = timing.sets
+        self._nways = timing.ways
+        self._block_bytes = timing.block_bytes
+        self._hit_latency = timing.hit_latency
+        self._port_cpa = timing.port_cycles_per_access
 
     # -- public interface ---------------------------------------------------
 
@@ -62,19 +75,25 @@ class CacheBank:
         """Serve one request; the future resolves when the response data is
         ready to inject into the response network."""
         fut = Future(self.sim)
-        port_cycles = max(1, words * self.timing.port_cycles_per_access // 2)
+        port_cycles = words * self._port_cpa // 2
+        if port_cycles < 1:
+            port_cycles = 1
         start = self._port.reserve(time, port_cycles)
-        self.counters.add("accesses")
+        cv = self.counters.raw
+        cv["accesses"] += 1
         if is_amo:
-            self.counters.add("amos")
-        line = mem_addr // self.timing.block_bytes
-        if self._touch(line):
-            self.counters.add("store_hits" if is_write else "load_hits")
+            cv["amos"] += 1
+        line = mem_addr // self._block_bytes
+        ways = self._sets[line % self._nsets]
+        entry = ways.pop(line, None)
+        if entry is not None:
+            ways[line] = entry  # LRU promote: MRU lives at the back
+            cv["store_hits" if is_write else "load_hits"] += 1
             if is_write or is_amo:
-                self._mark_dirty(line)
-            fut.resolve_at(start + self.timing.hit_latency, None)
+                entry.dirty = True
+            fut.resolve_at(start + self._hit_latency, None)
             return fut
-        self.counters.add("store_misses" if is_write else "load_misses")
+        cv["store_misses" if is_write else "load_misses"] += 1
         if is_amo:
             # Read-modify-write: the old value is needed, so even under
             # write-validate the line must be fetched; it refills dirty.
@@ -83,7 +102,7 @@ class CacheBank:
         if is_write and self.write_validate:
             # Allocate without fetching; only a dirty victim costs DRAM work.
             self._install(line, dirty=True, time=start)
-            fut.resolve_at(start + self.timing.hit_latency, None)
+            fut.resolve_at(start + self._hit_latency, None)
             return fut
         self._miss(line, fut, start, mark_dirty=is_write)
         return fut
@@ -91,42 +110,40 @@ class CacheBank:
     # -- tag management -------------------------------------------------------
 
     def _set_of(self, line: int) -> int:
-        return line % self.timing.sets
+        return line % self._nsets
 
     def _touch(self, line: int) -> bool:
         """Probe and LRU-promote; True on hit."""
-        idx = self._set_of(line)
-        if line in self._sets[idx]:
-            lru = self._lru[idx]
-            lru.remove(line)
-            lru.append(line)
-            return True
-        return False
+        ways = self._sets[line % self._nsets]
+        entry = ways.pop(line, None)
+        if entry is None:
+            return False
+        ways[line] = entry
+        return True
 
     def _mark_dirty(self, line: int) -> None:
-        self._sets[self._set_of(line)][line].dirty = True
+        self._sets[line % self._nsets][line].dirty = True
 
     def _install(self, line: int, dirty: bool, time: float) -> None:
-        idx = self._set_of(line)
-        ways = self._sets[idx]
-        if line in ways:
+        ways = self._sets[line % self._nsets]
+        entry = ways.get(line)
+        if entry is not None:
             if dirty:
-                ways[line].dirty = True
+                entry.dirty = True
             return
-        if len(ways) >= self.timing.ways:
-            victim = self._lru[idx].pop(0)
+        if len(ways) >= self._nways:
+            victim = next(iter(ways))  # front of the dict == LRU
             victim_line = ways.pop(victim)
-            self.counters.add("evictions")
+            self.counters.raw["evictions"] += 1
             if victim_line.dirty:
                 self._writeback(victim, time)
-        ways[line] = _Line(line=line, dirty=dirty)
-        self._lru[idx].append(line)
+        ways[line] = _Line(line, dirty)
 
     def _writeback(self, line: int, time: float) -> None:
         """Dirty eviction: occupy the strip channel and the HBM bus."""
-        self.counters.add("writebacks")
-        addr = line * self.timing.block_bytes
-        _start, done = self.strip.transfer(self.bank_x, self.timing.block_bytes, time)
+        self.counters.raw["writebacks"] += 1
+        addr = line * self._block_bytes
+        _start, done = self.strip.transfer(self.bank_x, self._block_bytes, time)
         self.hbm.access(addr, is_write=True, time=done)
 
     # -- miss path ---------------------------------------------------------------
@@ -141,35 +158,43 @@ class CacheBank:
             return
         if self.mshr.full:
             retry_at = self.mshr.earliest_completion(time)
-            self.counters.add("mshr_full_stalls")
+            self.counters.raw["mshr_full_stalls"] += 1
             self.sim.schedule_at(
                 retry_at, lambda: self._miss(line, fut, retry_at, mark_dirty)
             )
             return
-        addr = line * self.timing.block_bytes
+        addr = line * self._block_bytes
         mem_done = self.hbm.access(addr, is_write=False, time=time + 1)
         _start, refill_done = self.strip.transfer(
-            self.bank_x, self.timing.block_bytes, mem_done
+            self.bank_x, self._block_bytes, mem_done
         )
         entry = self.mshr.allocate(line, time, refill_done)
         entry.waiters.append(fut)
         if self.nonblocking is False:
             # Blocking bank: nothing else is served until the refill lands.
             self._port.free_at = max(self._port.free_at, refill_done)
-        self.sim.schedule_at(
-            refill_done, lambda: self._refill(line, mark_dirty, refill_done)
-        )
+        if mark_dirty:
+            self.sim._post(refill_done, self._refill_dirty, line)
+        else:
+            self.sim._post(refill_done, self._refill_clean, line)
 
     def _dirty_marker(self, line: int) -> Future:
         marker = Future(self.sim)
         marker.add_callback(lambda _v: self._mark_dirty(line))
         return marker
 
+    def _refill_clean(self, line: int) -> None:
+        self._refill(line, False, self.sim._now)
+
+    def _refill_dirty(self, line: int) -> None:
+        self._refill(line, True, self.sim._now)
+
     def _refill(self, line: int, dirty: bool, time: float) -> None:
         self._install(line, dirty=dirty, time=time)
         waiters = self.mshr.release(line)
+        hit_latency = self._hit_latency
         for waiter in waiters:
-            waiter.resolve_at(time + self.timing.hit_latency, None)
+            waiter.resolve_at(time + hit_latency, None)
 
     # -- reporting ------------------------------------------------------------------
 

@@ -80,7 +80,8 @@ class PseudoChannel:
         t = self.timing
         bank_idx, row = self._bank_and_row(addr)
         bank = self._banks[bank_idx]
-        start = max(time, bank.ready_at)
+        ready_at = bank.ready_at
+        start = ready_at if ready_at > time else time
         last = bank.rows.get(row)
         # Column commands pipeline (tCCD); activations occupy the bank for
         # the full row cycle.  Data appears a latency after the command.
@@ -111,7 +112,8 @@ class PseudoChannel:
         self._account_pressure(time, burst_start)
         if self.first_request is None:
             self.first_request = time
-        self.last_completion = max(self.last_completion, done)
+        if done > self.last_completion:
+            self.last_completion = done
         return done
 
     def _account_pressure(self, arrival: float, burst_start: float) -> None:

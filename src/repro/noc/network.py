@@ -6,27 +6,44 @@ dimension-ordered path once and reserving ``flits`` cycles on every link
 against that link's ``free_at`` horizon.  This reproduces serialization,
 head-of-line waiting and bisection saturation at O(hops) per packet --
 the fidelity tier appropriate to an architectural (non-RTL) model.
+
+Dimension-ordered paths are static per (src, dst) pair, so ``send``
+memoizes them: the routing walk runs once per pair and every later
+packet replays the cached tuple of :class:`~repro.noc.topology.Link`
+objects.  Timing is unchanged -- the links are the same objects either
+way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..arch.geometry import ChipGeometry, Coord
 from ..arch.params import NocTiming
 from ..engine.stats import Counter
 from .routing import route
-from .topology import Topology
+from .topology import Link, Topology
 
 
-@dataclass
 class DeliveryReport:
     """Timing of one packet's traversal."""
 
-    arrival: float
-    hops: int
-    stall_cycles: float
+    __slots__ = ("arrival", "hops", "stall_cycles")
+
+    def __init__(self, arrival: float, hops: int, stall_cycles: float) -> None:
+        self.arrival = arrival
+        self.hops = hops
+        self.stall_cycles = stall_cycles
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeliveryReport):
+            return NotImplemented
+        return (self.arrival == other.arrival and self.hops == other.hops
+                and self.stall_cycles == other.stall_cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DeliveryReport(arrival={self.arrival}, hops={self.hops}, "
+                f"stall_cycles={self.stall_cycles})")
 
 
 class Network:
@@ -42,6 +59,11 @@ class Network:
         self.topology = Topology(chip, ruche=ruche,
                                  ruche_factor=timing.ruche_factor)
         self.counters = Counter()
+        # Hot-path constants and the path memo (see module docstring).
+        self._hop_cost = timing.router_latency + timing.link_cycles_per_flit
+        self._inject = timing.inject_latency
+        self._eject = timing.eject_latency
+        self._routes: Dict[Tuple[Coord, Coord], Tuple[Link, ...]] = {}
         if record_bin_width is not None:
             for link in self.topology.links():
                 link.enable_series(record_bin_width)
@@ -55,35 +77,40 @@ class Network:
         """
         if flits <= 0:
             raise ValueError("packets carry at least one flit")
-        hop_cost = self.timing.router_latency + self.timing.link_cycles_per_flit
+        path = self._routes.get((src, dst))
+        if path is None:
+            path = tuple(route(self.topology, src, dst, order=self.order))
+            self._routes[(src, dst)] = path
+        hop_cost = self._hop_cost
         stall_total = 0.0
-        path = route(self.topology, src, dst, order=self.order)
-        head = time + self.timing.inject_latency
+        head = time + self._inject
         for link in path:
-            earliest = head
-            start = max(earliest, link.free_at)
-            stall = start - earliest
-            stall_total += stall
-            link.stall_cycles += stall
+            start = link.free_at
+            if start < head:
+                start = head
+            else:
+                stall = start - head
+                stall_total += stall
+                link.stall_cycles += stall
             link.free_at = start + flits
             link.busy_cycles += flits
             link.packets += 1
             if link.series is not None:
                 link.series.add_range(start, start + flits)
             head = start + hop_cost
-        arrival = head + (flits - 1) + self.timing.eject_latency
-        self.counters.add("packets")
-        self.counters.add("flits", flits)
-        self.counters.add("hops", len(path))
-        self.counters.add("stall_cycles", stall_total)
-        return DeliveryReport(arrival=arrival, hops=len(path), stall_cycles=stall_total)
+        arrival = head + (flits - 1) + self._eject
+        cv = self.counters.raw
+        cv["packets"] += 1
+        cv["flits"] += flits
+        cv["hops"] += len(path)
+        cv["stall_cycles"] += stall_total
+        return DeliveryReport(arrival, len(path), stall_total)
 
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
         """Latency with no contention (for tests and analytic checks)."""
-        hop_cost = self.timing.router_latency + self.timing.link_cycles_per_flit
         hops = len(route(self.topology, src, dst, order=self.order))
-        return (self.timing.inject_latency + hops * hop_cost
-                + (flits - 1) + self.timing.eject_latency)
+        return (self._inject + hops * self._hop_cost
+                + (flits - 1) + self._eject)
 
     def reset(self) -> None:
         self.topology.reset_counters()

@@ -51,7 +51,12 @@ class WormholeStrip:
         if nbytes <= 0:
             raise ValueError("transfer needs a positive byte count")
         burst = -(-nbytes // self.channel_bytes_per_cycle)
-        channel = min(self._channels, key=lambda c: c.free_at)
+        # Earliest-free channel, first wins ties (hot path: no key lambda).
+        channels = self._channels
+        channel = channels[0]
+        for cand in channels:
+            if cand.free_at < channel.free_at:
+                channel = cand
         start = channel.reserve(time, burst)
         done = start + burst + self._transit_latency(bank_x)
         self.transfers += 1

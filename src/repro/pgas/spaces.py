@@ -20,9 +20,8 @@ Layout (LSB on the right)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import IntEnum
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 OFFSET_BITS = 32
 FIELD_BITS = 12
@@ -46,9 +45,13 @@ class Space(IntEnum):
     GLOBAL_DRAM = 4
 
 
-@dataclass(frozen=True)
-class DecodedAddress:
-    """An address split into its PGAS components."""
+class DecodedAddress(NamedTuple):
+    """An address split into its PGAS components.
+
+    A :class:`~typing.NamedTuple` rather than a frozen dataclass: decode
+    sits on the translation hot path and tuple construction is one C
+    call instead of four ``object.__setattr__`` round-trips.
+    """
 
     space: Space
     offset: int
@@ -57,6 +60,10 @@ class DecodedAddress:
 
     def encode(self) -> int:
         return encode(self.space, self.offset, self.field_a, self.field_b)
+
+
+#: Tag -> Space without the enum-constructor call (hot-path lookup).
+_SPACE_BY_TAG = {int(s): s for s in Space}
 
 
 def encode(space: Space, offset: int, field_a: int = 0, field_b: int = 0) -> int:
@@ -78,15 +85,14 @@ def decode(addr: int) -> DecodedAddress:
     if addr < 0:
         raise ValueError("addresses are unsigned")
     tag = addr >> TAG_SHIFT
-    try:
-        space = Space(tag)
-    except ValueError as exc:
-        raise ValueError(f"unknown address-space tag {tag} in {addr:#x}") from exc
+    space = _SPACE_BY_TAG.get(tag)
+    if space is None:
+        raise ValueError(f"unknown address-space tag {tag} in {addr:#x}")
     return DecodedAddress(
-        space=space,
-        offset=addr & OFFSET_MASK,
-        field_a=(addr >> FIELD_A_SHIFT) & FIELD_MASK,
-        field_b=(addr >> FIELD_B_SHIFT) & FIELD_MASK,
+        space,
+        addr & OFFSET_MASK,
+        (addr >> FIELD_A_SHIFT) & FIELD_MASK,
+        (addr >> FIELD_B_SHIFT) & FIELD_MASK,
     )
 
 

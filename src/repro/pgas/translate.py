@@ -3,13 +3,19 @@
 This is the "low-cost combinational logic" of the paper: no TLB, just bit
 slicing plus the bank hash.  The translator is the single authority both
 cores and the host runtime use to find where a word lives.
+
+Because the mapping is pure (immutable geometry, stateless hashes), the
+translator memoizes aggressively: full ``(addr, node)`` translations, the
+node -> ``(cell, local)`` split, and the line -> bank hash all cache their
+results.  Every memo is either naturally bounded (node count) or flushed
+at a size cap, keeping worst-case memory flat.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..arch.geometry import ChipGeometry, Coord
 from .hashing import bank_of_line
@@ -40,6 +46,9 @@ class Destination:
 class Translator:
     """Maps kernel-visible addresses onto the machine's node grid."""
 
+    #: Cap for the capped memos; a full flush on overflow keeps memory flat.
+    _MEMO_MAX = 1 << 16
+
     def __init__(self, chip: ChipGeometry, block_bytes: int, use_ipoly: bool,
                  grid_cells: Tuple[int, int] = (0, 0)) -> None:
         """``grid_cells`` optionally partitions GLOBAL_DRAM into rectangular
@@ -49,20 +58,52 @@ class Translator:
         self.block_bytes = block_bytes
         self.use_ipoly = use_ipoly
         self.grid_cells = grid_cells
+        # (addr, node) -> Destination; the node matters for LOCAL_* spaces.
+        self._memo: Dict[Tuple[int, Coord], Destination] = {}
+        # node -> (cell_xy, local); bounded by the chip's node count.
+        self._local_memo: Dict[Coord, Tuple[Coord, Coord]] = {}
+        # (cell_xy, line) -> (node, bank) for the Cell-private hash.
+        self._line_memo: Dict[Tuple[Coord, int], Tuple[Coord, int]] = {}
+        # line -> (node, cell_xy, bank) for the chip-wide hash.
+        self._global_memo: Dict[int, Tuple[Coord, Coord, int]] = {}
+        # Bank index -> cell-local coordinate, precomputed once.
+        self._bank_local = tuple(
+            chip.cell.bank_coord(b) for b in range(chip.cell.num_banks)
+        )
 
     def translate(self, addr: int, tile_node: Coord) -> Destination:
         """Translate ``addr`` as issued by the tile at global ``tile_node``."""
+        memo = self._memo
+        key = (addr, tile_node)
+        dest = memo.get(key)
+        if dest is not None:
+            return dest
+        dest = self._translate(addr, tile_node)
+        if len(memo) >= self._MEMO_MAX:
+            memo.clear()
+        memo[key] = dest
+        return dest
+
+    def _to_local(self, node: Coord) -> Tuple[Coord, Coord]:
+        """Memoized (validated) global -> (cell, local) split."""
+        hit = self._local_memo.get(node)
+        if hit is None:
+            hit = self.chip.to_local(node)
+            self._local_memo[node] = hit
+        return hit
+
+    def _translate(self, addr: int, tile_node: Coord) -> Destination:
         dec = decode(addr)
         if dec.space is Space.LOCAL_SPM:
             return Destination(
                 node=tile_node, kind=TargetKind.SPM,
-                cell_xy=self.chip.to_local(tile_node)[0],
+                cell_xy=self._to_local(tile_node)[0],
                 bank_index=0, mem_addr=dec.offset,
             )
         if dec.space is Space.GROUP_SPM:
             return self._group_spm(dec)
         if dec.space is Space.LOCAL_DRAM:
-            cell_xy, _local = self.chip.to_local(tile_node)
+            cell_xy, _local = self._to_local(tile_node)
             return self._cell_dram(cell_xy, dec.offset)
         if dec.space is Space.GROUP_DRAM:
             cell_xy = (dec.field_a, dec.field_b)
@@ -74,7 +115,7 @@ class Translator:
 
     def _group_spm(self, dec: DecodedAddress) -> Destination:
         node = (dec.field_a, dec.field_b)
-        cell_xy, local = self.chip.to_local(node)
+        cell_xy, local = self._to_local(node)
         ly = local[1]
         if ly == 0 or ly == self.chip.cell.tiles_y + 1:
             raise ValueError(f"GROUP_SPM address targets a cache node {node}")
@@ -86,13 +127,20 @@ class Translator:
     def _cell_dram(self, cell_xy: Coord, offset: int) -> Destination:
         """A Cell-private DRAM word, striped across that Cell's banks."""
         line = offset // self.block_bytes
-        bank = bank_of_line(line, self.chip.cell.num_banks, self.use_ipoly)
-        local = self.chip.cell.bank_coord(bank)
+        memo = self._line_memo
+        key = (cell_xy, line)
+        hit = memo.get(key)
+        if hit is None:
+            bank = bank_of_line(line, self.chip.cell.num_banks, self.use_ipoly)
+            node = self.chip.to_global(cell_xy, self._bank_local[bank])
+            if len(memo) >= self._MEMO_MAX:
+                memo.clear()
+            memo[key] = hit = (node, bank)
         return Destination(
-            node=self.chip.to_global(cell_xy, local),
+            node=hit[0],
             kind=TargetKind.CACHE,
             cell_xy=cell_xy,
-            bank_index=bank,
+            bank_index=hit[1],
             mem_addr=offset,
         )
 
@@ -103,6 +151,22 @@ class Translator:
         rest hashes within it.
         """
         line = offset // self.block_bytes
+        memo = self._global_memo
+        hit = memo.get(line)
+        if hit is None:
+            hit = self._global_line(line)
+            if len(memo) >= self._MEMO_MAX:
+                memo.clear()
+            memo[line] = hit
+        return Destination(
+            node=hit[0],
+            kind=TargetKind.CACHE,
+            cell_xy=hit[1],
+            bank_index=hit[2],
+            mem_addr=GLOBAL_DRAM_BASE + offset,
+        )
+
+    def _global_line(self, line: int) -> Tuple[Coord, Coord, int]:
         gx, gy = self.grid_cells
         if gx and gy:
             grids_x = self.chip.cells_x // gx
@@ -120,14 +184,8 @@ class Translator:
         flat = bank_of_line(line, _round_pow2(total), True) % total
         cell_xy = cells[flat // banks_per_cell]
         bank = flat % banks_per_cell
-        local = self.chip.cell.bank_coord(bank)
-        return Destination(
-            node=self.chip.to_global(cell_xy, local),
-            kind=TargetKind.CACHE,
-            cell_xy=cell_xy,
-            bank_index=bank,
-            mem_addr=GLOBAL_DRAM_BASE + offset,
-        )
+        node = self.chip.to_global(cell_xy, self._bank_local[bank])
+        return node, cell_xy, bank
 
 
 def _round_pow2(n: int) -> int:

@@ -1,10 +1,12 @@
 """Performance debugging tools (paper Section III-D).
 
-Bottleneck diagnosis from run counters, and spatial heatmaps of tile,
-bank and router activity.
+Bottleneck diagnosis from run counters, spatial heatmaps of tile, bank
+and router activity, and host-throughput measurement of the simulator
+itself (``speed``).
 """
 
 from .blame import Diagnosis, diagnose
+from .speed import measure_kernel, measure_suite, profile_top
 from .heatmap import (
     bank_access_map,
     cell_report,
@@ -18,6 +20,9 @@ from .heatmap import (
 __all__ = [
     "Diagnosis",
     "diagnose",
+    "measure_kernel",
+    "measure_suite",
+    "profile_top",
     "render_grid",
     "cell_report",
     "full_report",

@@ -20,10 +20,12 @@ from .tilegroup import TileGroup, partition_cell
 class LaunchHandle:
     """One kernel launch across a Cell's tiles."""
 
-    def __init__(self, cell: "Cell", cores: List[Any], launch_time: float) -> None:
+    def __init__(self, cell: "Cell", cores: List[Any], launch_time: float,
+                 name: Optional[str] = None) -> None:
         self.cell = cell
         self.cores = cores
         self.launch_time = launch_time
+        self.name = name or f"launch@cell{cell.cell_xy}"
         self.done: Future = join(cell.machine.sim, [c.done for c in cores])
 
     @property
@@ -35,6 +37,15 @@ class LaunchHandle:
         if not self.finished:
             raise RuntimeError("kernel still running; call machine.run() first")
         return max(c.finish_time for c in self.cores) - self.launch_time
+
+    def stuck_cores(self) -> List[Any]:
+        """Cores whose kernel process has not finished (deadlock triage)."""
+        return [c for c in self.cores
+                if c.process is not None and not c.process.done.done]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"LaunchHandle({self.name!r}, {state}, {len(self.cores)} tiles)"
 
 
 class Cell:
@@ -131,4 +142,5 @@ class Cell:
                 gen = self.kernel.instantiate(ctx, args)
                 core.start(gen)
                 cores.append(core)
-        return LaunchHandle(self, cores, self.machine.sim.now)
+        name = f"{self.kernel.name}@cell{self.cell_xy}"
+        return LaunchHandle(self, cores, self.machine.sim.now, name=name)

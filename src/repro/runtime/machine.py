@@ -58,10 +58,24 @@ class Machine:
         unfinished = [h for h in handles if not h.finished]
         if unfinished:
             raise RuntimeError(
-                f"{len(unfinished)} launches did not finish; "
-                "a process is deadlocked or waiting on an unresolved future"
+                f"{len(unfinished)} launch(es) did not finish; a process is "
+                "deadlocked or waiting on an unresolved future: "
+                + "; ".join(self._describe_stuck(h) for h in unfinished)
             )
         return max(h.cycles() for h in handles)
+
+    @staticmethod
+    def _describe_stuck(handle, max_cores: int = 8) -> str:
+        """One launch's unfinished tiles with their last blocking reason."""
+        stuck = handle.stuck_cores()
+        parts = [
+            f"{core.name}:{core.last_stall or 'never-blocked'}"
+            for core in stuck[:max_cores]
+        ]
+        if len(stuck) > max_cores:
+            parts.append(f"... {len(stuck) - max_cores} more")
+        detail = ", ".join(parts) if parts else "no stuck tiles?"
+        return f"{handle.name} ({len(stuck)} of {len(handle.cores)} tiles stuck: {detail})"
 
     # -- stats -------------------------------------------------------------------------
 

@@ -57,6 +57,9 @@ class MemorySystem:
         self.strips: Dict[Tuple[Coord, str], WormholeStrip] = {}
         self.spms: Dict[Coord, Scratchpad] = {}
         self.atomic_mem: Dict[Any, int] = {}
+        # Hot-path constants (remote_request runs once per remote op).
+        self._creq_flits = timings.noc.compressed_request_flits
+        self._cresp_flits = timings.noc.compressed_response_flits
         self._build(chip, feats, timings)
 
     def _build(self, chip, feats, timings) -> None:
@@ -104,31 +107,32 @@ class MemorySystem:
         """A remote load/store.  The returned future resolves with the
         response's arrival cycle back at the requesting tile."""
         dest = self.translator.translate(addr, node)
-        noc = self.config.timings.noc
         if words > 1:
-            req_flits = noc.compressed_request_flits
-            resp_flits = 1 if is_write else noc.compressed_response_flits
+            req_flits = self._creq_flits
+            resp_flits = 1 if is_write else self._cresp_flits
         else:
             req_flits = 1
             resp_flits = 1
         done = Future(self.sim)
         report = self.req_net.send(node, dest.node, req_flits, time)
-
-        def serve() -> None:
-            arrival = self.sim.now
-            if dest.kind is TargetKind.SPM:
-                ready = self.spms[dest.node].access(
-                    dest.mem_addr, is_write, arrival, words
-                )
-            else:
-                bank = self.banks[(dest.cell_xy, dest.bank_index)]
-                ready = bank.access(dest.mem_addr, is_write, arrival, words)
-            ready.add_callback(
-                lambda _v: self._respond(dest.node, node, resp_flits, done)
-            )
-
-        self.sim.schedule_at(report.arrival, serve)
+        # Engine-internal post: one args tuple instead of a closure.
+        self.sim._post(report.arrival, self._serve_request,
+                       (dest, node, is_write, words, resp_flits, done))
         return done
+
+    def _serve_request(self, args) -> None:
+        dest, node, is_write, words, resp_flits, done = args
+        arrival = self.sim._now
+        if dest.kind is TargetKind.SPM:
+            ready = self.spms[dest.node].access(
+                dest.mem_addr, is_write, arrival, words
+            )
+        else:
+            bank = self.banks[(dest.cell_xy, dest.bank_index)]
+            ready = bank.access(dest.mem_addr, is_write, arrival, words)
+        ready.add_callback(
+            lambda _v: self._respond(dest.node, node, resp_flits, done)
+        )
 
     def remote_amo(self, node: Coord, addr: int, kind: str, value: int,
                    time: float) -> Future:
@@ -142,19 +146,20 @@ class MemorySystem:
             raise ValueError("atomics target DRAM spaces (cache banks) only")
         done = Future(self.sim)
         report = self.req_net.send(node, dest.node, 1, time)
-
-        def serve() -> None:
-            arrival = self.sim.now
-            old = self._amo_execute(dest, kind, value)
-            bank = self.banks[(dest.cell_xy, dest.bank_index)]
-            ready = bank.access(dest.mem_addr, is_write=False,
-                                time=arrival, is_amo=True)
-            ready.add_callback(
-                lambda _v: self._respond(dest.node, node, 1, done, payload=old)
-            )
-
-        self.sim.schedule_at(report.arrival, serve)
+        self.sim._post(report.arrival, self._serve_amo,
+                       (dest, node, kind, value, done))
         return done
+
+    def _serve_amo(self, args) -> None:
+        dest, node, kind, value, done = args
+        arrival = self.sim._now
+        old = self._amo_execute(dest, kind, value)
+        bank = self.banks[(dest.cell_xy, dest.bank_index)]
+        ready = bank.access(dest.mem_addr, is_write=False,
+                            time=arrival, is_amo=True)
+        ready.add_callback(
+            lambda _v: self._respond(dest.node, node, 1, done, payload=old)
+        )
 
     def _respond(self, src: Coord, dst: Coord, flits: int, done: Future,
                  payload: Any = None) -> None:

@@ -1,0 +1,56 @@
+"""Golden determinism: the engine overhaul must not move a single cycle.
+
+Runs two suite kernels twice at tiny size on the full HB-16x8 machine
+and asserts the complete observable statistics are bit-identical between
+runs, then pins the absolute cycle counts captured from the pre-overhaul
+engine.  Any event-ordering change -- a different tie-break, a skipped
+queue hop, a resumed-early future -- shows up here as a cycle diff.
+"""
+
+import pytest
+
+from repro.arch.config import HB_16x8
+from repro.experiments.common import run_suite
+
+#: Absolute cycle counts captured from the original single-heap engine.
+#: The two-lane queue, event pooling and fast resume paths must reproduce
+#: them exactly -- they reorder host work, never simulated work.
+GOLDEN_CYCLES = {"AES": 4743, "PR": 2686}
+
+
+def _snapshot(result):
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "int_instructions": result.int_instructions,
+        "fp_instructions": result.fp_instructions,
+        "core_breakdown": result.core_breakdown,
+        "cache_hit_rate": result.cache_hit_rate,
+        "network": result.network,
+        "hbm": result.hbm,
+    }
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    first = run_suite(HB_16x8, size="tiny", kernels=list(GOLDEN_CYCLES))
+    second = run_suite(HB_16x8, size="tiny", kernels=list(GOLDEN_CYCLES))
+    return first, second
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN_CYCLES))
+def test_repeated_runs_bit_identical(two_runs, kernel):
+    first, second = two_runs
+    assert _snapshot(first[kernel]) == _snapshot(second[kernel])
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN_CYCLES))
+def test_cycles_match_pre_overhaul_engine(two_runs, kernel):
+    first, _ = two_runs
+    assert first[kernel].cycles == GOLDEN_CYCLES[kernel]
+
+
+def test_stall_breakdown_fractions_sum_to_one(two_runs):
+    first, _ = two_runs
+    for result in first.values():
+        assert sum(result.core_breakdown.values()) == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Regression tests pinning ``Simulator.run(until=...)`` boundary semantics.
+
+The contract: events at exactly ``t == until`` execute; once the loop
+stops, the clock sits at ``until`` (if it was ahead of the last event)
+and never moves backwards; a later ``run()`` resumes cleanly.
+"""
+
+import pytest
+
+from repro.engine.event import SimulationError, Simulator
+
+
+def test_event_at_exactly_until_executes():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(10, lambda: seen.append(sim.now))
+    sim.run(until=10)
+    assert seen == [10]
+    assert sim.now == 10
+
+
+def test_clock_advances_to_until_with_no_event_there():
+    sim = Simulator()
+    sim.schedule_at(3, lambda: None)
+    sim.schedule_at(20, lambda: None)
+    sim.run(until=12)
+    assert sim.now == 12
+
+
+def test_until_before_now_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.schedule_at(10, lambda: None)
+    sim.run()
+    assert sim.now == 10
+    # Queue is empty and until is in the past: the clock must hold.
+    sim.run(until=5)
+    assert sim.now == 10
+
+
+def test_until_between_events_then_resume():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(5, lambda: seen.append(5))
+    sim.schedule_at(15, lambda: seen.append(15))
+    sim.run(until=10)
+    assert seen == [5]
+    assert sim.now == 10
+    sim.run(until=20)
+    assert seen == [5, 15]
+    assert sim.now == 20
+
+
+def test_cancelled_event_at_boundary_still_advances_clock():
+    sim = Simulator()
+    ev = sim.schedule_at(10, lambda: None)
+    ev.cancel()
+    sim.run(until=10)
+    assert sim.now == 10
+
+
+def test_event_spawned_at_until_during_run_executes():
+    sim = Simulator()
+    seen = []
+
+    def spawn():
+        # Lands in the zero-delay FIFO lane at t == until.
+        sim.schedule(0, lambda: seen.append(sim.now))
+
+    sim.schedule_at(10, spawn)
+    sim.run(until=10)
+    assert seen == [10]
+
+
+def test_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7)
+    assert sim.now == 7
+
+
+def test_max_events_and_until_compose():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_at(i + 1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(until=10, max_events=3)
+
+
+def test_two_lane_ordering_heap_seq_beats_fifo_seq():
+    """A heap entry that lands at the current time (scheduled earlier,
+    smaller seq) must run before FIFO-lane entries appended later."""
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(5, lambda: seen.append("heap"))  # seq 0, via heap
+
+    def at_five():
+        seen.append("second")
+        sim.schedule(0, lambda: seen.append("fifo"))  # FIFO lane, larger seq
+
+    sim.schedule_at(5, at_five)  # seq 1, via heap
+    sim.run()
+    assert seen == ["heap", "second", "fifo"]
+
+
+def test_queue_depth_counts_both_lanes():
+    sim = Simulator()
+    assert sim.queue_depth() == 0
+    sim.schedule_at(5, lambda: None)
+    ev = sim.schedule_at(6, lambda: None)
+    ev.cancel()
+    assert sim.queue_depth() == 1
+    sim.run()
+    assert sim.queue_depth() == 0
+
+
+def test_events_executed_counts_fired_events_only():
+    sim = Simulator()
+    sim.schedule_at(1, lambda: None)
+    ev = sim.schedule_at(2, lambda: None)
+    ev.cancel()
+    sim.schedule_at(3, lambda: None)
+    sim.run()
+    assert sim.events_executed == 2
+
+
+def test_callback_with_argument_fires_with_it():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, seen.append, "payload")
+    sim.run()
+    assert seen == ["payload"]
