@@ -20,6 +20,11 @@ Quickstart::
     print(result.cycles, result.core_utilization)
 """
 
-__version__ = "0.1.0"
+try:  # installed package: single source of truth is the metadata
+    from importlib.metadata import version as _version
+
+    __version__ = _version("repro")
+except Exception:  # PYTHONPATH=src checkout without installed metadata
+    __version__ = "0.1.0"
 
 __all__ = ["__version__"]

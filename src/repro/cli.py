@@ -2,17 +2,24 @@
 
 Runs one of the paper-figure harnesses (or the whole set) and prints the
 reproduced figure.  ``python -m repro list`` shows what is available.
-``python -m repro bench-speed`` measures the engine's own host
-throughput; ``--profile`` wraps any experiment in cProfile and prints
-the hottest functions.
+
+* ``repro sweep <experiment|all>`` runs the experiment's job grid
+  through the orchestrator: worker pool, content-addressed result cache
+  (``.repro-cache/``), JSONL run journal, per-job timeout and retry;
+* ``repro all`` is the same sweep over every experiment;
+* ``repro journal <path>`` summarizes a previous sweep's journal;
+* ``repro bench-speed`` measures the engine's own host throughput;
+* ``--profile`` wraps any experiment in cProfile and prints the hottest
+  functions.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
+from . import __version__
 from .experiments import (
     ablations,
     chip_scale,
@@ -28,7 +35,7 @@ from .experiments import (
     tables,
 )
 
-EXPERIMENTS: Dict[str, Callable[[], None]] = {
+EXPERIMENTS: Dict[str, Callable[..., None]] = {
     "fig3": fig03_bisection_transfer.main,
     "fig4": fig04_barrier.main,
     "fig10": fig10_incremental.main,
@@ -60,8 +67,8 @@ def _bench_speed(args: argparse.Namespace) -> int:
     from .profile.speed import measure_suite
 
     kernels = args.kernels or ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi"]
-    samples = measure_suite(HB_16x8, size=args.size, kernels=kernels,
-                            repeats=args.repeats)
+    samples = measure_suite(HB_16x8, size=args.size or "small",
+                            kernels=kernels, repeats=args.repeats)
     for name, s in samples.items():
         print(f"{name:8s} wall={s['wall_seconds']:.3f}s "
               f"events/sec={s['events_per_sec']:>12,.0f} "
@@ -73,33 +80,153 @@ def _bench_speed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(outcome, done: int, total: int,
+                    eta: Optional[float]) -> None:
+    tail = f" eta {eta:,.0f}s" if eta is not None else ""
+    wall = f" {outcome.wall_s:.2f}s" if outcome.wall_s else ""
+    worker = f" w{outcome.worker}" if outcome.worker is not None else ""
+    print(f"[{done}/{total}] {outcome.job.experiment}/{outcome.job.key}: "
+          f"{outcome.status}{wall}{worker}{tail}", flush=True)
+
+
+def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
+    """``repro sweep <experiment|all>``: the orchestrated grid run."""
+    import dataclasses
+    import os
+    import time
+
+    from .experiments import HARNESSES
+    from .orch import (
+        ResultStore,
+        RunJournal,
+        Sweep,
+        build_plan,
+        code_fingerprint,
+        collect_payloads,
+        reduce_all,
+        run_jobs,
+    )
+
+    target = (args.target or "all").lower()
+    if target == "all":
+        names = list(HARNESSES)
+    elif target in HARNESSES:
+        names = [target]
+    else:
+        print(f"unknown sweep target {target!r}; one of: "
+              + ", ".join(HARNESSES) + ", all", file=sys.stderr)
+        return 2
+
+    sweeps = []
+    for name in names:
+        mod = HARNESSES[name]
+        jobs = mod.jobs(size=args.size) if args.size else mod.jobs()
+        if args.retries is not None:
+            jobs = [dataclasses.replace(job, retries=args.retries)
+                    for job in jobs]
+        sweeps.append(Sweep(name, jobs, mod.reduce))
+
+    fingerprint = code_fingerprint()
+    plan = build_plan(sweeps, fingerprint)
+    workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    deduped = plan.total_jobs - len(plan.unique_jobs)
+    print(f"sweep {target}: {len(plan.unique_jobs)} job(s)"
+          + (f" ({deduped} shared)" if deduped else "")
+          + f" on {workers} worker(s), fingerprint {fingerprint}",
+          flush=True)
+
+    t0 = time.perf_counter()
+    with RunJournal(args.journal) as journal:
+        journal.write_header(
+            version=__version__, fingerprint=fingerprint,
+            argv=["repro"] + argv, sweeps=names, size=args.size,
+            jobs=len(plan.unique_jobs), workers=workers,
+            cache=not args.no_cache)
+        keys = [plan.key_of[id(job)] for job in plan.unique_jobs]
+        outcomes = run_jobs(
+            plan.unique_jobs, workers=workers, store=store,
+            fingerprint=fingerprint, keys=keys, journal=journal,
+            default_timeout=args.timeout, use_cache=not args.no_cache,
+            progress=_print_progress)
+        wall = time.perf_counter() - t0
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        journal.write_footer(wall_s=round(wall, 3), **counts)
+
+    broken = []
+
+    def on_error(sweep, exc) -> None:
+        broken.append(sweep.name)
+        print(f"sweep {sweep.name}: reduce failed: {exc}", file=sys.stderr)
+
+    results = reduce_all(plan, collect_payloads(outcomes), on_error)
+    for name in names:
+        if name in results:
+            print(f"\n########## {name} ##########")
+            HARNESSES[name].render(results[name])
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"\nsweep {target}: {summary} in {wall:.2f}s", flush=True)
+    if args.journal:
+        print(f"journal: {args.journal}")
+    bad = sum(v for k, v in counts.items() if k not in ("ok", "cached"))
+    return 1 if (bad or broken) else 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures/tables from the HammerBlade paper.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument(
         "experiment",
-        help="one of: " + ", ".join(EXPERIMENTS) + ", bench-speed, list, all",
+        help="one of: " + ", ".join(EXPERIMENTS)
+             + ", sweep, journal, bench-speed, list, all",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="sweep: experiment name or 'all'; journal: path to a JSONL "
+             "run journal",
     )
     parser.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the 25 hottest functions",
     )
-    parser.add_argument("--size", default="small",
+    parser.add_argument("--size", default=None,
                         choices=("tiny", "small", "full"),
-                        help="bench-speed: input size (default: small)")
+                        help="input size tier (default: per-experiment)")
     parser.add_argument("--kernels", nargs="+", default=None, metavar="NAME",
                         help="bench-speed: suite kernels to measure")
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench-speed: wall-clock repeats (best wins)")
     parser.add_argument("--out", default=None,
                         help="bench-speed: also write samples as JSON")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="sweep: worker processes (default: CPU count; "
+                             "0 runs in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="sweep: recompute everything, store nothing")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="sweep: write a JSONL run journal to PATH")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="sweep: per-job timeout in seconds")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="sweep: retry budget per job (overrides specs)")
+    parser.add_argument("--cache-dir", default=".repro-cache", metavar="PATH",
+                        help="sweep: result store location "
+                             "(default: .repro-cache)")
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if name == "list":
         for key in EXPERIMENTS:
             print(f"{key:8s} ({COST_HINT[key]})")
+        print("sweep <experiment|all> (orchestrated: pool + result cache)")
+        print("journal <path> (summarize a sweep's run journal)")
         print("bench-speed (engine host-throughput benchmark)")
         return 0
     if name == "bench-speed":
@@ -108,11 +235,20 @@ def main(argv=None) -> int:
             print(profile_top(_bench_speed, args))
             return 0
         return _bench_speed(args)
+    if name == "sweep":
+        return _sweep(args, argv)
     if name == "all":
-        for key, fn in EXPERIMENTS.items():
-            print(f"\n########## {key} ##########")
-            fn()
-        return 0
+        # The full set runs through the orchestrator: shared jobs are
+        # deduplicated across figures and cached results are reused.
+        args.target = "all"
+        return _sweep(args, argv)
+    if name == "journal":
+        if not args.target:
+            print("journal: missing path (repro journal <path>)",
+                  file=sys.stderr)
+            return 2
+        from .profile.journal import main as journal_main
+        return journal_main(args.target)
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
@@ -122,7 +258,7 @@ def main(argv=None) -> int:
         from .profile.speed import profile_top
         print(profile_top(fn))
         return 0
-    fn()
+    fn(size=args.size)
     return 0
 
 

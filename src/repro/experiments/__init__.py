@@ -1,9 +1,16 @@
 """Experiment harnesses: one module per paper figure/table.
 
-Each module exposes ``run(...) -> dict`` (structured results) and a
-``main()`` that prints the reproduced figure as text.  Run directly::
+Each module exposes the orchestrator triplet -- ``jobs(size=...)``
+(declarative :class:`repro.orch.Job` specs), a pure ``reduce(payloads)``
+and ``render(out)`` -- plus ``run(...) -> dict`` (reduce over a serial
+in-process execution) and ``main(size=None)`` that prints the reproduced
+figure as text.  Run directly::
 
     python -m repro.experiments.fig10_incremental
+
+or through the worker pool / result cache::
+
+    repro sweep fig10 --jobs 4 --size small
 """
 
 from . import (
@@ -22,7 +29,25 @@ from . import (
     tables,
 )
 
+#: Sweepable harnesses by CLI name: every module with the
+#: jobs()/reduce()/render() triplet, in ``repro all`` order.
+HARNESSES = {
+    "tables": tables,
+    "fig3": fig03_bisection_transfer,
+    "fig4": fig04_barrier,
+    "fig10": fig10_incremental,
+    "fig11": fig11_utilization,
+    "fig12": fig12_tilegroups,
+    "fig13": fig13_energy,
+    "fig14": fig14_noc_bisection,
+    "fig15": fig15_doubling,
+    "fig16": fig16_vs_hierarchical,
+    "ablations": ablations,
+    "chip": chip_scale,
+}
+
 __all__ = [
+    "HARNESSES",
     "ablations",
     "chip_scale",
     "common",

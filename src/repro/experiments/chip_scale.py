@@ -16,7 +16,7 @@ network bandwidth" (Section V-A).  This module packages that method:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..arch.config import HB_16x8, MachineConfig
 from ..arch.params import CORE_FREQ_GHZ
@@ -87,6 +87,16 @@ def project_chip(kernel_name: str, cells_x: int = 8, cells_y: int = 8,
         bench = registry.SUITE[kernel_name]
         result = run_on_cell(config, bench.kernel,
                              suite_args(kernel_name, size))
+    return _project(kernel_name, result.cycles, result.instructions,
+                    cells_x, cells_y, exchange_bytes_per_cell, phases,
+                    config)
+
+
+def _project(kernel_name: str, cell_cycles: float, instructions: float,
+             cells_x: int, cells_y: int,
+             exchange_bytes_per_cell: Optional[int], phases: int,
+             config: MachineConfig) -> ChipProjection:
+    """The projection arithmetic over one measured Cell's numbers."""
     cells = cells_x * cells_y
     if exchange_bytes_per_cell is None:
         # Default: each Cell shares ~1/8 of its cache footprint per phase.
@@ -98,14 +108,14 @@ def project_chip(kernel_name: str, cells_x: int = 8, cells_y: int = 8,
                                utilization=0.85)
     per_phase = channel.transfer(exchange_bytes_per_cell).cycles
     transfer = per_phase * phases
-    total = result.cycles + transfer
+    total = cell_cycles + transfer
     return ChipProjection(
         kernel=kernel_name,
         cells=cells,
-        cell_cycles=result.cycles,
+        cell_cycles=cell_cycles,
         transfer_cycles=transfer,
         total_cycles=total,
-        aggregate_instructions=result.instructions * cells,
+        aggregate_instructions=instructions * cells,
     )
 
 
@@ -124,29 +134,69 @@ def compare_transfer_models(exchange_bytes: int = 1 << 20,
     }
 
 
-def main() -> None:
+#: Kernels whose measured single-Cell runs seed the chip projection.
+PROJECTED = ("SGEMM", "PR", "BFS")
+
+
+def jobs(size: str = "small") -> List[Any]:
+    from .common import suite_jobs
+
+    return suite_jobs("chip_scale", HB_16x8, size=size, kernels=PROJECTED)
+
+
+def reduce(payloads: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    projections = []
+    for name in payloads:
+        payload = payloads[name]
+        p = _project(name, payload["cycles"], payload["instructions"],
+                     8, 8, None, 1, HB_16x8)
+        projections.append({
+            "kernel": p.kernel,
+            "cells": p.cells,
+            "cell_cycles": p.cell_cycles,
+            "transfer_cycles": p.transfer_cycles,
+            "total_cycles": p.total_cycles,
+            "chip_ipc": p.instructions_per_cycle,
+            "transfer_fraction": p.transfer_fraction,
+        })
+    return {
+        "peak_tera_ops": peak_instruction_rate() / 1e12,
+        "hundred_k": hundred_k_projection(),
+        "projections": projections,
+        "transfer_models": compare_transfer_models(),
+    }
+
+
+def run(size: str = "small") -> Dict[str, Any]:
+    from ..orch import execute_serial
+
+    return reduce(execute_serial(jobs(size=size)))
+
+
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
     print("== chip-scale projections ==")
-    print(f"2048-core ASIC peak: "
-          f"{peak_instruction_rate() / 1e12:.2f} Tera inst/s "
+    print(f"2048-core ASIC peak: {out['peak_tera_ops']:.2f} Tera inst/s "
           "(paper: 2.8)")
-    prj100k = hundred_k_projection()
+    prj100k = out["hundred_k"]
     print(f"3 nm projection: {prj100k['cores']:,} cores on "
           f"{prj100k['die_mm2']:.0f} mm^2 "
           f"({prj100k['peak_tera_ops']:.0f} Tera inst/s peak)")
-    rows = []
-    for name in ("SGEMM", "PR", "BFS"):
-        p = project_chip(name)
-        rows.append([name, p.cells, p.cell_cycles, p.transfer_cycles,
-                     p.instructions_per_cycle, p.transfer_fraction])
+    rows = [[p["kernel"], p["cells"], p["cell_cycles"],
+             p["transfer_cycles"], p["chip_ipc"], p["transfer_fraction"]]
+            for p in out["projections"]]
     print(format_table(
         ["kernel", "cells", "cell cycles", "xfer cycles", "chip IPC",
          "xfer frac"], rows))
-    cmp = compare_transfer_models()
+    cmp = out["transfer_models"]
     print(f"\n1 MiB sparse exchange: HB {cmp['hb_cycles']:.0f} cycles vs "
           f"hierarchical {cmp['hierarchical_cycles']:.0f} "
           f"({cmp['hb_advantage']:.1f}x)")
+
+
+def main(size=None) -> None:
+    render(run(size=size or "small"))
 
 
 if __name__ == "__main__":

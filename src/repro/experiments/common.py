@@ -42,6 +42,9 @@ def suite_args(name: str, size: str = "small", **overrides: Any) -> Dict[str, An
     """
     if size not in SIZES:
         raise ValueError(f"size must be one of {SIZES}")
+    if name not in registry.SUITE:
+        raise ValueError(
+            f"unknown suite kernel {name!r}; one of {sorted(registry.SUITE)}")
     if size == "tiny":
         return registry.fast_args(name)
     small: Dict[str, Callable[[], Dict[str, Any]]] = {
@@ -83,3 +86,41 @@ def geomean_speedup(baseline: Dict[str, RunResult],
     ratios = [baseline[k].cycles / variant[k].cycles
               for k in baseline if k in variant]
     return geomean(ratios)
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator plumbing shared by the harnesses (see repro.orch).
+
+def suite_job(params: Dict[str, Any], config) -> Dict[str, Any]:
+    """Orchestrator run function: one suite kernel on one machine.
+
+    ``params``: ``kernel`` (suite name), ``size``, optional
+    ``group_shape`` ``[w, h]``.  Returns ``RunResult.to_dict()``.
+    """
+    name = params["kernel"]
+    shape = params.get("group_shape")
+    result = run_on_cell(config, registry.SUITE[name].kernel,
+                         suite_args(name, params.get("size", "small")),
+                         group_shape=tuple(shape) if shape else None)
+    return result.to_dict()
+
+
+def suite_jobs(experiment: str, config, size: str = "small",
+               kernels: Optional[Iterable[str]] = None,
+               key_prefix: str = "",
+               group_shape: Optional[Tuple[int, int]] = None) -> list:
+    """Declarative :class:`repro.orch.Job` specs for a suite sweep."""
+    from ..arch.serialize import to_dict
+    from ..orch import Job
+
+    names = list(kernels) if kernels is not None else list(registry.SUITE)
+    config_dict = to_dict(config)
+    jobs = []
+    for name in names:
+        params: Dict[str, Any] = {"kernel": name, "size": size}
+        if group_shape is not None:
+            params["group_shape"] = list(group_shape)
+        jobs.append(Job(experiment, key_prefix + name,
+                        "repro.experiments.common:suite_job",
+                        params=params, config=config_dict))
+    return jobs

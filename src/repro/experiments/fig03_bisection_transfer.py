@@ -106,23 +106,58 @@ def run(transfer_bytes: int = 256 * 1024, orientation: str = "horizontal",
     }
 
 
-def main() -> None:
+#: Transfer payload per --size knob (the comparative claim is
+#: size-independent; tiny keeps the smoke sweep fast).
+SIZE_BYTES = {"tiny": 16 * 1024, "small": 256 * 1024, "full": 1024 * 1024}
+
+
+def transfer_job(params: Dict[str, Any], config) -> Dict[str, Any]:
+    """Orchestrator run function: one orientation of the Fig 3 transfer."""
+    from ..orch import jsonable
+
+    return jsonable(run(**params))
+
+
+def jobs(size: str = "small") -> list:
+    from ..orch import Job
+
+    transfer_bytes = SIZE_BYTES.get(size, SIZE_BYTES["small"])
+    return [
+        Job("fig3", orientation,
+            "repro.experiments.fig03_bisection_transfer:transfer_job",
+            params={"transfer_bytes": transfer_bytes,
+                    "orientation": orientation, "seed": 7})
+        for orientation in ("horizontal", "vertical")
+    ]
+
+
+def reduce(payloads: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    return dict(payloads)
+
+
+def render(out: Dict[str, Dict[str, Any]]) -> None:
     from ..perf.report import format_series
 
     for orientation in ("horizontal", "vertical"):
-        out = run(orientation=orientation)
+        o = out[orientation]
         print(f"== Fig 3 ({orientation} adjacency) ==")
-        print(f"cut links: {out['cut_links']} "
-              f"({out['active_links']} carrying traffic), "
-              f"active utilization: {out['active_utilization']:.2f}, "
-              f"peak link: {out['peak_link_utilization']:.2f}, "
-              f"transfer cycles: {out['cycles']:.0f}")
+        print(f"cut links: {o['cut_links']} "
+              f"({o['active_links']} carrying traffic), "
+              f"active utilization: {o['active_utilization']:.2f}, "
+              f"peak link: {o['peak_link_utilization']:.2f}, "
+              f"transfer cycles: {o['cycles']:.0f}")
         print(f"1024-bit hierarchical channel payload efficiency: "
-              f"{out['wide_channel_efficiency']:.3f}")
-        if out["series"]:
-            print(format_series(out["series"],
+              f"{o['wide_channel_efficiency']:.3f}")
+        if o["series"]:
+            print(format_series(o["series"],
                                 title="bisection utilization over time"))
         print()
+
+
+def main(size=None) -> None:
+    from ..orch import execute_serial
+
+    render(reduce(execute_serial(jobs(size=size or "small"))))
 
 
 if __name__ == "__main__":

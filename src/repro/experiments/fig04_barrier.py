@@ -47,7 +47,26 @@ def simulated_latency(width: int, height: int, hw: bool = True,
     return max(done.values())
 
 
-def run() -> Dict[str, Any]:
+def barrier_job(params: Dict[str, Any], config) -> Dict[str, Any]:
+    """Orchestrator run function: one live barrier-group simulation."""
+    return {"latency": simulated_latency(params["width"], params["height"],
+                                         hw=params["hw"])}
+
+
+def jobs(size: str = "small") -> list:  # size: barriers have no input size
+    from ..orch import Job
+
+    out = []
+    for width, height in GROUP_SIZES:
+        for flavor, hw in (("hw", True), ("sw", False)):
+            out.append(Job(
+                "fig4", f"{flavor}/{width}x{height}",
+                "repro.experiments.fig04_barrier:barrier_job",
+                params={"width": width, "height": height, "hw": hw}))
+    return out
+
+
+def reduce(payloads: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
     rows = []
     for width, height in GROUP_SIZES:
         rows.append({
@@ -56,8 +75,8 @@ def run() -> Dict[str, Any]:
             "hw_ruche": analytic_hw_latency(width, height, ruche=True),
             "hw_mesh": analytic_hw_latency(width, height, ruche=False),
             "sw": analytic_sw_latency(width, height),
-            "hw_ruche_sim": simulated_latency(width, height, hw=True),
-            "sw_sim": simulated_latency(width, height, hw=False),
+            "hw_ruche_sim": payloads[f"hw/{width}x{height}"]["latency"],
+            "sw_sim": payloads[f"sw/{width}x{height}"]["latency"],
         })
     # The paper's worked example: remotest tile -> root in 8 cycles.
     members = [(x, y) for y in range(8) for x in range(16)]
@@ -66,10 +85,15 @@ def run() -> Dict[str, Any]:
     return {"rows": rows, "in_sweep_16x8": worst_in_sweep}
 
 
-def main() -> None:
+def run() -> Dict[str, Any]:
+    from ..orch import execute_serial
+
+    return reduce(execute_serial(jobs()))
+
+
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
-    out = run()
     print("== Fig 4: barrier latency (cycles) ==")
     print(f"16x8 in-sweep to root via Ruche: {out['in_sweep_16x8']} cycles "
           "(paper: 8)")
@@ -78,6 +102,10 @@ def main() -> None:
     print(format_table(
         ["group", "tiles", "HW(ruche)", "HW(mesh)", "SW", "HW sim", "SW sim"],
         rows))
+
+
+def main(size=None) -> None:  # size: barriers have no input size
+    render(run())
 
 
 if __name__ == "__main__":

@@ -6,44 +6,69 @@ and reports per-kernel speedups over the baseline plus the geomean
 progression.  The paper's headline: all optimizations together give a
 5.2x geomean over Baseline Manycore, with core density the single
 largest contributor, and Jacobi improving 17-48x by the end.
+
+The grid is rungs x kernels; each point is one independent
+:class:`repro.orch.Job` (key ``"<rung>/<kernel>"``), so the sweep
+orchestrator can run the whole ladder in parallel and cache each point.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from ..baselines.features import ladder
 from ..engine.stats import geomean
-from .common import run_suite
+from ..kernels import registry
+from .common import suite_jobs
+
+_SEP = "/"  # rung names never contain a slash
+
+
+def jobs(size: str = "small", kernels: Optional[Iterable[str]] = None,
+         tiles_x: int = 16, tiles_y: int = 8) -> List[Any]:
+    names = list(kernels) if kernels is not None else list(registry.SUITE)
+    out: List[Any] = []
+    for rung, config in ladder(tiles_x, tiles_y):
+        out.extend(suite_jobs("fig10", config, size=size, kernels=names,
+                              key_prefix=rung + _SEP))
+    return out
+
+
+def reduce(payloads: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    rungs: List[str] = []
+    cycles: Dict[str, Dict[str, float]] = {}
+    for key, payload in payloads.items():
+        rung, _, kernel = key.rpartition(_SEP)
+        if rung not in cycles:
+            rungs.append(rung)
+            cycles[rung] = {}
+        cycles[rung][kernel] = payload["cycles"]
+    base = cycles[rungs[0]]
+    speedups: Dict[str, Dict[str, float]] = {}
+    geo: Dict[str, float] = {}
+    for rung in rungs:
+        speedups[rung] = {k: base[k] / cycles[rung][k] for k in base}
+        geo[rung] = geomean(list(speedups[rung].values()))
+    return {
+        "rungs": rungs,
+        "cycles": cycles,
+        "speedups": speedups,
+        "geomean": geo,
+        "final_geomean": geo[rungs[-1]],
+    }
 
 
 def run(size: str = "small", kernels: Optional[Iterable[str]] = None,
         tiles_x: int = 16, tiles_y: int = 8) -> Dict[str, Any]:
-    rungs = ladder(tiles_x, tiles_y)
-    cycles: Dict[str, Dict[str, float]] = {}
-    for name, config in rungs:
-        results = run_suite(config, size=size, kernels=kernels)
-        cycles[name] = {k: r.cycles for k, r in results.items()}
-    base_name = rungs[0][0]
-    base = cycles[base_name]
-    speedups: Dict[str, Dict[str, float]] = {}
-    geo: Dict[str, float] = {}
-    for name, _cfg in rungs:
-        speedups[name] = {k: base[k] / cycles[name][k] for k in base}
-        geo[name] = geomean(list(speedups[name].values()))
-    return {
-        "rungs": [name for name, _ in rungs],
-        "cycles": cycles,
-        "speedups": speedups,
-        "geomean": geo,
-        "final_geomean": geo[rungs[-1][0]],
-    }
+    from ..orch import execute_serial
+
+    return reduce(execute_serial(jobs(size=size, kernels=kernels,
+                                      tiles_x=tiles_x, tiles_y=tiles_y)))
 
 
-def main() -> None:
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
-    out = run()
     kernels: List[str] = sorted(next(iter(out["speedups"].values())))
     print("== Fig 10: speedup over Baseline Manycore ==")
     rows = []
@@ -55,6 +80,10 @@ def main() -> None:
     print(format_table(["config"] + kernels + ["geomean"], rows))
     print(f"\nfinal geomean speedup: {out['final_geomean']:.2f}x "
           "(paper: 5.2x)")
+
+
+def main(size=None) -> None:
+    render(run(size=size or "small"))
 
 
 if __name__ == "__main__":

@@ -6,12 +6,14 @@ Piton EPI from the published measurements scaled to the same node.
 Headline: HB is 3.6-15.1x more energy-efficient per instruction.
 
 Also demonstrates the kernel-level use: estimating a measured run's core
-energy from its executed instruction mix.
+energy from its executed instruction mix.  That one measured run is the
+harness's single :class:`repro.orch.Job`; the EPI table itself is
+analytic and lives in :func:`reduce`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Mapping
 
 from ..arch.config import HB_16x8
 from ..energy.epi import (
@@ -22,10 +24,24 @@ from ..energy.epi import (
     kernel_energy,
     piton_epi_scaled,
 )
-from .common import run_suite
+from .common import suite_jobs
 
 
-def run(measure_kernel: str = "AES", size: str = "tiny") -> Dict[str, Any]:
+def _measure_config(size: str):
+    if size != "tiny":
+        return HB_16x8
+    from ..arch.config import small_config
+
+    return small_config(4, 4)
+
+
+def jobs(size: str = "tiny", measure_kernel: str = "AES") -> list:
+    return suite_jobs("fig13", _measure_config(size), size=size,
+                      kernels=[measure_kernel])
+
+
+def reduce(payloads: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    (measure_kernel, result), = payloads.items()
     ratios = efficiency_ratios()
     rows = []
     for cls in INSTRUCTION_CLASSES:
@@ -36,11 +52,9 @@ def run(measure_kernel: str = "AES", size: str = "tiny") -> Dict[str, Any]:
             "ratio": ratios[cls],
             "hb_breakdown": hb_epi_breakdown(cls),
         })
-    result = run_suite(HB_16x8 if size != "tiny" else _tiny_config(),
-                       size=size, kernels=[measure_kernel])[measure_kernel]
     counts = {
-        "int": result.int_instructions,
-        "fp": result.fp_instructions,
+        "int": result["int_instructions"],
+        "fp": result["fp_instructions"],
     }
     report = kernel_energy(counts)
     return {
@@ -49,20 +63,20 @@ def run(measure_kernel: str = "AES", size: str = "tiny") -> Dict[str, Any]:
         "max_ratio": max(ratios.values()),
         "kernel": measure_kernel,
         "kernel_energy_pj": report.total_pj,
-        "kernel_instructions": result.instructions,
+        "kernel_instructions": result["instructions"],
     }
 
 
-def _tiny_config():
-    from ..arch.config import small_config
+def run(measure_kernel: str = "AES", size: str = "tiny") -> Dict[str, Any]:
+    from ..orch import execute_serial
 
-    return small_config(4, 4)
+    return reduce(execute_serial(jobs(size=size,
+                                      measure_kernel=measure_kernel)))
 
 
-def main() -> None:
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
-    out = run()
     print("== Fig 13: energy per instruction (pJ, 14/16 nm normalized) ==")
     print(format_table(
         ["class", "HB", "Piton (CV^2)", "Piton/HB"],
@@ -72,6 +86,10 @@ def main() -> None:
           f"{out['max_ratio']:.1f}x (paper: 3.6-15.1x)")
     print(f"{out['kernel']} run energy: {out['kernel_energy_pj']/1e6:.2f} uJ "
           f"over {out['kernel_instructions']:.0f} instructions")
+
+
+def main(size=None) -> None:
+    render(run(size=size or "tiny"))
 
 
 if __name__ == "__main__":

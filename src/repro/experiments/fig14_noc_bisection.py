@@ -11,12 +11,16 @@ The paper: mesh bisection links stall up to ~50% on PR (HW),
 Jacobi (DRAM) and FFT; Ruche helps everything except SPM-resident Jacobi
 (nearest-neighbour traffic never crosses the cut); LPC helps sequential
 kernels but not SpGEMM.
+
+The grid is variants x kernels; each point is one
+:class:`repro.orch.Job` (key ``"<variant>/<kernel>"``) that measures the
+cut inside the worker and returns only the two fractions.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..arch.config import HB_16x8
 from ..kernels import jacobi, registry
@@ -35,6 +39,8 @@ VARIANTS: List[Tuple[str, Dict[str, bool]]] = [
 DEFAULT_KERNELS = ("PR", "Jacobi($)", "Jacobi(DRAM)", "FFT", "SGEMM",
                    "SpGEMM", "BFS")
 
+_SEP = "/"  # variant names never contain a slash
+
 
 def _args_for(name: str, size: str):
     if name == "Jacobi($)":
@@ -46,28 +52,62 @@ def _args_for(name: str, size: str):
     return registry.SUITE[name].kernel, suite_args(name, size)
 
 
-def run(size: str = "small",
-        kernels: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+def bisection_job(params: Dict[str, Any], config) -> Dict[str, Any]:
+    """Orchestrator run function: one (variant, kernel) cut measurement."""
+    kern, args = _args_for(params["kernel"], params["size"])
+    result = run_on_cell(config, kern, args, keep_machine=True)
+    stats = cell_bisection(result.machine.memsys.req_net,
+                           config.cell.tiles_x, result.cycles)
+    return {
+        "cycles": result.cycles,
+        "stall_fraction": stats.stall_fraction,
+        "utilization": stats.utilization,
+    }
+
+
+def jobs(size: str = "small",
+         kernels: Optional[Iterable[str]] = None) -> List[Any]:
+    from ..arch.serialize import to_dict
+    from ..orch import Job
+
     names = list(kernels) if kernels is not None else list(DEFAULT_KERNELS)
-    stalls: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
-    utils: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
+    out: List[Any] = []
     for vname, flags in VARIANTS:
         config = HB_16x8.with_features(replace(HB_16x8.features, **flags))
+        config_dict = to_dict(config)
         for kname in names:
-            kern, args = _args_for(kname, size)
-            result = run_on_cell(config, kern, args, keep_machine=True)
-            net = result.machine.memsys.req_net
-            stats = cell_bisection(net, HB_16x8.cell.tiles_x, result.cycles)
-            stalls[vname][kname] = stats.stall_fraction
-            utils[vname][kname] = stats.utilization
+            out.append(Job(
+                "fig14", f"{vname}{_SEP}{kname}",
+                "repro.experiments.fig14_noc_bisection:bisection_job",
+                params={"kernel": kname, "size": size},
+                config=config_dict))
+    return out
+
+
+def reduce(payloads: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    names: List[str] = []
+    stalls: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
+    utils: Dict[str, Dict[str, float]] = {v: {} for v, _ in VARIANTS}
+    for key, payload in payloads.items():
+        vname, _, kname = key.partition(_SEP)
+        if kname not in names:
+            names.append(kname)
+        stalls[vname][kname] = payload["stall_fraction"]
+        utils[vname][kname] = payload["utilization"]
     return {"kernels": names, "stall_fraction": stalls,
             "utilization": utils}
 
 
-def main() -> None:
+def run(size: str = "small",
+        kernels: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    from ..orch import execute_serial
+
+    return reduce(execute_serial(jobs(size=size, kernels=kernels)))
+
+
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
-    out = run()
     print("== Fig 14: bisection stall fraction ==")
     rows = []
     for kname in out["kernels"]:
@@ -80,6 +120,10 @@ def main() -> None:
         rows.append([kname] + [out["utilization"][v][kname]
                                for v, _ in VARIANTS])
     print(format_table(["kernel"] + [v for v, _ in VARIANTS], rows))
+
+
+def main(size=None) -> None:
+    render(run(size=size or "small"))
 
 
 if __name__ == "__main__":

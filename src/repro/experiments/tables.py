@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..arch.config import TABLE_II
 from ..energy.area import TABLE_IV, density_ratios
@@ -75,10 +75,37 @@ def table4() -> List[Dict[str, Any]]:
     return rows
 
 
-def main() -> None:
+def tables_job(params: Dict[str, Any], config) -> Dict[str, Any]:
+    """Orchestrator run function: all three tables in one cheap job."""
+    return {"table1": table1(params.get("scale", 0.25)),
+            "table2": table2(),
+            "table4": table4()}
+
+
+def jobs(size: str = "small") -> List[Any]:
+    from ..orch import Job
+
+    # Tables are analytic (no simulation); one job covers all of them.
+    # ``size`` only picks the Table I(b) graph scale.
+    scale = {"tiny": 0.1, "small": 0.25, "full": 0.25}.get(size, 0.25)
+    return [Job("tables", "all", "repro.experiments.tables:tables_job",
+                params={"scale": scale})]
+
+
+def reduce(payloads: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    return dict(payloads["all"])
+
+
+def run(size: str = "small") -> Dict[str, Any]:
+    from ..orch import execute_serial
+
+    return reduce(execute_serial(jobs(size=size)))
+
+
+def render(out: Dict[str, Any]) -> None:
     from ..perf.report import format_table
 
-    t1 = table1()
+    t1 = out["table1"]
     print("== Table I(a): benchmarks ==")
     print(format_table(["kernel", "dwarf", "category"],
                        [(r["name"], r["dwarf"], r["category"])
@@ -92,12 +119,16 @@ def main() -> None:
         ["config", "cores", "banks", "cache MB", "area mm2", "cores/mm2"],
         [(r["name"], r["core_array"], r["cell_cache_banks"],
           r["cell_cache_mb"], r["published_area_mm2"],
-          r["published_cores_per_mm2"]) for r in table2()]))
+          r["published_cores_per_mm2"]) for r in out["table2"]]))
     print("\n== Table IV: density comparison ==")
     print(format_table(
         ["chip", "category", "cores", "area mm2", "cores/mm2", "our x"],
         [(r["name"], r["category"], r["cores"], r["scaled_area_mm2"],
-          r["cores_per_mm2"], r["our_core_x"]) for r in table4()]))
+          r["cores_per_mm2"], r["our_core_x"]) for r in out["table4"]]))
+
+
+def main(size: Optional[str] = None) -> None:
+    render(run(size=size or "small"))
 
 
 if __name__ == "__main__":

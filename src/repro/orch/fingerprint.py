@@ -1,0 +1,63 @@
+"""Code fingerprint: which simulator produced a cached result.
+
+The cache key of every job includes a hash of the model's source tree,
+so editing the simulator invalidates stale results automatically --
+without it a ``.repro-cache/`` left over from an older checkout would
+silently serve wrong numbers.
+
+Presentation-only modules are excluded (see ``_EXCLUDED``): changing the
+orchestrator itself, the CLI, or report formatting cannot change what a
+simulation computes, and excluding them keeps a warm cache warm across
+harness-side work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from functools import lru_cache
+from typing import Iterator, Tuple
+
+#: Top-level repro submodules whose source does not affect simulated
+#: results. Everything else under ``repro`` is fingerprinted.
+_EXCLUDED = ("orch", "cli.py", "__main__.py", "profile")
+
+_DIGEST_CHARS = 16  # 64 bits: ample for "did the code change" detection
+
+
+def _package_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _source_files(root: str) -> Iterator[Tuple[str, str]]:
+    """Yield (relative path, absolute path) of fingerprinted sources."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fname in sorted(filenames):
+            if not fname.endswith(".py"):
+                continue
+            abspath = os.path.join(dirpath, fname)
+            rel = os.path.relpath(abspath, root)
+            top = rel.replace(os.sep, "/").split("/")[0]
+            if top in _EXCLUDED:
+                continue
+            yield rel.replace(os.sep, "/"), abspath
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(root: str = None) -> str:
+    """Hex digest over the simulator's source files (path + content).
+
+    ``root`` defaults to the installed ``repro`` package directory; it
+    is overridable so tests can fingerprint synthetic trees.
+    """
+    root = root or _package_root()
+    digest = hashlib.sha256()
+    for rel, abspath in _source_files(root):
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        with open(abspath, "rb") as fh:
+            digest.update(fh.read())
+        digest.update(b"\0")
+    return digest.hexdigest()[:_DIGEST_CHARS]

@@ -1,0 +1,96 @@
+"""Sweeps and the deduplicated execution plan.
+
+A :class:`Sweep` is one experiment's slice of the evaluation grid: a
+list of :class:`Job` specs plus a *pure* reduce step that assembles the
+figure/table from the per-job payloads.  :func:`build_plan` merges
+several sweeps into one plan, deduplicating jobs whose cache keys
+coincide (e.g. two figures asking for the same kernel on the same
+machine), which is the job graph the scheduler actually executes:
+
+    job ... job        (independent leaves, run by the worker pool)
+      \\  |  /
+     reduce(sweep)     (pure, in the parent process)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from .cache import cache_key
+from .job import Job
+
+
+@dataclass
+class Sweep:
+    """One experiment as a fan-out of jobs plus a pure reduce."""
+
+    name: str
+    jobs: List[Job]
+    reduce: Callable[[Mapping[str, Any]], Any]
+
+    def __post_init__(self) -> None:
+        keys = [job.key for job in self.jobs]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(
+                f"sweep {self.name!r} has duplicate job keys: {dupes}")
+
+
+@dataclass
+class Plan:
+    """The union of several sweeps with shared jobs deduplicated."""
+
+    sweeps: List[Sweep]
+    unique_jobs: List[Job] = field(default_factory=list)
+    #: cache key of every (sweep, job), including deduplicated ones.
+    key_of: Dict[int, str] = field(default_factory=dict)  # id(job) -> key
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(len(s.jobs) for s in self.sweeps)
+
+    def payloads_for(self, sweep: Sweep,
+                     by_key: Mapping[str, Any]) -> Dict[str, Any]:
+        """This sweep's ``{job.key: payload}`` view of the run results."""
+        return {job.key: by_key[self.key_of[id(job)]] for job in sweep.jobs}
+
+
+def build_plan(sweeps: List[Sweep], fingerprint: str) -> Plan:
+    """Merge sweeps, dropping jobs whose cache key is already planned."""
+    plan = Plan(sweeps=list(sweeps))
+    seen: Dict[str, Job] = {}
+    for sweep in plan.sweeps:
+        for job in sweep.jobs:
+            key = cache_key(job, fingerprint)
+            plan.key_of[id(job)] = key
+            if key not in seen:
+                seen[key] = job
+                plan.unique_jobs.append(job)
+    return plan
+
+
+def reduce_all(plan: Plan, by_key: Mapping[str, Any],
+               on_error: Optional[Callable[[Sweep, Exception], None]] = None
+               ) -> Dict[str, Any]:
+    """Run every sweep's reduce over the collected payloads.
+
+    A sweep whose jobs are incomplete (some payload is ``None``) or
+    whose reduce raises is reported through ``on_error`` and omitted
+    from the result -- one broken figure must not sink the others.
+    """
+    out: Dict[str, Any] = {}
+    for sweep in plan.sweeps:
+        try:
+            payloads = plan.payloads_for(sweep, by_key)
+            missing = [k for k, v in payloads.items() if v is None]
+            if missing:
+                raise RuntimeError(
+                    f"{len(missing)} job(s) did not complete: "
+                    + ", ".join(missing[:5]))
+            out[sweep.name] = sweep.reduce(payloads)
+        except Exception as exc:  # noqa: BLE001 -- isolate per sweep
+            if on_error is None:
+                raise
+            on_error(sweep, exc)
+    return out

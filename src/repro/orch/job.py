@@ -1,0 +1,126 @@
+"""The declarative job model.
+
+A :class:`Job` is one simulation of the evaluation grid, described by
+data only: the dotted path of a worker-side run function, JSON-able
+parameters, and (optionally) the serialized machine configuration it
+runs on.  Jobs are what the scheduler distributes, what the cache keys,
+and what the journal records -- so everything in a spec must survive a
+round-trip through JSON unchanged.
+
+The run function contract::
+
+    def my_job(params: dict, config: Optional[MachineConfig]) -> dict:
+        ...  # run the simulation, return a JSON-able payload
+
+``config`` arrives deserialized (via :mod:`repro.arch.serialize`) when
+the spec carries one, else ``None``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into plain JSON-able python data.
+
+    Numpy scalars become python scalars, arrays become lists, tuples
+    become lists, dict keys become strings.  Anything else that json
+    cannot represent raises ``TypeError`` -- better to fail at spec
+    construction than at cache-write time.
+    """
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    raise TypeError(f"not JSON-able: {value!r} ({type(value).__name__})")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of the evaluation grid, described declaratively.
+
+    ``experiment``/``key`` identify the job to humans (and to the reduce
+    step); ``fn``/``params``/``config``/``seed`` identify it to the
+    cache.  ``key`` must be unique within its experiment's job list.
+    """
+
+    experiment: str
+    key: str
+    fn: str  # dotted "package.module:function" path of the run function
+    params: Dict[str, Any] = field(default_factory=dict)
+    config: Optional[Dict[str, Any]] = None  # arch.serialize.to_dict output
+    seed: int = 0
+    timeout_s: Optional[float] = None  # per-job wall-clock limit
+    retries: int = 1  # attempts after the first failure/timeout
+
+    def __post_init__(self) -> None:
+        if ":" not in self.fn:
+            raise ValueError(
+                f"fn must be a 'module:function' path, got {self.fn!r}")
+        # Normalize params/config to plain data now so equal jobs are
+        # equal specs and the cache key never sees numpy leftovers.
+        object.__setattr__(self, "params", jsonable(self.params))
+        if self.config is not None:
+            object.__setattr__(self, "config", jsonable(self.config))
+
+    def spec(self) -> Dict[str, Any]:
+        """The identity of this job's *result* (what the cache hashes).
+
+        ``experiment`` and ``key`` are presentation, not identity: two
+        sweeps asking for the same simulation share one cache entry.
+        """
+        return {
+            "fn": self.fn,
+            "params": self.params,
+            "config": self.config,
+            "seed": self.seed,
+        }
+
+    @property
+    def name(self) -> str:
+        return f"{self.experiment}/{self.key}"
+
+
+def resolve(path: str) -> Callable[..., Any]:
+    """Import the run function named by a ``module:function`` path."""
+    module_name, _, fn_name = path.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, fn_name)
+    except AttributeError as exc:
+        raise ImportError(f"no function {fn_name!r} in {module_name}") from exc
+
+
+def execute(job: Job) -> Dict[str, Any]:
+    """Run one job in this process and return its JSON-able payload.
+
+    This is the single entry point workers use; keeping it trivial makes
+    in-process and pooled execution bit-identical (the determinism
+    regression test pins exactly that).
+    """
+    from ..arch import serialize
+
+    fn = resolve(job.fn)
+    config = serialize.from_dict(job.config) if job.config is not None else None
+    payload = fn(dict(job.params), config)
+    return jsonable(payload)

@@ -1,0 +1,83 @@
+"""The JSONL run journal.
+
+One line per event, appended as the sweep runs, so a killed run still
+leaves a usable record.  The first line is a ``header`` carrying
+provenance (package version, code fingerprint, argv, job count); every
+job completion -- cached, computed, failed, timed out, or cancelled --
+adds a ``job`` line with wall time, cycles (when the payload reports
+them), worker id, and retry count.  ``repro journal <path>`` renders a
+post-hoc summary.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+
+class RunJournal:
+    """Append-only JSONL writer; ``path=None`` journals nowhere."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w") if path else None
+
+    def write_header(self, **fields: Any) -> None:
+        self._write({
+            "event": "header",
+            "started": _utcnow(),
+            **fields,
+        })
+
+    def write_job(self, **fields: Any) -> None:
+        self._write({"event": "job", **fields})
+
+    def write_footer(self, **fields: Any) -> None:
+        self._write({"event": "footer", "finished": _utcnow(), **fields})
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        json.dump(record, self._fh, sort_keys=True)
+        self._fh.write("\n")
+        self._fh.flush()  # one line per event survives a kill -9
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def _utcnow() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ")
+
+
+def read_journal(path: str) -> List[Dict[str, Any]]:
+    """All records of a journal file; tolerant of a torn last line."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"journal: skipping torn line in {path}",
+                      file=sys.stderr)
+    return records
+
+
+def iter_jobs(records: Iterator[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+    for rec in records:
+        if rec.get("event") == "job":
+            yield rec

@@ -27,10 +27,15 @@ BREAKDOWN_ORDER = (
 HBM_ORDER = ("read", "write", "busy", "idle")
 
 
+def ordered_from(breakdown: Mapping[str, float]) -> Dict[str, float]:
+    """A raw category->fraction mapping in canonical display order."""
+    return {cat: breakdown.get(cat, 0.0)
+            for cat in BREAKDOWN_ORDER if breakdown.get(cat, 0.0) > 0}
+
+
 def ordered_breakdown(result: RunResult) -> Dict[str, float]:
     """Core-cycle breakdown in canonical display order."""
-    return {cat: result.core_breakdown.get(cat, 0.0)
-            for cat in BREAKDOWN_ORDER if result.core_breakdown.get(cat, 0.0) > 0}
+    return ordered_from(result.core_breakdown)
 
 
 def merge_breakdowns(results: Iterable[RunResult]) -> Dict[str, float]:

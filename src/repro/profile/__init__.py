@@ -1,11 +1,12 @@
 """Performance debugging tools (paper Section III-D).
 
 Bottleneck diagnosis from run counters, spatial heatmaps of tile, bank
-and router activity, and host-throughput measurement of the simulator
-itself (``speed``).
+and router activity, host-throughput measurement of the simulator
+itself (``speed``), and sweep run-journal summaries (``journal``).
 """
 
 from .blame import Diagnosis, diagnose
+from .journal import summarize as summarize_journal
 from .speed import measure_kernel, measure_suite, profile_top
 from .heatmap import (
     bank_access_map,
@@ -23,6 +24,7 @@ __all__ = [
     "measure_kernel",
     "measure_suite",
     "profile_top",
+    "summarize_journal",
     "render_grid",
     "cell_report",
     "full_report",

@@ -1,0 +1,103 @@
+"""Post-hoc summary of a sweep's JSONL run journal.
+
+``repro journal <path>`` renders what a finished (or killed) sweep did:
+outcome counts, cache-hit rate, wall-time totals, per-experiment
+aggregates and the slowest computed jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..orch.journal import iter_jobs, read_journal
+
+
+def summarize(path: str) -> Dict[str, Any]:
+    """Structured summary of one journal file."""
+    records = read_journal(path)
+    header = next((r for r in records if r.get("event") == "header"), {})
+    footer = next((r for r in records if r.get("event") == "footer"), {})
+    jobs = list(iter_jobs(iter(records)))
+
+    outcomes: Dict[str, int] = {}
+    experiments: Dict[str, Dict[str, Any]] = {}
+    computed_wall = 0.0
+    retried = 0
+    for job in jobs:
+        outcome = job.get("outcome", "unknown")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        exp = experiments.setdefault(
+            job.get("experiment", "?"),
+            {"jobs": 0, "cached": 0, "failed": 0, "wall_s": 0.0})
+        exp["jobs"] += 1
+        exp["wall_s"] += job.get("wall_s") or 0.0
+        if outcome == "cached":
+            exp["cached"] += 1
+        elif outcome in ("failed", "timeout", "cancelled"):
+            exp["failed"] += 1
+        if outcome == "ok":
+            computed_wall += job.get("wall_s") or 0.0
+        if (job.get("attempts") or 0) > 1:
+            retried += 1
+
+    done = outcomes.get("ok", 0) + outcomes.get("cached", 0)
+    total = len(jobs)
+    slowest = sorted(
+        (j for j in jobs if j.get("outcome") == "ok"),
+        key=lambda j: j.get("wall_s") or 0.0, reverse=True)[:5]
+    return {
+        "header": header,
+        "footer": footer,
+        "total": total,
+        "outcomes": outcomes,
+        "cache_hit_rate": (outcomes.get("cached", 0) / total) if total else 0.0,
+        "success_rate": (done / total) if total else 0.0,
+        "computed_wall_s": computed_wall,
+        "retried": retried,
+        "experiments": experiments,
+        "slowest": slowest,
+    }
+
+
+def render(summary: Dict[str, Any]) -> str:
+    """Human-readable journal report."""
+    from ..perf.report import format_table
+
+    lines: List[str] = []
+    header = summary["header"]
+    if header:
+        lines.append(
+            f"sweep of {header.get('jobs', '?')} job(s), repro "
+            f"{header.get('version', '?')}, fingerprint "
+            f"{header.get('fingerprint', '?')}, started "
+            f"{header.get('started', '?')}")
+    counts = ", ".join(f"{k}={v}"
+                       for k, v in sorted(summary["outcomes"].items()))
+    lines.append(
+        f"jobs: {summary['total']} ({counts}); cache hits "
+        f"{summary['cache_hit_rate']:.0%}; retried {summary['retried']}; "
+        f"computed wall {summary['computed_wall_s']:.2f}s")
+    if summary["experiments"]:
+        rows = [[name, e["jobs"], e["cached"], e["failed"],
+                 round(e["wall_s"], 3)]
+                for name, e in summary["experiments"].items()]
+        lines.append(format_table(
+            ["experiment", "jobs", "cached", "failed", "wall s"], rows))
+    if summary["slowest"]:
+        rows = [[j.get("experiment"), j.get("key"),
+                 round(j.get("wall_s") or 0.0, 3), j.get("worker"),
+                 j.get("cycles")]
+                for j in summary["slowest"]]
+        lines.append("slowest computed jobs:")
+        lines.append(format_table(
+            ["experiment", "key", "wall s", "worker", "cycles"], rows))
+    footer = summary["footer"]
+    if footer:
+        lines.append(f"finished {footer.get('finished', '?')} in "
+                     f"{footer.get('wall_s', '?')}s")
+    return "\n".join(lines)
+
+
+def main(path: str) -> int:
+    print(render(summarize(path)))
+    return 0

@@ -41,6 +41,29 @@ class RunResult:
         """Instructions per cycle across the whole launch."""
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able snapshot of the result (the sweep-job payload).
+
+        ``machine`` and ``extra`` are deliberately dropped: the former
+        is live simulator state, the latter is caller-private.
+        """
+        return {
+            "config": self.config_name,
+            "kernel": self.kernel_name,
+            "cycles": float(self.cycles),
+            "num_tiles": int(self.num_tiles),
+            "instructions": float(self.instructions),
+            "int_instructions": float(self.int_instructions),
+            "fp_instructions": float(self.fp_instructions),
+            "core_breakdown": {k: float(v)
+                               for k, v in self.core_breakdown.items()},
+            "core_utilization": float(self.core_utilization),
+            "hbm": {k: float(v) for k, v in self.hbm.items()},
+            "cache_hit_rate": (None if self.cache_hit_rate is None
+                               else float(self.cache_hit_rate)),
+            "network": {k: float(v) for k, v in self.network.items()},
+        }
+
 
 def collect_result(machine: Machine, handle: LaunchHandle, cycles: float,
                    kernel_name: str, keep_machine: bool = False) -> RunResult:

@@ -19,15 +19,32 @@ class TestCommon:
         small = common.suite_args("AES", "small")
         assert small["total_blocks"] > tiny["total_blocks"]
 
-    def test_suite_args_fresh_objects(self):
-        a = common.suite_args("BFS", "tiny")
-        b = common.suite_args("BFS", "tiny")
+    @pytest.mark.parametrize("size", common.SIZES)
+    def test_suite_args_fresh_objects_at_every_size(self, size):
+        # Args must be rebuilt per call: kernels with functional shared
+        # state (BFS) mutate them while running.
+        a = common.suite_args("BFS", size)
+        b = common.suite_args("BFS", size)
         assert a is not b
         assert a["state"] is not b["state"]
 
     def test_invalid_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="size"):
             common.suite_args("AES", "huge")
+
+    @pytest.mark.parametrize("size", common.SIZES)
+    def test_unknown_kernel_raises_at_every_size(self, size):
+        with pytest.raises(ValueError, match="unknown suite kernel"):
+            common.suite_args("NotAKernel", size)
+
+    def test_suite_jobs_declarative(self):
+        from repro.arch.config import HB_16x8
+
+        jobs = common.suite_jobs("figX", HB_16x8, size="tiny",
+                                 kernels=["AES", "PR"], key_prefix="a/")
+        assert [j.key for j in jobs] == ["a/AES", "a/PR"]
+        assert all(j.experiment == "figX" for j in jobs)
+        assert all(j.config is not None for j in jobs)
 
     def test_run_suite_subset(self, tiny_config):
         results = common.run_suite(tiny_config, size="tiny",
