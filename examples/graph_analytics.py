@@ -10,9 +10,8 @@ Run:  python examples/graph_analytics.py
 
 import numpy as np
 
-from repro.arch import HB_16x8
+from repro import HB_16x8, run
 from repro.kernels import bfs, pagerank, spgemm
-from repro.runtime import run_on_cell
 from repro.workloads.graphs import roadnet_like, wiki_vote_like
 
 
@@ -20,7 +19,7 @@ def bfs_demo() -> None:
     print("== BFS: road lattice vs power-law graph ==")
     for graph in (roadnet_like(width=20, height=20), wiki_vote_like(0.2)):
         args = bfs.make_args(graph=graph, source=0)
-        result = run_on_cell(HB_16x8, bfs.KERNEL, args)
+        result = run(HB_16x8, bfs.KERNEL, args)
         dist = args["state"]["distance"]
         reached = int((dist >= 0).sum())
         print(f"  {graph.name:3s} n={graph.num_rows:5d} nnz={graph.nnz:6d} "
@@ -38,7 +37,7 @@ def pagerank_demo() -> None:
     print("== PageRank on the power-law graph ==")
     graph = wiki_vote_like(0.2)
     args = pagerank.make_args(graph=graph, iters=2)
-    result = run_on_cell(HB_16x8, pagerank.KERNEL, args)
+    result = run(HB_16x8, pagerank.KERNEL, args)
     hbm_active = result.hbm["read"] + result.hbm["write"] + result.hbm["busy"]
     print(f"  cycles={result.cycles:,.0f}  HBM active={hbm_active:.1%} "
           f"(memory-bound, as in Fig 11)")
@@ -51,9 +50,9 @@ def pagerank_demo() -> None:
 def tile_group_demo() -> None:
     print("== Tile groups: one task vs eight concurrent tasks (Fig 12) ==")
     one = spgemm.make_args(tasks=1, scale=0.15)
-    r1 = run_on_cell(HB_16x8, spgemm.KERNEL, one, group_shape=(16, 8))
+    r1 = run(HB_16x8, spgemm.KERNEL, one, group_shape=(16, 8))
     eight = spgemm.make_args(tasks=8, scale=0.15)
-    r8 = run_on_cell(HB_16x8, spgemm.KERNEL, eight, group_shape=(4, 4))
+    r8 = run(HB_16x8, spgemm.KERNEL, eight, group_shape=(4, 4))
     n = one["matrix"].num_rows
     thr1 = n / r1.cycles
     thr8 = 8 * n / r8.cycles

@@ -8,12 +8,11 @@ experiment in this repo is built from.
 Run:  python examples/quickstart.py
 """
 
-from repro.arch import HB_16x8
+import repro
 from repro.isa import kernel
 from repro.kernels.base import num_tiles, range_split, sync, tile_id
 from repro.perf.counters import ordered_breakdown
 from repro.perf.report import format_bars
-from repro.runtime import run_on_cell
 
 
 @kernel("dot-product")
@@ -49,7 +48,7 @@ def dot_product(t, args):
 
 def main() -> None:
     args = {"n": 16 * 1024, "x": 0x10000, "y": 0x30000, "sum": 0x50000}
-    result = run_on_cell(HB_16x8, dot_product, args, keep_machine=True)
+    result = repro.run(repro.HB_16x8, dot_product, args, keep_machine=True)
 
     print(f"machine:            {result.config_name} "
           f"({result.num_tiles} tiles)")

@@ -8,15 +8,15 @@ the cache banks -- then contrasts where the traffic went.
 Run:  python examples/stencil_group_spm.py
 """
 
-from repro.arch import HB_16x8
+import repro
+from repro import HB_16x8
 from repro.kernels import jacobi
 from repro.perf.bisection import cell_bisection
-from repro.runtime import run_on_cell
 
 
 def run_variant(use_spm: bool):
     args = jacobi.make_args(z_depth=48, iters=3, use_spm=use_spm)
-    return run_on_cell(HB_16x8, jacobi.KERNEL, args, keep_machine=True)
+    return repro.run(HB_16x8, jacobi.KERNEL, args, keep_machine=True)
 
 
 def main() -> None:

@@ -1,23 +1,28 @@
 """repro: an architectural reproduction of the HammerBlade RISC-V manycore.
 
-Public API tour
----------------
-* :mod:`repro.arch` -- machine configurations (Table II presets, feature sets).
-* :mod:`repro.runtime` -- host runtime: ``Machine``, ``Cell``, ``run_on_cell``.
-* :mod:`repro.isa` -- the kernel IR and per-tile kernel context.
-* :mod:`repro.kernels` -- the ten-benchmark parallel suite (Table I).
-* :mod:`repro.workloads` -- synthetic inputs (graphs, matrices, bodies).
-* :mod:`repro.experiments` -- one harness per paper figure/table.
+Public API (see ``docs/API.md`` for the full surface and the migration
+table from the legacy ``run_on_cell`` entry points):
+
+* :class:`Session` / :func:`run` -- build a machine, launch kernels,
+  collect :class:`RunResult`\\ s, optionally with tracing;
+* :class:`MachineConfig` / :class:`FeatureSet` and the Table II presets
+  (``HB_16x8`` ..., ``TABLE_II``, ``small_config``) -- machine configs;
+* :class:`Trace` / :class:`TraceConfig` -- the observability layer
+  (cycle timelines, metrics registry, Perfetto export);
+* ``KERNELS`` -- the ten-benchmark parallel suite (Table I).
 
 Quickstart::
 
-    from repro.arch import HB_16x8
+    import repro
     from repro.kernels import sgemm
-    from repro.runtime import run_on_cell
 
-    args = sgemm.make_args(n=32)
-    result = run_on_cell(HB_16x8, sgemm.KERNEL, args)
+    result = repro.run(repro.HB_16x8, sgemm.KERNEL, sgemm.make_args(n=32))
     print(result.cycles, result.core_utilization)
+
+Deeper layers stay importable for model work: :mod:`repro.arch`
+(geometry/timings), :mod:`repro.runtime` (machines, Cells),
+:mod:`repro.isa` (kernel IR), :mod:`repro.workloads` (inputs),
+:mod:`repro.experiments` (paper figures), :mod:`repro.orch` (sweeps).
 """
 
 try:  # installed package: single source of truth is the metadata
@@ -27,4 +32,37 @@ try:  # installed package: single source of truth is the metadata
 except Exception:  # PYTHONPATH=src checkout without installed metadata
     __version__ = "0.1.0"
 
-__all__ = ["__version__"]
+from .arch.config import (
+    ALL_FEATURES,
+    HB_2x16x8,
+    HB_16x8,
+    HB_16x16,
+    HB_32x8,
+    TABLE_II,
+    FeatureSet,
+    MachineConfig,
+    small_config,
+)
+from .kernels.registry import SUITE as KERNELS
+from .runtime.result import RunResult
+from .session import Session, run
+from .trace import Trace, TraceConfig
+
+__all__ = [
+    "__version__",
+    "Session",
+    "run",
+    "RunResult",
+    "MachineConfig",
+    "FeatureSet",
+    "Trace",
+    "TraceConfig",
+    "KERNELS",
+    "HB_16x8",
+    "HB_16x16",
+    "HB_32x8",
+    "HB_2x16x8",
+    "TABLE_II",
+    "ALL_FEATURES",
+    "small_config",
+]

@@ -94,11 +94,109 @@ class MachineConfig:
     def cell_cache_bytes(self) -> int:
         return self.cell.num_banks * self.timings.cache.capacity_bytes
 
-    def with_features(self, features: FeatureSet) -> "MachineConfig":
+    # -- builder family -----------------------------------------------------
+    #
+    # Each ``with_*`` returns a new (frozen) config; chains read like the
+    # experiment they describe:
+    #
+    #   HB_16x8.with_features(hw_barrier=False).with_hbm(scale=0.5)
+
+    def with_features(self, features: Optional[FeatureSet] = None,
+                      **flags: bool) -> "MachineConfig":
+        """Replace the feature set, or toggle individual flags.
+
+        ``with_features(fs)`` swaps the whole set; ``with_features(
+        hw_barrier=False)`` flips one flag on the current set.
+        """
+        if features is not None and flags:
+            raise TypeError("pass a FeatureSet or flag overrides, not both")
+        if features is None:
+            features = replace(self.features, **flags)
         return replace(self, features=features)
 
-    def with_cache(self, cache: CacheTiming) -> "MachineConfig":
+    def with_cache(self, cache: Optional[CacheTiming] = None,
+                   **fields: object) -> "MachineConfig":
+        """Replace the cache timing, or override individual fields
+        (e.g. ``with_cache(mshr_entries=1)``)."""
+        if cache is not None and fields:
+            raise TypeError("pass a CacheTiming or field overrides, not both")
+        if cache is None:
+            cache = replace(self.timings.cache, **fields)
         return replace(self, timings=replace(self.timings, cache=cache))
+
+    def with_timings(self, timings: Optional[Timings] = None, *,
+                     core: Optional[object] = None,
+                     cache: Optional[object] = None,
+                     hbm: Optional[object] = None,
+                     noc: Optional[object] = None,
+                     barrier: Optional[object] = None) -> "MachineConfig":
+        """Replace the timing bundle, or swap individual sub-timings.
+
+        Each sub-timing accepts either the dataclass or a dict of field
+        overrides applied to the current value, e.g.
+        ``with_timings(hbm={"t_cl": 20})``.
+        """
+        if timings is not None:
+            if any(v is not None for v in (core, cache, hbm, noc, barrier)):
+                raise TypeError("pass a Timings or sub-timing overrides, "
+                                "not both")
+            return replace(self, timings=timings)
+        new = self.timings
+        for name, value in (("core", core), ("cache", cache), ("hbm", hbm),
+                            ("noc", noc), ("barrier", barrier)):
+            if value is None:
+                continue
+            if isinstance(value, dict):
+                value = replace(getattr(new, name), **value)
+            new = replace(new, **{name: value})
+        return replace(self, timings=new)
+
+    def with_hbm(self, hbm: Optional[object] = None, *,
+                 scale: Optional[float] = None,
+                 pseudo_channels_per_cell: Optional[int] = None,
+                 **fields: object) -> "MachineConfig":
+        """Adjust the memory system: HBM timing (dataclass or field
+        overrides), per-Cell bandwidth ``scale``, and/or channel count."""
+        cfg = self
+        if hbm is not None or fields:
+            cfg = cfg.with_timings(hbm=hbm if hbm is not None else fields)
+        if scale is not None:
+            cfg = replace(cfg, hbm_scale=scale)
+        if pseudo_channels_per_cell is not None:
+            cfg = replace(cfg,
+                          pseudo_channels_per_cell=pseudo_channels_per_cell)
+        return cfg
+
+    def with_geometry(self, *, tiles_x: Optional[int] = None,
+                      tiles_y: Optional[int] = None,
+                      cells_x: Optional[int] = None,
+                      cells_y: Optional[int] = None) -> "MachineConfig":
+        """Resize the tile array and/or the Cell array."""
+        cfg = self
+        if tiles_x is not None or tiles_y is not None:
+            cell = replace(
+                self.cell,
+                tiles_x=tiles_x if tiles_x is not None else self.cell.tiles_x,
+                tiles_y=tiles_y if tiles_y is not None else self.cell.tiles_y,
+            )
+            cfg = replace(cfg, cell=cell)
+        if cells_x is not None:
+            cfg = replace(cfg, cells_x=cells_x)
+        if cells_y is not None:
+            cfg = replace(cfg, cells_y=cells_y)
+        return cfg
+
+    def describe(self) -> str:
+        """One-line human summary (mirrors FeatureSet.describe)."""
+        geo = f"{self.cell.tiles_x}x{self.cell.tiles_y}"
+        if self.num_cells > 1:
+            geo = f"{self.cells_x}x{self.cells_y} cells of {geo}"
+        parts = [self.name, geo,
+                 f"{self.pseudo_channels_per_cell} pc/cell"]
+        if self.hbm_scale != 1.0:
+            parts.append(f"hbm x{self.hbm_scale:g}")
+        parts.append(f"features: {self.features.describe()}")
+        return " | ".join(parts)
 
 
 def _table2(name: str, tiles_x: int, tiles_y: int, cells_x: int, cells_y: int,

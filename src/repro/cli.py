@@ -8,6 +8,8 @@ reproduced figure.  ``python -m repro list`` shows what is available.
   (``.repro-cache/``), JSONL run journal, per-job timeout and retry;
 * ``repro all`` is the same sweep over every experiment;
 * ``repro journal <path>`` summarizes a previous sweep's journal;
+* ``repro trace <kernel>`` runs one suite kernel with the cycle-timeline
+  tracer attached and writes a Chrome-trace JSON (open in Perfetto);
 * ``repro bench-speed`` measures the engine's own host throughput;
 * ``--profile`` wraps any experiment in cProfile and prints the hottest
   functions.
@@ -77,6 +79,37 @@ def _bench_speed(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             json.dump(samples, fh, indent=2, sort_keys=True)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _trace_cmd(args: argparse.Namespace) -> int:
+    """``repro trace <kernel>``: one traced run, Chrome-trace JSON out."""
+    from .arch.config import HB_16x8
+    from .experiments.common import suite_args
+    from .kernels.registry import SUITE
+    from .session import Session
+    from .trace import TraceConfig, format_report, trace_report, write_chrome
+
+    if not args.target:
+        print("trace: missing kernel (repro trace <kernel>); one of: "
+              + ", ".join(SUITE), file=sys.stderr)
+        return 2
+    by_lower = {k.lower(): k for k in SUITE}
+    name = by_lower.get(args.target.lower())
+    if name is None:
+        print(f"unknown suite kernel {args.target!r}; one of: "
+              + ", ".join(SUITE), file=sys.stderr)
+        return 2
+    size = args.size or "tiny"
+    config = TraceConfig(window=args.window)
+    session = Session(HB_16x8, trace=config)
+    session.launch(SUITE[name].kernel, suite_args(name, size))
+    result = session.run()[0]
+    out = args.out or f"trace_{name}.json"
+    write_chrome(result.trace, out)
+    print(f"{name} ({size}) on {HB_16x8.name}: {result.cycles:g} cycles")
+    print(format_report(trace_report(result.trace)))
+    print(f"wrote {out}")
     return 0
 
 
@@ -186,12 +219,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
-             + ", sweep, journal, bench-speed, list, all",
+             + ", sweep, journal, trace, bench-speed, list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="sweep: experiment name or 'all'; journal: path to a JSONL "
-             "run journal",
+             "run journal; trace: suite kernel name",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -205,7 +238,12 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench-speed: wall-clock repeats (best wins)")
     parser.add_argument("--out", default=None,
-                        help="bench-speed: also write samples as JSON")
+                        help="bench-speed: also write samples as JSON; "
+                             "trace: output path (default: trace_<kernel>"
+                             ".json)")
+    parser.add_argument("--window", type=float, default=100.0, metavar="CYC",
+                        help="trace: metrics sampling window in cycles "
+                             "(default: 100)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="sweep: worker processes (default: CPU count; "
                              "0 runs in-process)")
@@ -227,6 +265,7 @@ def main(argv=None) -> int:
             print(f"{key:8s} ({COST_HINT[key]})")
         print("sweep <experiment|all> (orchestrated: pool + result cache)")
         print("journal <path> (summarize a sweep's run journal)")
+        print("trace <kernel> (traced run -> Chrome-trace JSON)")
         print("bench-speed (engine host-throughput benchmark)")
         return 0
     if name == "bench-speed":
@@ -235,6 +274,8 @@ def main(argv=None) -> int:
             print(profile_top(_bench_speed, args))
             return 0
         return _bench_speed(args)
+    if name == "trace":
+        return _trace_cmd(args)
     if name == "sweep":
         return _sweep(args, argv)
     if name == "all":

@@ -83,6 +83,10 @@ class TileCore:
         #: Last reason this core blocked on the event queue (a Table III
         #: stall category) -- surfaced by deadlock diagnostics.
         self.last_stall: Optional[str] = None
+        #: Timeline tracer hook (set by :func:`repro.trace.attach`);
+        #: ``None`` keeps every hot path on the untraced branch.
+        self._trace: Optional[Any] = None
+        self._trace_track: int = 0
         self._fp_latency = {
             "fadd": timings.core.fadd,
             "fmul": timings.core.fmul,
@@ -156,6 +160,11 @@ class TileCore:
         _LoadOp, _VecLoadOp, _StoreOp = LoadOp, VecLoadOp, StoreOp
         _AmoOp, _FenceOp, _BarrierOp, _SleepOp = AmoOp, FenceOp, BarrierOp, SleepOp
         _Future = Future
+        # Tracing hook: ``temit`` is None in untraced runs, so each stall
+        # charge point pays one pointer comparison and nothing else.
+        trace = self._trace
+        ttrack = self._trace_track
+        temit = trace.complete if trace is not None else None
 
         t = sim._now
         self.start_time = t
@@ -173,6 +182,8 @@ class TileCore:
             if miss:
                 t += miss
                 cv[S_ICACHE] += miss
+                if temit is not None:
+                    temit(ttrack, S_ICACHE, t - miss, miss)
 
             cls = op.__class__
 
@@ -202,6 +213,8 @@ class TileCore:
                             cv[S_FDIV] += gap
                         else:
                             cv[S_BYPASS] += gap
+                        if temit is not None:
+                            temit(ttrack, _KIND_STALL[kind], t, gap)
                         t = ready
 
                 if cls is _IntOp:
@@ -216,6 +229,8 @@ class TileCore:
                     if op.unit in ("fdiv", "fsqrt"):
                         if self._fdiv_free > t:
                             cv[S_FDIV] += self._fdiv_free - t
+                            if temit is not None:
+                                temit(ttrack, S_FDIV, t, self._fdiv_free - t)
                             t = self._fdiv_free
                         issue = t
                         self._fdiv_free = issue + lat
@@ -235,6 +250,8 @@ class TileCore:
                     if flush:
                         t += flush
                         cv[S_BRANCH] += flush
+                        if temit is not None:
+                            temit(ttrack, S_BRANCH, t - flush, flush)
                 continue
 
             # Memory and synchronization ops.
@@ -290,6 +307,8 @@ class TileCore:
                     yield fut
                     drained = max(t, sim._now)
                     cv[st.STALL_FENCE] += drained - t
+                    if temit is not None and drained > t:
+                        temit(ttrack, st.STALL_FENCE, t, drained - t)
                     t = drained
             elif cls is _BarrierOp:
                 t += 1
@@ -301,10 +320,14 @@ class TileCore:
                 yield fut
                 released = max(t, sim._now)
                 cv[st.STALL_BARRIER] += released - t
+                if temit is not None and released > t:
+                    temit(ttrack, st.STALL_BARRIER, t, released - t)
                 t = released
             elif cls is _SleepOp:
                 t += op.cycles
                 cv[st.STALL_IDLE] += op.cycles
+                if temit is not None:
+                    temit(ttrack, st.STALL_IDLE, t - op.cycles, op.cycles)
             else:
                 raise TypeError(f"core cannot execute {op!r}")
 
@@ -317,7 +340,13 @@ class TileCore:
             yield fut
             drained = max(t, sim._now)
             cv[st.STALL_FENCE] += drained - t
+            if temit is not None and drained > t:
+                temit(ttrack, st.STALL_FENCE, t, drained - t)
             t = drained
+        if trace is not None:
+            # Whole-launch span; the stall spans above nest inside it.
+            trace.complete(ttrack, "kernel", self.start_time,
+                           t - self.start_time)
         self.finish_time = t
         return t
 
@@ -352,6 +381,9 @@ class TileCore:
                     cv[st.STALL_FDIV] += gap
                 else:
                     cv[st.STALL_BYPASS] += gap
+                if self._trace is not None:
+                    self._trace.complete(self._trace_track,
+                                         _KIND_STALL[kind], t, gap)
                 t = ready
         return t
 
@@ -367,6 +399,9 @@ class TileCore:
             yield fut
             granted = max(t, sim._now)
             self.counters.raw[st.STALL_CREDIT] += granted - t
+            if self._trace is not None and granted > t:
+                self._trace.complete(self._trace_track, st.STALL_CREDIT,
+                                     t, granted - t)
             t = granted
         sb.acquire()
         return t
@@ -395,6 +430,9 @@ class TileCore:
             yield fut
             arrival = fut._value
             cv[st.STALL_DEPEND_LOAD] += max(0.0, arrival - t)
+            if self._trace is not None and arrival > t:
+                self._trace.complete(self._trace_track, st.STALL_DEPEND_LOAD,
+                                     t, arrival - t)
             t = max(t, arrival)
             for dst in dsts:
                 reg_ready[dst] = arrival
@@ -415,5 +453,8 @@ class TileCore:
         yield fut
         arrival, old = fut._value
         cv[st.STALL_AMO] += max(0.0, arrival - t)
+        if self._trace is not None and arrival > t:
+            self._trace.complete(self._trace_track, st.STALL_AMO,
+                                 t, arrival - t)
         t = max(t, arrival)
         return t, old

@@ -101,6 +101,10 @@ class Simulator:
         #: Total events dispatched over this simulator's lifetime
         #: (the numerator of the host events/sec throughput metric).
         self.events_executed = 0
+        #: Observability hook (a :class:`repro.trace.Trace` or ``None``).
+        #: When set, ``run()`` leaves the inlined fast path and ticks the
+        #: tracer's clock-driven metrics sampler after every event.
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -267,7 +271,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            if until is None and max_events is None:
+            if until is None and max_events is None and self.tracer is None:
                 # Hot path: ``step``/``_pop_next`` inlined into one drain
                 # loop -- two fewer Python calls per event.  ``_compact``
                 # mutates the containers in place, so the local aliases
@@ -316,6 +320,7 @@ class Simulator:
                     self.events_executed += executed
                 return self._now
             count = 0
+            tracer = self.tracer
             while True:
                 nxt = self.peek()
                 if nxt is None:
@@ -330,6 +335,8 @@ class Simulator:
                         self._now = until
                     break
                 self.step()
+                if tracer is not None:
+                    tracer.engine_tick(self._now)
                 count += 1
                 if max_events is not None and count >= max_events:
                     raise SimulationError(

@@ -18,11 +18,10 @@ direct single-sweep API.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..arch.config import HB_16x8
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 
 #: Fig-12-style multi-task SpGEMM input (the miss-heavy workload the
 #: mshr/cache_sets sweeps need).  Deliberately size-independent: a
@@ -40,8 +39,8 @@ def spgemm_point_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     from ..kernels import spgemm
 
     args = spgemm.make_args(tasks=params["tasks"], scale=params["scale"])
-    result = run_on_cell(config, spgemm.KERNEL, args,
-                         group_shape=tuple(params["group_shape"]))
+    result = run_kernel(config, spgemm.KERNEL, args,
+                        group_shape=tuple(params["group_shape"]))
     return result.to_dict()
 
 
@@ -72,9 +71,7 @@ def _scoreboard_jobs(depths: Sequence[int], kernel_name: str,
     """More outstanding requests -> more MLP, until bandwidth saturates."""
     out = []
     for depth in depths:
-        core = replace(HB_16x8.timings.core, scoreboard_entries=depth)
-        cfg = replace(HB_16x8,
-                      timings=replace(HB_16x8.timings, core=core))
+        cfg = HB_16x8.with_timings(core={"scoreboard_entries": depth})
         out.append(_suite_point("scoreboard", depth, cfg, kernel_name, size))
     return out
 
@@ -85,8 +82,8 @@ def _mshr_jobs(entries: Sequence[int]) -> List[Any]:
     full capacity the default workloads hit too often to stress it."""
     out = []
     for n in entries:
-        cache = replace(HB_16x8.timings.cache, sets=2, mshr_entries=n)
-        out.append(_spgemm_point("mshr", n, HB_16x8.with_cache(cache)))
+        out.append(_spgemm_point(
+            "mshr", n, HB_16x8.with_cache(sets=2, mshr_entries=n)))
     return out
 
 
@@ -96,12 +93,9 @@ def _ruche_jobs(factors: Sequence[int], kernel_name: str,
     out = []
     for factor in factors:
         if factor == 0:
-            cfg = HB_16x8.with_features(
-                replace(HB_16x8.features, ruche_network=False))
+            cfg = HB_16x8.with_features(ruche_network=False)
         else:
-            noc = replace(HB_16x8.timings.noc, ruche_factor=factor)
-            cfg = replace(HB_16x8,
-                          timings=replace(HB_16x8.timings, noc=noc))
+            cfg = HB_16x8.with_timings(noc={"ruche_factor": factor})
         out.append(_suite_point("ruche_factor", factor, cfg, kernel_name,
                                 size))
     return out
@@ -112,9 +106,8 @@ def _cache_sets_jobs(sets: Sequence[int]) -> List[Any]:
     whose resident working set actually exercises capacity."""
     out = []
     for n in sets:
-        cache = replace(HB_16x8.timings.cache, sets=n)
         out.append(_spgemm_point("cache_sets", n,
-                                 HB_16x8.with_cache(cache)))
+                                 HB_16x8.with_cache(sets=n)))
     return out
 
 

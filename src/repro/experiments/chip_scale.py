@@ -23,7 +23,8 @@ from ..arch.params import CORE_FREQ_GHZ
 from ..baselines.hierarchical import WideChannelModel, WordChannelModel
 from ..energy.area import TILE_AREA_3NM_UM2, cores_on_die
 from ..kernels import registry
-from ..runtime.host import RunResult, run_on_cell
+from ..runtime.result import RunResult
+from ..session import run as run_kernel
 from .common import suite_args
 
 
@@ -85,8 +86,8 @@ def project_chip(kernel_name: str, cells_x: int = 8, cells_y: int = 8,
     """
     if result is None:
         bench = registry.SUITE[kernel_name]
-        result = run_on_cell(config, bench.kernel,
-                             suite_args(kernel_name, size))
+        result = run_kernel(config, bench.kernel,
+                            suite_args(kernel_name, size))
     return _project(kernel_name, result.cycles, result.instructions,
                     cells_x, cells_y, exchange_bytes_per_cell, phases,
                     config)

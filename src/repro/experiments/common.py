@@ -29,7 +29,8 @@ from ..kernels import (
     smithwaterman,
     spgemm,
 )
-from ..runtime.host import RunResult, run_on_cell
+from ..runtime.result import RunResult
+from ..session import run
 
 SIZES = ("tiny", "small", "full")
 
@@ -75,8 +76,8 @@ def run_suite(config, size: str = "small",
     for name in names:
         bench = registry.SUITE[name]
         args = suite_args(name, size)
-        out[name] = run_on_cell(config, bench.kernel, args,
-                                group_shape=group_shape, **run_kwargs)
+        out[name] = run(config, bench.kernel, args,
+                        group_shape=group_shape, **run_kwargs)
     return out
 
 
@@ -99,9 +100,9 @@ def suite_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     """
     name = params["kernel"]
     shape = params.get("group_shape")
-    result = run_on_cell(config, registry.SUITE[name].kernel,
-                         suite_args(name, params.get("size", "small")),
-                         group_shape=tuple(shape) if shape else None)
+    result = run(config, registry.SUITE[name].kernel,
+                 suite_args(name, params.get("size", "small")),
+                 group_shape=tuple(shape) if shape else None)
     return result.to_dict()
 
 

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..arch.config import HB_16x8
 from ..kernels import spgemm
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 
 GROUP_SHAPES: List[Tuple[int, int]] = [(16, 8), (8, 8), (8, 4), (4, 4),
                                        (4, 2), (2, 2)]
@@ -31,11 +31,8 @@ def _scaled_config(scale: float):
     # cache ratio matches the paper's full-size experiment (each task's
     # activation matrix is private; many small groups = many resident
     # working sets).
-    from dataclasses import replace as _replace
-
-    cache = _replace(HB_16x8.timings.cache,
-                     sets=max(4, int(HB_16x8.timings.cache.sets * scale)))
-    return HB_16x8.with_cache(cache)
+    return HB_16x8.with_cache(
+        sets=max(4, int(HB_16x8.timings.cache.sets * scale)))
 
 
 def shape_job(params: Dict[str, Any], config) -> Dict[str, Any]:
@@ -43,7 +40,7 @@ def shape_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     gw, gh = params["group_shape"]
     num_groups = config.cell.num_tiles // (gw * gh)
     args = spgemm.make_args(tasks=num_groups, scale=params["scale"])
-    result = run_on_cell(config, spgemm.KERNEL, args, group_shape=(gw, gh))
+    result = run_kernel(config, spgemm.KERNEL, args, group_shape=(gw, gh))
     matrix = args["matrix"]
     hbm_active = (result.hbm["read"] + result.hbm["write"]
                   + result.hbm["busy"])

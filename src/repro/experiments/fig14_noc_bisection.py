@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 from ..arch.config import HB_16x8
 from ..kernels import jacobi, registry
 from ..perf.bisection import cell_bisection
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 from .common import suite_args
 
 VARIANTS: List[Tuple[str, Dict[str, bool]]] = [
@@ -55,7 +55,7 @@ def _args_for(name: str, size: str):
 def bisection_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     """Orchestrator run function: one (variant, kernel) cut measurement."""
     kern, args = _args_for(params["kernel"], params["size"])
-    result = run_on_cell(config, kern, args, keep_machine=True)
+    result = run_kernel(config, kern, args, keep_machine=True)
     stats = cell_bisection(result.machine.memsys.req_net,
                            config.cell.tiles_x, result.cycles)
     return {

@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 from ..arch.config import HB_16x8, HB_16x16, HB_32x8
 from ..engine.stats import geomean
 from ..kernels import registry
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 
 #: Kernels whose primary data structure is duplicated (not split) when
 #: the Cell count doubles; their work items split but the shared
@@ -136,7 +136,7 @@ def machine_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     name = params["kernel"]
     spec = dict(params["spec"])
     args = _build(name, spec)
-    return run_on_cell(config, registry.SUITE[name].kernel, args).to_dict()
+    return run_kernel(config, registry.SUITE[name].kernel, args).to_dict()
 
 
 def jobs(size: str = "small",

@@ -27,7 +27,7 @@ from ..arch.config import HB_32x8
 from ..baselines.hierarchical import WideChannelModel, WordChannelModel, et_config
 from ..engine.stats import geomean
 from ..kernels import registry
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 from .common import suite_args
 
 IRREGULAR = ("SpGEMM", "PR", "BFS", "BH")
@@ -50,7 +50,7 @@ def model_job(params: Dict[str, Any], config) -> Dict[str, Any]:
     """Orchestrator run function: one kernel on one of the two machines."""
     name = params["kernel"]
     args = suite_args(name, params["size"])
-    result = run_on_cell(config, registry.SUITE[name].kernel, args)
+    result = run_kernel(config, registry.SUITE[name].kernel, args)
     payload = result.to_dict()
     payload["transfer_bytes"] = _phase_transfer_bytes(name, args)
     return payload

@@ -61,6 +61,9 @@ class CacheBank:
         self._sets: List[Dict[int, _Line]] = [dict() for _ in range(timing.sets)]
         self.mshr = MshrFile(timing.mshr_entries)
         self.counters = Counter()
+        #: Timeline tracer hook (set by :func:`repro.trace.attach`).
+        self._trace = None
+        self._trace_track = 0
         # Hot-path constants.
         self._nsets = timing.sets
         self._nways = timing.ways
@@ -86,14 +89,29 @@ class CacheBank:
         line = mem_addr // self._block_bytes
         ways = self._sets[line % self._nsets]
         entry = ways.pop(line, None)
+        trace = self._trace
         if entry is not None:
             ways[line] = entry  # LRU promote: MRU lives at the back
             cv["store_hits" if is_write else "load_hits"] += 1
             if is_write or is_amo:
                 entry.dirty = True
+            if trace is not None:
+                trace.complete(
+                    self._trace_track,
+                    "amo-hit" if is_amo
+                    else ("store-hit" if is_write else "load-hit"),
+                    start, port_cycles)
             fut.resolve_at(start + self._hit_latency, None)
             return fut
         cv["store_misses" if is_write else "load_misses"] += 1
+        if trace is not None:
+            # The span covers the port occupancy (reservation window);
+            # refill latency shows up on the wormhole and HBM tracks.
+            trace.complete(
+                self._trace_track,
+                "amo-miss" if is_amo
+                else ("store-miss" if is_write else "load-miss"),
+                start, port_cycles)
         if is_amo:
             # Read-modify-write: the old value is needed, so even under
             # write-validate the line must be fetched; it refills dirty.
@@ -159,6 +177,8 @@ class CacheBank:
         if self.mshr.full:
             retry_at = self.mshr.earliest_completion(time)
             self.counters.raw["mshr_full_stalls"] += 1
+            if self._trace is not None:
+                self._trace.instant(self._trace_track, "mshr-full", time)
             self.sim.schedule_at(
                 retry_at, lambda: self._miss(line, fut, retry_at, mark_dirty)
             )

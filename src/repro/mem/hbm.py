@@ -58,6 +58,9 @@ class PseudoChannel:
         self.busy_cycles: float = 0
         self.first_request: Optional[float] = None
         self.last_completion: float = 0
+        #: Timeline tracer hook (set by :func:`repro.trace.attach`).
+        self._trace = None
+        self._trace_track = 0
 
     def _bank_and_row(self, addr: int) -> (int, int):
         t = self.timing
@@ -88,14 +91,17 @@ class PseudoChannel:
         if last is not None and start - last <= self.REORDER_WINDOW:
             latency = t.row_hit_latency
             bank_busy = self.T_CCD
+            row_state = "hit"
             self.counters.add("row_hits")
         elif not bank.rows:
             latency = t.t_rcd + t.t_cl
             bank_busy = t.t_rcd + self.T_CCD
+            row_state = "open"
             self.counters.add("row_opens")
         else:
             latency = t.row_miss_latency
             bank_busy = t.t_rp + t.t_rcd + self.T_CCD
+            row_state = "conflict"
             self.counters.add("row_conflicts")
         bank.ready_at = start + bank_busy
         burst_start = self._bus.reserve(start + latency, self.burst_cycles)
@@ -114,6 +120,13 @@ class PseudoChannel:
             self.first_request = time
         if done > self.last_completion:
             self.last_completion = done
+        if self._trace is not None:
+            # Bus bursts serialize through the Interval, so the spans on
+            # the channel track never overlap.
+            self._trace.complete(
+                self._trace_track, "write" if is_write else "read",
+                burst_start, self.burst_cycles,
+                {"bank": bank_idx, "row_state": row_state})
         return done
 
     def _account_pressure(self, arrival: float, burst_start: float) -> None:

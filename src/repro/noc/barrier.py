@@ -48,6 +48,10 @@ class HwBarrierGroup:
     reaches the arriving tile.  The group is reusable (epochs).
     """
 
+    #: Timeline tracer hook (set by the tile-group partitioner).
+    _trace = None
+    _trace_track = 0
+
     def __init__(self, sim: Simulator, members: List[Coord],
                  timing: BarrierTiming, ruche: bool = True) -> None:
         if not members:
@@ -92,6 +96,10 @@ class HwBarrierGroup:
             t for t, _f in self._pending.values()
         )
         del first_arrival
+        if self._trace is not None:
+            self._trace.instant(
+                self._trace_track, "hw-release", root_time,
+                {"size": len(self.members), "epoch": self.epochs})
         self._pending = {}
         self.epochs += 1
 
@@ -104,6 +112,10 @@ class SwBarrierGroup:
     flips the release flag; each waiter observes it one polling interval
     plus a round-trip later.
     """
+
+    #: Timeline tracer hook (set by the tile-group partitioner).
+    _trace = None
+    _trace_track = 0
 
     def __init__(self, sim: Simulator, members: List[Coord],
                  counter_node: Optional[Coord] = None,
@@ -151,6 +163,10 @@ class SwBarrierGroup:
             bank_free = start + self.serialize_cycles
             flag_time = bank_free
         self._bank_free = bank_free
+        if self._trace is not None:
+            self._trace.instant(
+                self._trace_track, "sw-release", flag_time,
+                {"size": len(self.members), "epoch": self.epochs})
         for node, (_t, fut) in self._pending.items():
             rtt = 2 * self._distance(node) * self.hop_latency
             fut.resolve_at(flag_time + self.poll_interval / 2 + rtt, None)

@@ -67,6 +67,12 @@ class Network:
         if record_bin_width is not None:
             for link in self.topology.links():
                 link.enable_series(record_bin_width)
+        #: Timeline tracer hook (set by :func:`repro.trace.attach`):
+        #: per-link-class utilization is sampled by the metrics registry;
+        #: the per-packet hook below only flags congested deliveries.
+        self._trace = None
+        self._trace_track = 0
+        self._trace_threshold = 0.0
 
     def send(self, src: Coord, dst: Coord, flits: int, time: float) -> DeliveryReport:
         """Reserve the path for a packet injected at ``time``.
@@ -104,6 +110,11 @@ class Network:
         cv["flits"] += flits
         cv["hops"] += len(path)
         cv["stall_cycles"] += stall_total
+        if self._trace is not None and stall_total >= self._trace_threshold:
+            self._trace.instant(
+                self._trace_track, "congested", time,
+                {"src": tuple(src), "dst": tuple(dst),
+                 "stall": stall_total, "hops": len(path)})
         return DeliveryReport(arrival, len(path), stall_total)
 
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:

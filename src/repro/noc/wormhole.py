@@ -33,6 +33,10 @@ class WormholeStrip:
         self._channels: List[Interval] = [Interval() for _ in range(num_channels)]
         self.transfers = 0
         self.bytes_moved = 0
+        #: Timeline tracer hook (set by :func:`repro.trace.attach`):
+        #: one track per channel, so reserved bursts never overlap.
+        self._trace = None
+        self._trace_tracks: Tuple[int, ...] = ()
 
     def _transit_latency(self, bank_x: int) -> int:
         """Hops to the controller at the strip edge; skip channels let the
@@ -61,6 +65,10 @@ class WormholeStrip:
         done = start + burst + self._transit_latency(bank_x)
         self.transfers += 1
         self.bytes_moved += nbytes
+        if self._trace is not None:
+            self._trace.complete(
+                self._trace_tracks[channels.index(channel)], "burst",
+                start, burst, {"bank": bank_x, "bytes": nbytes})
         return start, done
 
     def utilization(self, elapsed: float) -> float:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping
 
 from ..core import stall as st
-from ..runtime.host import RunResult
+from ..runtime.result import RunResult
 
 #: Display order for the Fig 11 core-utilization stack.
 BREAKDOWN_ORDER = (

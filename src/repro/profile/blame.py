@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..core import stall as st
-from ..runtime.host import RunResult
+from ..runtime.result import RunResult
 
 
 @dataclass

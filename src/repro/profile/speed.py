@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from ..experiments.common import suite_args
 from ..kernels import registry
-from ..runtime.host import run_on_cell
+from ..session import run as run_kernel
 
 
 def measure_kernel(config: Any, name: str, size: str = "small",
@@ -45,8 +45,8 @@ def measure_kernel(config: Any, name: str, size: str = "small",
     for _ in range(repeats):
         args = suite_args(name, size)  # rebuilt per run: kernels mutate args
         t0 = time.perf_counter()
-        result = run_on_cell(config, bench.kernel, args,
-                             keep_machine=True, **run_kwargs)
+        result = run_kernel(config, bench.kernel, args,
+                            keep_machine=True, **run_kwargs)
         wall = time.perf_counter() - t0
         if wall < best_wall:
             best_wall = wall

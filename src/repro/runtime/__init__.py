@@ -1,10 +1,16 @@
-"""Host runtime: machines, Cells, tile groups, launches."""
+"""Host runtime: machines, Cells, tile groups, launches.
+
+The preferred entry point is :class:`repro.Session` /
+:func:`repro.run`; the ``run_on_cell`` family re-exported here is a
+deprecated shim layer (see ``docs/API.md``).
+"""
 
 from . import dma
 from .cell import Cell, LaunchHandle
-from .host import RunResult, collect_result, run_on_cell, run_on_cells
+from .host import collect_result, run_on_cell, run_on_cells
 from .machine import Machine
 from .memsys import MemorySystem
+from .result import RunResult
 from .tilegroup import TileGroup, partition_cell
 
 __all__ = [

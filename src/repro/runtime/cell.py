@@ -143,4 +143,8 @@ class Cell:
                 core.start(gen)
                 cores.append(core)
         name = f"{self.kernel.name}@cell{self.cell_xy}"
-        return LaunchHandle(self, cores, self.machine.sim.now, name=name)
+        handle = LaunchHandle(self, cores, self.machine.sim.now, name=name)
+        tracer = self.machine.sim.tracer
+        if tracer is not None:
+            tracer.launch_started(handle)
+        return handle

@@ -1,107 +1,41 @@
-"""Host-side convenience: build a machine, run a kernel, collect results.
+"""Legacy host-side entry points (deprecated shims).
 
-This is the entry point the examples, tests and every experiment harness
-use; it plays the role of the paper's host runtime (memory management,
-kernel launch, statistics collection).
+The documented surface moved to :class:`repro.Session` and
+:func:`repro.run` (see ``docs/API.md`` for the migration table).  The
+original call forms below keep working -- they delegate to the Session
+implementation with identical semantics and cycle counts -- but emit a
+:class:`DeprecationWarning` so downstream code migrates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..arch.config import MachineConfig
-from ..core import stall as st
 from ..isa.program import Kernel
 from .cell import LaunchHandle
 from .machine import Machine
+from .result import RunResult
+
+__all__ = ["RunResult", "collect_result", "run_on_cell", "run_on_cells"]
 
 
-@dataclass
-class RunResult:
-    """Everything an experiment needs from one kernel execution."""
-
-    config_name: str
-    kernel_name: str
-    cycles: float
-    num_tiles: int
-    instructions: float
-    int_instructions: float
-    fp_instructions: float
-    core_breakdown: Dict[str, float]  # fractions of tile-cycles per category
-    core_utilization: float  # fraction of tile-cycles issuing instructions
-    hbm: Dict[str, float]  # read/write/busy/idle fractions (first channel)
-    cache_hit_rate: Optional[float]
-    network: Dict[str, float]  # request-network counters
-    machine: Optional[Machine] = None  # kept when the caller asks for it
-    extra: Dict[str, Any] = field(default_factory=dict)
-
-    @property
-    def throughput(self) -> float:
-        """Instructions per cycle across the whole launch."""
-        return self.instructions / self.cycles if self.cycles else 0.0
-
-    def to_dict(self) -> Dict[str, Any]:
-        """A JSON-able snapshot of the result (the sweep-job payload).
-
-        ``machine`` and ``extra`` are deliberately dropped: the former
-        is live simulator state, the latter is caller-private.
-        """
-        return {
-            "config": self.config_name,
-            "kernel": self.kernel_name,
-            "cycles": float(self.cycles),
-            "num_tiles": int(self.num_tiles),
-            "instructions": float(self.instructions),
-            "int_instructions": float(self.int_instructions),
-            "fp_instructions": float(self.fp_instructions),
-            "core_breakdown": {k: float(v)
-                               for k, v in self.core_breakdown.items()},
-            "core_utilization": float(self.core_utilization),
-            "hbm": {k: float(v) for k, v in self.hbm.items()},
-            "cache_hit_rate": (None if self.cache_hit_rate is None
-                               else float(self.cache_hit_rate)),
-            "network": {k: float(v) for k, v in self.network.items()},
-        }
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.runtime.host.{old} is deprecated; use {new} instead "
+        "(see docs/API.md for the migration table)",
+        DeprecationWarning, stacklevel=3)
 
 
 def collect_result(machine: Machine, handle: LaunchHandle, cycles: float,
                    kernel_name: str, keep_machine: bool = False) -> RunResult:
-    """Aggregate counters from a finished launch into a :class:`RunResult`."""
-    cores = handle.cores
-    denom = cycles * len(cores)
-    sums: Dict[str, float] = {cat: 0.0 for cat in st.ALL_CATEGORIES}
-    for core in cores:
-        for cat in st.ALL_CATEGORIES:
-            sums[cat] += core.counters.get(cat)
-        # Early finishers idle until the slowest tile completes.
-        tail = (handle.launch_time + cycles) - core.finish_time
-        if tail > 0:
-            sums[st.STALL_IDLE] += tail
-    accounted = sum(sums.values())
-    other = max(0.0, denom - accounted)
-    breakdown = {cat: v / denom for cat, v in sums.items() if v > 0}
-    if other > 0:
-        breakdown["other"] = other / denom
-    int_instrs = sums[st.EXEC_INT]
-    fp_instrs = sums[st.EXEC_FP]
-    cell_xy = handle.cell.cell_xy
-    hbm = machine.memsys.hbm[cell_xy].utilization(cycles)
-    return RunResult(
-        config_name=machine.config.name,
-        kernel_name=kernel_name,
-        cycles=cycles,
-        num_tiles=len(cores),
-        instructions=int_instrs + fp_instrs,
-        int_instructions=int_instrs,
-        fp_instructions=fp_instrs,
-        core_breakdown=breakdown,
-        core_utilization=(int_instrs + fp_instrs) / denom if denom else 0.0,
-        hbm=hbm,
-        cache_hit_rate=machine.memsys.cache_hit_rate(cell_xy),
-        network=machine.memsys.req_net.counters.as_dict(),
-        machine=machine if keep_machine else None,
-    )
+    """Deprecated alias of :func:`repro.session.collect`."""
+    _deprecated("collect_result", "repro.session.collect")
+    from ..session import collect
+
+    return collect(machine, handle, cycles, kernel_name,
+                   keep_machine=keep_machine)
 
 
 def run_on_cell(config: MachineConfig, kernel: Kernel, args: Any = None,
@@ -110,43 +44,27 @@ def run_on_cell(config: MachineConfig, kernel: Kernel, args: Any = None,
                 record_bin_width: Optional[float] = None,
                 keep_machine: bool = False,
                 max_events: Optional[int] = None) -> RunResult:
-    """Build a machine, run ``kernel`` on Cell (0, 0), return the result.
+    """Deprecated alias of :func:`repro.run` (one kernel on Cell (0, 0))."""
+    _deprecated("run_on_cell", "repro.run or repro.Session")
+    from ..session import run
 
-    ``setup(machine)`` runs before launch (host-side data placement); its
-    return value, if not ``None``, replaces ``args``.
-    """
-    machine = Machine(config, record_bin_width=record_bin_width)
-    cell = machine.cell(0, 0)
-    if setup is not None:
-        prepared = setup(machine)
-        if prepared is not None:
-            args = prepared
-    cell.load_kernel(kernel)
-    handle = cell.launch(args, group_shape=group_shape)
-    cycles = machine.run_to_completion([handle], max_events=max_events)
-    return collect_result(machine, handle, cycles, kernel.name,
-                          keep_machine=keep_machine)
+    return run(config, kernel, args, group_shape=group_shape, setup=setup,
+               record_bin_width=record_bin_width, keep_machine=keep_machine,
+               max_events=max_events)
 
 
 def run_on_cells(config: MachineConfig,
                  launches: List[Tuple[Tuple[int, int], Kernel, Any]],
                  group_shape: Optional[Tuple[int, int]] = None,
                  keep_machine: bool = False) -> List[RunResult]:
-    """Run (possibly different) kernels on several Cells concurrently.
+    """Deprecated: use one :class:`repro.Session` with several launches.
 
     ``launches`` is a list of ``(cell_xy, kernel, args)``.
     """
-    machine = Machine(config)
-    handles = []
+    _deprecated("run_on_cells", "repro.Session (one launch() per Cell)")
+    from ..session import Session
+
+    session = Session(config)
     for cell_xy, kernel, args in launches:
-        cell = machine.cell(*cell_xy)
-        cell.load_kernel(kernel)
-        handles.append((cell_xy, kernel, cell.launch(args, group_shape=group_shape)))
-    machine.run()
-    results = []
-    for _cell_xy, kernel, handle in handles:
-        if not handle.finished:
-            raise RuntimeError(f"launch of {kernel.name} did not finish")
-        results.append(collect_result(machine, handle, handle.cycles(),
-                                      kernel.name, keep_machine=keep_machine))
-    return results
+        session.launch(kernel, args, cell=cell_xy, group_shape=group_shape)
+    return session.run(keep_machine=keep_machine)

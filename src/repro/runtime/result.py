@@ -1,0 +1,101 @@
+"""The result of one kernel execution, with a versioned wire format.
+
+``RunResult.to_dict()`` is the payload the orchestrator caches and the
+run journal records; it carries ``"schema": 1`` so cached payloads are
+self-describing, and :meth:`RunResult.from_dict` round-trips them back
+into typed results (rejecting unknown schema versions with a clear
+error instead of silently misreading fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Version of the ``to_dict`` wire format.  Bump when fields change
+#: incompatibly; ``from_dict`` refuses payloads from other versions.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one kernel execution."""
+
+    config_name: str
+    kernel_name: str
+    cycles: float
+    num_tiles: int
+    instructions: float
+    int_instructions: float
+    fp_instructions: float
+    core_breakdown: Dict[str, float]  # fractions of tile-cycles per category
+    core_utilization: float  # fraction of tile-cycles issuing instructions
+    hbm: Dict[str, float]  # read/write/busy/idle fractions (first channel)
+    cache_hit_rate: Optional[float]
+    network: Dict[str, float]  # request-network counters
+    machine: Optional[Any] = None  # kept when the caller asks for it
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Instructions per cycle across the whole launch."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def trace(self) -> Optional[Any]:
+        """The :class:`repro.trace.Trace` of a traced run, if any."""
+        return self.extra.get("trace")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able snapshot of the result (the sweep-job payload).
+
+        ``machine`` and ``extra`` are deliberately dropped: the former
+        is live simulator state, the latter is caller-private.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "config": self.config_name,
+            "kernel": self.kernel_name,
+            "cycles": float(self.cycles),
+            "num_tiles": int(self.num_tiles),
+            "instructions": float(self.instructions),
+            "int_instructions": float(self.int_instructions),
+            "fp_instructions": float(self.fp_instructions),
+            "core_breakdown": {k: float(v)
+                               for k, v in self.core_breakdown.items()},
+            "core_utilization": float(self.core_utilization),
+            "hbm": {k: float(v) for k, v in self.hbm.items()},
+            "cache_hit_rate": (None if self.cache_hit_rate is None
+                               else float(self.cache_hit_rate)),
+            "network": {k: float(v) for k, v in self.network.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from a :meth:`to_dict` payload.
+
+        Payloads written before versioning carry no ``schema`` key and
+        are read as version 1 (the format is identical).
+        """
+        schema = data.get("schema", 1)
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema {schema!r}: this build reads "
+                f"schema {SCHEMA_VERSION}; re-run the sweep (or clear the "
+                "result cache) to regenerate payloads"
+            )
+        return cls(
+            config_name=data["config"],
+            kernel_name=data["kernel"],
+            cycles=float(data["cycles"]),
+            num_tiles=int(data["num_tiles"]),
+            instructions=float(data["instructions"]),
+            int_instructions=float(data["int_instructions"]),
+            fp_instructions=float(data["fp_instructions"]),
+            core_breakdown=dict(data["core_breakdown"]),
+            core_utilization=float(data["core_utilization"]),
+            hbm=dict(data["hbm"]),
+            cache_hit_rate=(None if data.get("cache_hit_rate") is None
+                            else float(data["cache_hit_rate"])),
+            network=dict(data.get("network", {})),
+        )

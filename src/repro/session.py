@@ -1,0 +1,194 @@
+"""The public entry point: build a machine, launch kernels, collect results.
+
+:class:`Session` is the single documented way to run kernels on the
+model (the examples, experiment harnesses, profiler and CLI all go
+through it)::
+
+    import repro
+
+    session = repro.Session(repro.HB_16x8, trace=True)
+    session.launch(kernel, args, group_shape=(4, 4))
+    result, = session.run()
+    session.trace.write_chrome("trace.json")
+
+:func:`run` is the one-shot convenience for the dominant pattern (one
+kernel on Cell (0, 0) of a fresh machine); it constructs and drives the
+machine in exactly the order the legacy ``run_on_cell`` did, so cycle
+counts are bit-identical to pre-Session harnesses.
+
+Tracing is a constructor flag: ``Session(config, trace=True)`` (or a
+:class:`repro.trace.TraceConfig` for tuned windows/caps) wires the
+observability layer in before any kernel starts; ``session.trace`` then
+carries the timeline and metrics after :meth:`Session.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .arch.config import HB_16x8, MachineConfig
+from .core import stall as st
+from .isa.program import Kernel
+from .runtime.cell import Cell, LaunchHandle
+from .runtime.machine import Machine
+from .runtime.result import RunResult
+
+
+def collect(machine: Machine, handle: LaunchHandle, cycles: float,
+            kernel_name: str, *, keep_machine: bool = False) -> RunResult:
+    """Aggregate counters from a finished launch into a :class:`RunResult`."""
+    cores = handle.cores
+    denom = cycles * len(cores)
+    sums: Dict[str, float] = {cat: 0.0 for cat in st.ALL_CATEGORIES}
+    for core in cores:
+        for cat in st.ALL_CATEGORIES:
+            sums[cat] += core.counters.get(cat)
+        # Early finishers idle until the slowest tile completes.
+        tail = (handle.launch_time + cycles) - core.finish_time
+        if tail > 0:
+            sums[st.STALL_IDLE] += tail
+    accounted = sum(sums.values())
+    other = max(0.0, denom - accounted)
+    breakdown = {cat: v / denom for cat, v in sums.items() if v > 0}
+    if other > 0:
+        breakdown["other"] = other / denom
+    int_instrs = sums[st.EXEC_INT]
+    fp_instrs = sums[st.EXEC_FP]
+    cell_xy = handle.cell.cell_xy
+    hbm = machine.memsys.hbm[cell_xy].utilization(cycles)
+    return RunResult(
+        config_name=machine.config.name,
+        kernel_name=kernel_name,
+        cycles=cycles,
+        num_tiles=len(cores),
+        instructions=int_instrs + fp_instrs,
+        int_instructions=int_instrs,
+        fp_instructions=fp_instrs,
+        core_breakdown=breakdown,
+        core_utilization=(int_instrs + fp_instrs) / denom if denom else 0.0,
+        hbm=hbm,
+        cache_hit_rate=machine.memsys.cache_hit_rate(cell_xy),
+        network=machine.memsys.req_net.counters.as_dict(),
+        machine=machine if keep_machine else None,
+    )
+
+
+class Session:
+    """One machine instance plus the launches run on it.
+
+    Parameters (all but ``config`` keyword-only):
+
+    * ``config`` -- a :class:`~repro.arch.config.MachineConfig`
+      (default: the paper's baseline ``HB_16x8``);
+    * ``trace`` -- ``True`` or a :class:`repro.trace.TraceConfig` to
+      record a cycle timeline + metrics (``session.trace``); ``False``
+      (default) costs nothing;
+    * ``record_bin_width`` -- enable per-link time series on the NoC
+      (the pre-trace recording layer some experiments use).
+    """
+
+    def __init__(self, config: Optional[MachineConfig] = None, *,
+                 trace: Union[bool, Any] = False,
+                 record_bin_width: Optional[float] = None) -> None:
+        self.config = HB_16x8 if config is None else config
+        self.machine = Machine(self.config, record_bin_width=record_bin_width)
+        self.trace: Optional[Any] = None
+        if trace:
+            from .trace import Trace, TraceConfig, attach
+
+            trace_config = trace if isinstance(trace, TraceConfig) else None
+            self.trace = attach(self.machine, Trace(trace_config))
+        self._pending: List[Tuple[LaunchHandle, str]] = []
+        #: Results of every completed :meth:`run`, in launch order.
+        self.results: List[RunResult] = []
+
+    # -- machine access -----------------------------------------------------
+
+    def cell(self, x: int = 0, y: int = 0) -> Cell:
+        """A Cell of the machine (for mallocs, pokes, Group-DRAM pointers)."""
+        return self.machine.cell(x, y)
+
+    @property
+    def sim(self) -> Any:
+        """The underlying simulator (read-only use: ``now``, stats)."""
+        return self.machine.sim
+
+    # -- launching ----------------------------------------------------------
+
+    def launch(self, kernel: Kernel, args: Any = None, *,
+               cell: Tuple[int, int] = (0, 0),
+               group_shape: Optional[Tuple[int, int]] = None,
+               setup: Optional[Callable[[Machine], Any]] = None
+               ) -> LaunchHandle:
+        """Load and start ``kernel`` on every tile of ``cell``.
+
+        ``setup(machine)`` runs first (host-side data placement); its
+        return value, if not ``None``, replaces ``args``.  Launches from
+        several calls run concurrently once :meth:`run` drives the clock.
+        """
+        target = self.machine.cell(*cell)
+        if setup is not None:
+            prepared = setup(self.machine)
+            if prepared is not None:
+                args = prepared
+        target.load_kernel(kernel)
+        handle = target.launch(args, group_shape=group_shape)
+        self._pending.append((handle, kernel.name))
+        return handle
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, *, max_events: Optional[int] = None,
+            keep_machine: bool = False) -> List[RunResult]:
+        """Drive the clock until every pending launch finishes.
+
+        Returns one :class:`RunResult` per pending launch (in launch
+        order) and appends them to :attr:`results`.  With tracing on,
+        the trace is finalized (final metrics sample, launch spans).
+        """
+        if not self._pending:
+            raise RuntimeError("nothing to run; call launch() first")
+        handles = [handle for handle, _name in self._pending]
+        self.machine.run_to_completion(handles, max_events=max_events)
+        batch = [
+            collect(self.machine, handle, handle.cycles(), name,
+                    keep_machine=keep_machine)
+            for handle, name in self._pending
+        ]
+        if self.trace is not None:
+            self.trace.finalize(self.machine.sim.now)
+            for result in batch:
+                result.extra["trace"] = self.trace
+        self._pending = []
+        self.results.extend(batch)
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (f"{len(self._pending)} pending" if self._pending
+                 else f"{len(self.results)} result(s)")
+        traced = ", traced" if self.trace is not None else ""
+        return f"Session({self.config.name}, {state}{traced})"
+
+
+def run(config: Optional[MachineConfig] = None, kernel: Kernel = None,
+        args: Any = None, *,
+        cell: Tuple[int, int] = (0, 0),
+        group_shape: Optional[Tuple[int, int]] = None,
+        setup: Optional[Callable[[Machine], Any]] = None,
+        record_bin_width: Optional[float] = None,
+        keep_machine: bool = False,
+        max_events: Optional[int] = None,
+        trace: Union[bool, Any] = False) -> RunResult:
+    """One-shot: run ``kernel`` on one Cell of a fresh machine.
+
+    The Session-era replacement for ``run_on_cell`` -- identical machine
+    construction and drive order, so cycle counts match it exactly.  New
+    capabilities are keyword-only: ``cell`` picks the target Cell and
+    ``trace`` records a timeline (reachable as ``result.trace``).
+    """
+    if kernel is None:
+        raise TypeError("run() needs a kernel")
+    session = Session(config, trace=trace, record_bin_width=record_bin_width)
+    session.launch(kernel, args, cell=cell, group_shape=group_shape,
+                   setup=setup)
+    return session.run(max_events=max_events, keep_machine=keep_machine)[0]

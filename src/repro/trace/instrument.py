@@ -1,0 +1,110 @@
+"""Wire a :class:`Trace` into a live machine.
+
+:func:`attach` is the single place that knows which components carry
+trace hooks and which live quantities are worth sampling.  It sets the
+``_trace`` attributes the component hot paths guard on, creates one
+track per tile / cache bank / HBM pseudo-channel / wormhole channel, and
+registers the metrics samplers (engine queue depth, MSHR occupancy, hit
+rates, per-link-class NoC utilization, HBM bus cycles).
+
+Attach before launching kernels; detaching is not supported -- build a
+fresh machine (or ``Session``) for an untraced run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _link_class(link: Any) -> str:
+    if link.ruche:
+        return "ruche"
+    return "mesh-h" if link.horizontal else "mesh-v"
+
+
+def _attach_network(net: Any, trace: Any) -> None:
+    net._trace = trace
+    net._trace_track = trace.track("noc", f"{net.name}-congestion")
+    net._trace_threshold = trace.config.congestion_threshold
+    classes: Dict[str, List[Any]] = {}
+    for link in net.topology.links():
+        classes.setdefault(_link_class(link), []).append(link)
+
+    def busy_sum(links: List[Any]) -> float:
+        return sum(link.busy_cycles for link in links)
+
+    def stall_sum(links: List[Any]) -> float:
+        return sum(link.stall_cycles for link in links)
+
+    for cls, links in sorted(classes.items()):
+        trace.metrics.register(
+            "noc", f"{net.name}.{cls}.busy",
+            lambda links=links: busy_sum(links), mode="delta")
+        trace.metrics.register(
+            "noc", f"{net.name}.{cls}.stall",
+            lambda links=links: stall_sum(links), mode="delta")
+
+
+def attach(machine: Any, trace: Any) -> Any:
+    """Instrument ``machine`` with ``trace``; returns the trace."""
+    sim = machine.sim
+    if sim.tracer is not None:
+        raise RuntimeError("machine already has a tracer attached")
+    sim.tracer = trace
+    memsys = machine.memsys
+
+    trace.metrics.register("engine", "queue_depth", sim.queue_depth)
+    trace.metrics.register("engine", "events_executed",
+                           lambda: float(sim.events_executed), mode="delta")
+
+    # One track per tile, row-major so Perfetto lists them naturally.
+    for node in sorted(machine.cores, key=lambda xy: (xy[1], xy[0])):
+        core = machine.cores[node]
+        core._trace = trace
+        core._trace_track = trace.track("tiles", f"tile {node[0]},{node[1]}")
+
+    # Cache banks: occupancy spans on the bank port + MSHR samplers.
+    for (cell_xy, bank_idx), bank in sorted(memsys.banks.items()):
+        bank._trace = trace
+        bank._trace_track = trace.track(
+            "cache", f"bank {cell_xy[0]},{cell_xy[1]}:{bank_idx}")
+        trace.metrics.register(
+            "cache", f"{bank.name}.mshr",
+            lambda bank=bank: float(len(bank.mshr)))
+    for cell_xy in sorted(memsys.hbm):
+        trace.metrics.register(
+            "cache", f"hit_rate{cell_xy}",
+            lambda memsys=memsys, cell_xy=cell_xy:
+                memsys.cache_hit_rate(cell_xy) or 0.0)
+
+    # HBM pseudo-channels: one track each, plus bus-cycle rate samplers.
+    for cell_xy, channel in sorted(memsys.hbm.items()):
+        channel._trace = trace
+        channel._trace_track = trace.track(
+            "hbm", f"channel {cell_xy[0]},{cell_xy[1]}")
+        trace.metrics.register(
+            "hbm", f"{channel.name}.read_cycles",
+            lambda ch=channel: ch.read_cycles, mode="delta")
+        trace.metrics.register(
+            "hbm", f"{channel.name}.write_cycles",
+            lambda ch=channel: ch.write_cycles, mode="delta")
+
+    # Wormhole strips: one track per physical channel (they serialize
+    # through per-channel reservation, so spans never overlap).
+    for (cell_xy, side), strip in sorted(memsys.strips.items()):
+        strip._trace = trace
+        strip._trace_tracks = tuple(
+            trace.track("wormhole",
+                        f"{side} {cell_xy[0]},{cell_xy[1]} ch{idx}")
+            for idx in range(strip.num_channels))
+
+    # NoC planes: per-link-class utilization samplers + congestion
+    # instants (per-packet spans on shared links would overlap, which
+    # the Chrome-trace nesting model cannot represent).
+    _attach_network(memsys.req_net, trace)
+    _attach_network(memsys.resp_net, trace)
+
+    # Barriers are created at launch time (partition_cell reads
+    # ``sim.tracer``); the runtime/launches track exists up front.
+    trace.track("runtime", "launches")
+    return trace

@@ -1,0 +1,118 @@
+"""Chrome-trace (Perfetto-loadable) JSON export.
+
+Emits the JSON Object Format: ``{"traceEvents": [...]}`` where each
+event carries the Chrome-trace required keys (``ph``, ``ts``, ``pid``,
+``tid``, ``name``).  Track groups become processes (``M``/``process_name``
+metadata), tracks become threads (``M``/``thread_name``), spans are ``X``
+(complete) events, instants are ``i``, counters are ``C``.
+
+One simulated cycle maps to one microsecond, so Perfetto's ruler reads
+directly in cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: Preferred ordering of process groups in the Perfetto UI; unknown
+#: groups sort after these, alphabetically.
+GROUP_ORDER = ("runtime", "tiles", "cache", "hbm", "wormhole", "noc",
+               "engine", "metrics")
+
+#: Keys every emitted (non-metadata) event must carry.
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _group_pids(trace: Any) -> Dict[str, int]:
+    groups = sorted({group for group, _name in trace.tracks},
+                    key=lambda g: (GROUP_ORDER.index(g)
+                                   if g in GROUP_ORDER else len(GROUP_ORDER),
+                                   g))
+    return {group: pid for pid, group in enumerate(groups, start=1)}
+
+
+def to_chrome(trace: Any) -> Dict[str, Any]:
+    """Convert a :class:`~repro.trace.Trace` into Chrome-trace JSON."""
+    pids = _group_pids(trace)
+    events: List[Dict[str, Any]] = []
+    for group, pid in pids.items():
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": group}})
+    track_pid: List[int] = []
+    for tid, (group, name) in enumerate(trace.tracks):
+        pid = pids[group]
+        track_pid.append(pid)
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "ts": 0,
+                       "args": {"name": name}})
+    for record in trace.events:
+        ph, track, name, ts, payload, args = record
+        event: Dict[str, Any] = {
+            "ph": ph, "name": name, "pid": track_pid[track], "tid": track,
+            "ts": float(ts),
+        }
+        if ph == "X":
+            event["dur"] = float(payload)
+        elif ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        elif ph == "C":
+            event["args"] = {"value": float(payload)}
+        if args is not None:
+            event.setdefault("args", {}).update(
+                args if isinstance(args, dict) else {"detail": args})
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace",
+            "time_unit": "1 event-ts us == 1 simulated core cycle",
+            "final_cycle": float(trace.final_time),
+            "dropped_events": trace.dropped_events,
+        },
+    }
+
+
+def write_chrome(trace: Any, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome(trace), fh)
+
+
+def validate_chrome(doc: Dict[str, Any]) -> List[str]:
+    """Check a document against the Chrome-trace event schema.
+
+    Returns a list of human-readable problems (empty == valid).  Used by
+    the export smoke test and the CI trace step.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' is not a non-empty array"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"event {i} ({event.get('ph')!r}) lacks {key!r}")
+        ph = event.get("ph")
+        if ph not in ("X", "i", "C", "M"):
+            problems.append(f"event {i} has unknown ph {ph!r}")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                problems.append(f"X event {i} lacks a numeric 'dur'")
+            elif event["dur"] < 0:
+                problems.append(f"X event {i} has negative dur {event['dur']}")
+        if ph == "C" and "value" not in event.get("args", {}):
+            problems.append(f"C event {i} lacks args.value")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} has invalid ts {ts!r}")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    return problems

@@ -1,0 +1,84 @@
+"""Text/JSON summarization of a recorded trace.
+
+Complements the end-of-run aggregation in :mod:`repro.perf.counters`:
+where that module reduces ``RunResult`` breakdowns for the paper's
+figures, this one answers "what did the timeline record" -- span counts
+and total occupancy per event name, per-group track counts, and the
+metric-series statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def trace_report(trace: Any) -> Dict[str, Any]:
+    """A JSON-able summary of one trace."""
+    groups: Dict[str, int] = {}
+    for group, _name in trace.tracks:
+        groups[group] = groups.get(group, 0) + 1
+    spans: Dict[str, Dict[str, float]] = {}
+    instants: Dict[str, int] = {}
+    counters = 0
+    for record in trace.events:
+        ph, _track, name, _ts, payload, _args = record
+        if ph == "X":
+            entry = spans.setdefault(name, {"count": 0, "cycles": 0.0})
+            entry["count"] += 1
+            entry["cycles"] += float(payload)
+        elif ph == "i":
+            instants[name] = instants.get(name, 0) + 1
+        else:
+            counters += 1
+    return {
+        "final_cycle": float(trace.final_time),
+        "tracks": len(trace.tracks),
+        "tracks_by_group": groups,
+        "events": len(trace.events),
+        "dropped_events": trace.dropped_events,
+        "counter_samples": counters,
+        "spans": spans,
+        "instants": instants,
+        "metrics": trace.metrics.report(),
+    }
+
+
+def format_report(report: Dict[str, Any], top: int = 12) -> str:
+    """Render :func:`trace_report` output as readable text."""
+    lines = [
+        f"trace: {report['events']} events on {report['tracks']} tracks "
+        f"(final cycle {report['final_cycle']:g})",
+        "tracks: " + ", ".join(f"{group}={n}" for group, n in
+                               sorted(report["tracks_by_group"].items())),
+    ]
+    if report["dropped_events"]:
+        lines.append(f"dropped: {report['dropped_events']} events past the cap")
+    spans = sorted(report["spans"].items(),
+                   key=lambda kv: kv[1]["cycles"], reverse=True)
+    if spans:
+        lines.append("top spans (by occupied cycles):")
+        for name, entry in spans[:top]:
+            lines.append(f"  {name:24s} x{entry['count']:<8d} "
+                         f"{entry['cycles']:>12,.0f} cycles")
+    if report["instants"]:
+        pairs = sorted(report["instants"].items(),
+                       key=lambda kv: kv[1], reverse=True)
+        lines.append("instants: " + ", ".join(f"{k}={v}"
+                                              for k, v in pairs[:top]))
+    metrics = report["metrics"]
+    if metrics:
+        lines.append(f"metrics ({len(metrics)} series, "
+                     f"{report['counter_samples']} samples):")
+        shown = 0
+        for key, stats in sorted(metrics.items()):
+            if not stats.get("samples"):
+                continue
+            lines.append(f"  {key:32s} last={stats['last']:<12g} "
+                         f"mean={stats['mean']:<12.4g} max={stats['max']:g}")
+            shown += 1
+            if shown >= top:
+                remaining = len(metrics) - shown
+                if remaining > 0:
+                    lines.append(f"  ... {remaining} more series")
+                break
+    return "\n".join(lines)

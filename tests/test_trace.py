@@ -1,0 +1,157 @@
+"""The observability layer: timing neutrality, export validity, coverage."""
+
+import json
+
+import pytest
+
+from repro.arch.config import HB_16x8
+from repro.kernels import registry
+from repro.session import Session, run
+from repro.trace import (
+    Trace,
+    TraceConfig,
+    format_report,
+    to_chrome,
+    trace_report,
+    validate_chrome,
+)
+
+#: Same pins as tests/test_engine_golden.py: the Session + tracing work
+#: must not move a single cycle.
+GOLDEN_CYCLES = {"AES": 4743, "PR": 2686}
+
+
+def _run(name, trace=False):
+    bench = registry.SUITE[name]
+    return run(HB_16x8, bench.kernel, registry.fast_args(name), trace=trace)
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN_CYCLES))
+def test_tracing_off_matches_golden(kernel):
+    assert _run(kernel).cycles == GOLDEN_CYCLES[kernel]
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN_CYCLES))
+def test_traced_run_is_cycle_identical(kernel):
+    traced = _run(kernel, trace=True)
+    assert traced.cycles == GOLDEN_CYCLES[kernel]
+    assert traced.trace is not None
+
+
+class TestTraceContents:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return _run("AES", trace=True).trace
+
+    def test_track_per_component(self, traced):
+        groups = {}
+        for group, _name in traced.tracks:
+            groups[group] = groups.get(group, 0) + 1
+        # 16x8 tiles; 32 banks + per-cell hit-rate; 1 HBM channel + its
+        # counter track; 2 strips x 2 channels of wormhole tracks.
+        assert groups["tiles"] == HB_16x8.num_tiles == 128
+        assert groups["cache"] >= HB_16x8.cell.num_banks
+        assert groups["hbm"] >= 1
+        assert groups["wormhole"] == 4
+        assert groups["runtime"] >= 1
+
+    def test_kernel_spans_cover_every_tile(self, traced):
+        kernel_spans = [ev for ev in traced.events
+                        if ev[0] == "X" and ev[2] == "kernel"]
+        assert len(kernel_spans) == HB_16x8.num_tiles
+
+    def test_metrics_sampled(self, traced):
+        report = traced.report()
+        assert report["metrics"], "no metric series registered"
+        assert report["metrics"]["engine/queue_depth"]["samples"] > 0
+
+    def test_summary_is_text(self, traced):
+        text = traced.summary()
+        assert "kernel" in text and "tracks" in text
+
+
+class TestChromeExport:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return to_chrome(_run("AES", trace=True).trace)
+
+    def test_validates(self, doc):
+        assert validate_chrome(doc) == []
+
+    def test_json_serializable(self, doc):
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["traceEvents"]
+
+    def test_has_metadata_and_counters(self, doc):
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+
+    def test_validator_catches_garbage(self):
+        assert validate_chrome({"traceEvents": [{"ph": "X"}]})
+        assert validate_chrome({}) != []
+
+    def test_write_chrome(self, tmp_path):
+        trace = _run("AES", trace=True).trace
+        out = tmp_path / "trace.json"
+        trace.write_chrome(out)
+        assert validate_chrome(json.loads(out.read_text())) == []
+
+
+class TestTraceConfig:
+    def test_metrics_window_respected(self):
+        # Sampling is passive (driven by executed events), so quiet
+        # stretches skip windows -- but a finer window must never
+        # produce fewer samples, and sampling must span the whole run.
+        def samples_at(window):
+            bench = registry.SUITE["AES"]
+            session = Session(HB_16x8, trace=TraceConfig(window=window))
+            session.launch(bench.kernel, registry.fast_args("AES"))
+            result, = session.run()
+            queue = session.trace.metrics.get("engine/queue_depth")
+            assert queue.times[-1] >= result.cycles  # final sample
+            return queue.stats()["samples"]
+
+        assert samples_at(50.0) > samples_at(500.0)
+
+    def test_timeline_off_keeps_metrics(self):
+        bench = registry.SUITE["AES"]
+        session = Session(HB_16x8,
+                          trace=TraceConfig(timeline=False))
+        session.launch(bench.kernel, registry.fast_args("AES"))
+        session.run()
+        spans = [ev for ev in session.trace.events if ev[0] == "X"]
+        counters = [ev for ev in session.trace.events if ev[0] == "C"]
+        assert not spans and counters
+
+    def test_event_cap_counts_drops(self):
+        trace = Trace(TraceConfig(max_events=2))
+        track = trace.track("tiles", "t")
+        for i in range(5):
+            trace.complete(track, "span", float(i), 1.0)
+        assert len([ev for ev in trace.events if ev[0] == "X"]) == 2
+        assert trace.dropped_events == 3
+
+
+def test_report_formatting():
+    trace = _run("PR", trace=True).trace
+    report = trace_report(trace)
+    assert report["spans"]["kernel"]["count"] == HB_16x8.num_tiles
+    text = format_report(report)
+    assert "top spans" in text
+
+
+def test_cli_trace_command(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "t.json"
+    assert main(["trace", "aes", "--size", "tiny",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured
+    assert validate_chrome(json.loads(out.read_text())) == []
+
+
+def test_cli_trace_unknown_kernel(capsys):
+    from repro.cli import main
+
+    assert main(["trace", "nope"]) == 2
