@@ -9,6 +9,8 @@ table from the legacy ``run_on_cell`` entry points):
   (``HB_16x8`` ..., ``TABLE_II``, ``small_config``) -- machine configs;
 * :class:`Trace` / :class:`TraceConfig` -- the observability layer
   (cycle timelines, metrics registry, Perfetto export);
+* :class:`SanitizeConfig` -- knobs for ``Session(sanitize=...)``, the
+  PGAS data-race and synchronization checker;
 * ``KERNELS`` -- the ten-benchmark parallel suite (Table I).
 
 Quickstart::
@@ -45,6 +47,7 @@ from .arch.config import (
 )
 from .kernels.registry import SUITE as KERNELS
 from .runtime.result import RunResult
+from .sanitize import SanitizeConfig
 from .session import Session, run
 from .trace import Trace, TraceConfig
 
@@ -57,6 +60,7 @@ __all__ = [
     "FeatureSet",
     "Trace",
     "TraceConfig",
+    "SanitizeConfig",
     "KERNELS",
     "HB_16x8",
     "HB_16x16",

@@ -10,6 +10,10 @@ reproduced figure.  ``python -m repro list`` shows what is available.
 * ``repro journal <path>`` summarizes a previous sweep's journal;
 * ``repro trace <kernel>`` runs one suite kernel with the cycle-timeline
   tracer attached and writes a Chrome-trace JSON (open in Perfetto);
+* ``repro sanitize <kernel|fixture>`` runs one suite kernel (or the
+  seeded-race diagnostic fixture) under the happens-before race checker
+  and exits 1 if it finds anything;
+* ``repro kernels`` lists the Table-I benchmark registry;
 * ``repro bench-speed`` measures the engine's own host throughput;
 * ``--profile`` wraps any experiment in cProfile and prints the hottest
   functions.
@@ -80,6 +84,67 @@ def _bench_speed(args: argparse.Namespace) -> int:
             json.dump(samples, fh, indent=2, sort_keys=True)
         print(f"wrote {args.out}")
     return 0
+
+
+def _kernels_cmd() -> int:
+    """``repro kernels``: the Table-I registry, one line per kernel."""
+    from .experiments.common import SIZES
+    from .kernels.registry import SUITE
+
+    print(f"{'name':8s} {'dwarf':22s} {'category':18s} sizes")
+    for name, bench in SUITE.items():
+        print(f"{name:8s} {bench.dwarf:22s} {bench.category:18s} "
+              + ", ".join(SIZES))
+    print("fixture  diagnostic             fixture            "
+          "(seeded races; repro sanitize fixture)")
+    return 0
+
+
+def _sanitize_cmd(args: argparse.Namespace) -> int:
+    """``repro sanitize <kernel|fixture>``: one checked run, report out."""
+    import json
+
+    from .arch.config import HB_16x8, small_config
+    from .experiments.common import suite_args
+    from .kernels.registry import SUITE
+    from .sanitize import FIXTURE, fixture_args, format_report, sanitize_report
+    from .session import Session
+
+    if not args.target:
+        print("sanitize: missing kernel (repro sanitize <kernel>); one of: "
+              + ", ".join(SUITE) + ", fixture", file=sys.stderr)
+        return 2
+    size = args.size or "small"
+    if args.target.lower() == "fixture":
+        # The seeded-bug diagnostic: a small machine is plenty.
+        config, kernel = small_config(4, 4), FIXTURE
+        kernel_args, name = fixture_args(), "fixture"
+    else:
+        by_lower = {k.lower(): k for k in SUITE}
+        name = by_lower.get(args.target.lower())
+        if name is None:
+            print(f"unknown suite kernel {args.target!r}; one of: "
+                  + ", ".join(SUITE) + ", fixture", file=sys.stderr)
+            return 2
+        config, kernel = HB_16x8, SUITE[name].kernel
+        kernel_args = suite_args(name, size)
+    session = Session(config, sanitize=True)
+    session.launch(kernel, kernel_args)
+    result = session.run()[0]
+    report = sanitize_report(session.sanitizer)
+    report["kernel"], report["size"] = name, size
+    report["config"], report["cycles"] = config.name, result.cycles
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{name} ({size}) on {config.name}: {result.cycles:g} cycles")
+        print(format_report(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if report["clean"] else 1
 
 
 def _trace_cmd(args: argparse.Namespace) -> int:
@@ -219,12 +284,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
-             + ", sweep, journal, trace, bench-speed, list, all",
+             + ", sweep, journal, trace, sanitize, kernels, bench-speed, "
+               "list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="sweep: experiment name or 'all'; journal: path to a JSONL "
-             "run journal; trace: suite kernel name",
+             "run journal; trace/sanitize: suite kernel name "
+             "(sanitize also accepts 'fixture')",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -240,7 +307,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="bench-speed: also write samples as JSON; "
                              "trace: output path (default: trace_<kernel>"
-                             ".json)")
+                             ".json); sanitize: also write the JSON report")
+    parser.add_argument("--json", action="store_true",
+                        help="sanitize: print the report as JSON")
     parser.add_argument("--window", type=float, default=100.0, metavar="CYC",
                         help="trace: metrics sampling window in cycles "
                              "(default: 100)")
@@ -266,8 +335,15 @@ def main(argv=None) -> int:
         print("sweep <experiment|all> (orchestrated: pool + result cache)")
         print("journal <path> (summarize a sweep's run journal)")
         print("trace <kernel> (traced run -> Chrome-trace JSON)")
+        print("sanitize <kernel|fixture> (race/sync check; exit 1 on "
+              "findings)")
+        print("kernels (list the Table-I benchmark registry)")
         print("bench-speed (engine host-throughput benchmark)")
         return 0
+    if name == "kernels":
+        return _kernels_cmd()
+    if name == "sanitize":
+        return _sanitize_cmd(args)
     if name == "bench-speed":
         if args.profile:
             from .profile.speed import profile_top

@@ -87,6 +87,9 @@ class TileCore:
         #: ``None`` keeps every hot path on the untraced branch.
         self._trace: Optional[Any] = None
         self._trace_track: int = 0
+        #: Race-checker hook (set by :func:`repro.sanitize.attach`);
+        #: ``None`` keeps every memory op on the unchecked branch.
+        self._san: Optional[Any] = None
         self._fp_latency = {
             "fadd": timings.core.fadd,
             "fmul": timings.core.fmul,
@@ -165,6 +168,10 @@ class TileCore:
         trace = self._trace
         ttrack = self._trace_track
         temit = trace.complete if trace is not None else None
+        # Sanitizer hook: same zero-cost-when-off discipline -- every
+        # memory/sync op pays one pointer comparison when it is None.
+        san = self._san
+        node = self.node
 
         t = sim._now
         self.start_time = t
@@ -260,6 +267,8 @@ class TileCore:
                 t = yield from self._wait_srcs(srcs, t)
 
             if cls is _LoadOp:
+                if san is not None:
+                    san.load(node, op, t)
                 if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
                     start = spm_reserve(self.node, t)
                     t += 1
@@ -271,6 +280,8 @@ class TileCore:
                         op.addr, False, t, words=1, dsts=(op.dst,),
                     )
             elif cls is _VecLoadOp:
+                if san is not None:
+                    san.vload(node, op, t)
                 if compression:
                     t = yield from self._issue_remote(
                         op.addr, False, t, words=len(op.dsts), dsts=op.dsts,
@@ -282,6 +293,8 @@ class TileCore:
                             op.addr + 4 * i, False, t, words=1, dsts=(dst,),
                         )
             elif cls is _StoreOp:
+                if san is not None:
+                    san.store(node, op, t)
                 if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
                     spm_reserve(self.node, t)
                     t += 1
@@ -291,6 +304,10 @@ class TileCore:
                         op.addr, True, t, words=1, dsts=(),
                     )
             elif cls is _AmoOp:
+                if san is not None:
+                    # Handoff: the checker processes the AMO when the
+                    # packet serializes at its bank (memsys hook).
+                    san.amo_issue(node, op)
                 t, old = yield from self._issue_amo(op, t)
                 send_val = old
                 if op.dst is not None:
@@ -299,6 +316,8 @@ class TileCore:
             elif cls is _FenceOp:
                 t += 1
                 cv[EXEC_INT] += 1
+                if san is not None:
+                    san.fence(node, t)
                 if not sb.empty:
                     self.last_stall = st.STALL_FENCE
                     if t > sim._now:
@@ -343,6 +362,10 @@ class TileCore:
             if temit is not None and drained > t:
                 temit(ttrack, st.STALL_FENCE, t, drained - t)
             t = drained
+        if san is not None:
+            # The implicit drain releases outstanding requests exactly
+            # like an explicit fence would.
+            san.kernel_end(node, t)
         if trace is not None:
             # Whole-launch span; the stall spans above nest inside it.
             trace.complete(ttrack, "kernel", self.start_time,

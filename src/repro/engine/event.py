@@ -105,6 +105,11 @@ class Simulator:
         #: When set, ``run()`` leaves the inlined fast path and ticks the
         #: tracer's clock-driven metrics sampler after every event.
         self.tracer = None
+        #: Correctness hook (a :class:`repro.sanitize.Sanitizer` or
+        #: ``None``).  Purely observational -- the run loop never looks
+        #: at it; components read it at wiring points (launch, barrier
+        #: partitioning) and through their own ``_san`` attributes.
+        self.sanitizer = None
 
     @property
     def now(self) -> float:

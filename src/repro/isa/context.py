@@ -150,23 +150,25 @@ class KernelContext:
     # -- memory ops ----------------------------------------------------------
 
     def load(self, addr: int, dst: Optional[int] = None,
-             srcs: Sequence[int] = ()) -> LoadOp:
+             srcs: Sequence[int] = (), racy: bool = False) -> LoadOp:
         pc = self._pc
         self._pc = pc + 1
         if dst is None:
             dst = self._next_reg
             self._next_reg = dst + 1
-        return LoadOp(dst, addr, srcs, pc)
+        return LoadOp(dst, addr, srcs, pc, racy)
 
-    def vload(self, addr: int, n: int = 4,
-              srcs: Sequence[int] = ()) -> VecLoadOp:
+    def vload(self, addr: int, n: int = 4, srcs: Sequence[int] = (),
+              racy: bool = False) -> VecLoadOp:
         """``n`` sequential word loads (the Load Packet Compression idiom)."""
-        return VecLoadOp(self.regs(n), addr, srcs=srcs, pc=self._pc_next())
+        return VecLoadOp(self.regs(n), addr, srcs=srcs, pc=self._pc_next(),
+                         racy=racy)
 
-    def store(self, addr: int, srcs: Sequence[int] = ()) -> StoreOp:
+    def store(self, addr: int, srcs: Sequence[int] = (),
+              racy: bool = False) -> StoreOp:
         pc = self._pc
         self._pc = pc + 1
-        return StoreOp(addr, srcs, pc)
+        return StoreOp(addr, srcs, pc, racy)
 
     def amoadd(self, addr: int, value: int = 1) -> AmoOp:
         return AmoOp(self.reg(), addr, "add", value, pc=self._pc_next())

@@ -56,16 +56,22 @@ class FpOp(Op):
 class LoadOp(Op):
     """A word load.  Local-SPM loads complete in the pipeline; remote
     loads (other SPMs, DRAM spaces) become network packets and resolve
-    through the non-blocking scoreboard."""
+    through the non-blocking scoreboard.
 
-    __slots__ = ("dst", "addr", "srcs")
+    ``racy`` marks an access that is unsynchronized *by design* (e.g. a
+    benign stale read that a later atomic claim makes harmless); the
+    sanitizer will not report races involving it.  Timing ignores it.
+    """
+
+    __slots__ = ("dst", "addr", "srcs", "racy")
 
     def __init__(self, dst: int, addr: int, srcs: Sequence[int] = (),
-                 pc: int = 0) -> None:
+                 pc: int = 0, racy: bool = False) -> None:
         self.pc = pc
         self.dst = dst
         self.addr = addr
         self.srcs = tuple(srcs)
+        self.racy = racy
 
 
 class VecLoadOp(Op):
@@ -76,25 +82,32 @@ class VecLoadOp(Op):
     without it the core issues four independent loads.
     """
 
-    __slots__ = ("dsts", "addr", "srcs")
+    __slots__ = ("dsts", "addr", "srcs", "racy")
 
     def __init__(self, dsts: Sequence[int], addr: int,
-                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+                 srcs: Sequence[int] = (), pc: int = 0,
+                 racy: bool = False) -> None:
         self.pc = pc
         self.dsts = tuple(dsts)
         self.addr = addr
         self.srcs = tuple(srcs)
+        self.racy = racy
 
 
 class StoreOp(Op):
-    """A word store; non-blocking, tracked for fence completion."""
+    """A word store; non-blocking, tracked for fence completion.
 
-    __slots__ = ("addr", "srcs")
+    ``racy`` has the same meaning as on :class:`LoadOp`.
+    """
 
-    def __init__(self, addr: int, srcs: Sequence[int] = (), pc: int = 0) -> None:
+    __slots__ = ("addr", "srcs", "racy")
+
+    def __init__(self, addr: int, srcs: Sequence[int] = (), pc: int = 0,
+                 racy: bool = False) -> None:
         self.pc = pc
         self.addr = addr
         self.srcs = tuple(srcs)
+        self.racy = racy
 
 
 class AmoOp(Op):

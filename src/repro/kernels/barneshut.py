@@ -34,8 +34,12 @@ def make_args(num_bodies: int = 160, theta: float = 0.8, tiles: int = 128,
         "nodes": layout.array("nodes", 4 * NODE_WORDS * len(tree)),
         "bodies": layout.array("bodies", 16 * num_bodies),
         "forces": layout.array("forces", 16 * num_bodies),
-        "stacks": layout.array("stacks", STACK_BYTES * tiles),
         "counter": layout.array("counter", 64),
+        # Last on purpose: on a machine with more tiles than ``tiles``
+        # the extra tiles' stacks land past the layout's end -- still
+        # disjoint per tile, instead of aliasing the counter word (the
+        # race the sanitizer caught when tiny inputs ran on 128 tiles).
+        "stacks": layout.array("stacks", STACK_BYTES * tiles),
     }
 
 

@@ -128,7 +128,11 @@ def bfs_kernel(t, args):
                     yield ev
                     for e in range(ee, min(ee + 4, hi)):
                         nz = int(g.indices[e])
-                        d_ld = t.load(t.local_dram(args["distance"] + 4 * nz))
+                        # Stale distance reads are benign: visitation is
+                        # decided by the amoor claim below, never by this
+                        # value (hence racy=True for the sanitizer).
+                        d_ld = t.load(t.local_dram(args["distance"] + 4 * nz),
+                                      racy=True)
                         yield d_ld
                         unvisited = state["distance"][nz] < 0
                         yield t.branch_fwd(taken=unvisited, srcs=[d_ld.dst])
@@ -143,9 +147,11 @@ def bfs_kernel(t, args):
                                 state["next"].add(nz)
                                 d_reg = t.reg()
                                 yield t.alu(d_reg)
+                                # Exclusive via the amoor claim; only the
+                                # benign stale reads above observe it early.
                                 yield t.store(
                                     t.local_dram(args["distance"] + 4 * nz),
-                                    srcs=[d_reg])
+                                    srcs=[d_reg], racy=True)
                     yield t.branch_back(e_top, taken=(ee + 4 < hi))
         else:
             # ---- backward (pull) over unvisited nodes ----
@@ -168,8 +174,11 @@ def bfs_kernel(t, args):
                         u = int(tg.indices[e])
                         u_ld = t.load(t.local_dram(args["indices"] + 4 * e))
                         yield u_ld
+                        # Benign stale read: membership in the frontier
+                        # was fixed at the last sync; concurrent claims
+                        # of still-unvisited nodes may race harmlessly.
                         d_ld = t.load(t.local_dram(args["distance"] + 4 * u),
-                                      srcs=[u_ld.dst])
+                                      srcs=[u_ld.dst], racy=True)
                         yield d_ld
                         hit = u in in_frontier
                         yield t.branch_fwd(taken=hit, srcs=[d_ld.dst])
@@ -182,8 +191,10 @@ def bfs_kernel(t, args):
                         state["next"].add(v)
                         dist_reg = t.reg()
                         yield t.alu(dist_reg)
+                        # Exclusive: v was claimed by this tile's amoadd
+                        # range; only benign stale reads race with it.
                         yield t.store(t.local_dram(args["distance"] + 4 * v),
-                                      srcs=[dist_reg])
+                                      srcs=[dist_reg], racy=True)
 
         yield from sync(t)
         # Frontier compaction: each tile scans its bitmap slice...

@@ -45,14 +45,21 @@ def jacobi_kernel(t, args):
     my_out = args["out"] + 4 * col_words * tid
     gw, gh = t.group_shape
 
+    # Double-buffered column: reads target ``cur``, writes ``nxt``,
+    # swapped each iteration.  In-place updates would race: a tile
+    # overwrites words its neighbours are still streaming out of its
+    # scratchpad (the sanitizer flags exactly that).  SPM timing is
+    # address-independent, so the second buffer costs no cycles.
+    cur, nxt = 0, 4 * col_words
+
     if use_spm:
         # Phase 1: stage the column (with halo) in the scratchpad.
-        yield from copy_dram_to_spm(t, my_col, 0, col_words)
+        yield from copy_dram_to_spm(t, my_col, cur, col_words)
         yield from sync(t)
 
     def neighbour_addr(dx: int, dy: int, word: int) -> int:
         """Group-SPM pointer into a neighbour's column buffer."""
-        return t.group_spm_ptr(dx, dy, 4 * word)
+        return t.group_spm_ptr(dx, dy, cur + 4 * word)
 
     px, py = t.tile_x % gw, t.tile_y % gh  # position within the tile group
     neighbours = []
@@ -73,7 +80,8 @@ def jacobi_kernel(t, args):
             self_regs = []
             for j in range(6):
                 if use_spm:
-                    ld = t.load(t.spm(4 * min(z0 - 1 + j, col_words - 1)))
+                    ld = t.load(t.spm(cur + 4 * min(z0 - 1 + j,
+                                                    col_words - 1)))
                 else:
                     ld = t.load(t.local_dram(
                         my_col + 4 * min(z0 - 1 + j, col_words - 1)))
@@ -101,17 +109,26 @@ def jacobi_kernel(t, args):
                 for k in range(j, len(nbr_regs), 4):
                     yield t.fma(acc, [acc, nbr_regs[k]])
                 if use_spm:
-                    yield t.store(t.spm(4 * (z0 + j)), srcs=[acc])
+                    yield t.store(t.spm(nxt + 4 * (z0 + j)), srcs=[acc])
                 else:
                     yield t.store(t.local_dram(my_out + 4 * (z0 + j)),
                                   srcs=[acc])
             yield t.branch_back(chunk_top, taken=(z0 + 4 < z + 1))
+        if use_spm:
+            # Boundary halo words carry over into the write buffer so
+            # the next iteration's (clamped) reads stay initialized.
+            for w in (0, col_words - 1):
+                halo = t.load(t.spm(cur + 4 * w))
+                yield halo
+                yield t.store(t.spm(nxt + 4 * w), srcs=[halo.dst])
         yield from sync(t)
+        if use_spm:
+            cur, nxt = nxt, cur
         yield t.branch_back(iter_top, taken=(it < args["iters"] - 1))
 
     if use_spm:
         # Phase 3: spill the result column back to DRAM.
-        yield from copy_spm_to_dram(t, 0, my_out, col_words)
+        yield from copy_spm_to_dram(t, cur, my_out, col_words)
         yield from sync(t)
 
 

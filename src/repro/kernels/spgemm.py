@@ -91,14 +91,18 @@ def spgemm_kernel(t, args):
                     yield t.branch_back(j_top, taken=(jj + 4 < chi))
             yield t.branch_back(k_top, taken=(kk + 4 < hi))
         # Write the finished output row (write-validate absorbs these).
+        # Rows own disjoint CSR-style segments of the output buffer
+        # (``3*lo + row`` keeps even empty rows unique), so rows claimed
+        # concurrently by different tiles never alias an output word.
         out_nnz = max(1, hi - lo)
+        out_base = 3 * lo + row
         w_top = t.loop_top()
         for w in range(out_nnz):
             val = t.reg()
             yield t.alu(val)
             yield t.store(t.local_dram(
                 args["out_rows"] + 16 * a.nnz * my_task
-                + 4 * ((row * 4 + w) % (a.nnz * 4))),
+                + 4 * ((out_base + w) % (a.nnz * 4))),
                 srcs=[val])
             yield t.branch_back(w_top, taken=(w < out_nnz - 1))
     yield from sync(t)

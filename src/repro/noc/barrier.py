@@ -51,6 +51,9 @@ class HwBarrierGroup:
     #: Timeline tracer hook (set by the tile-group partitioner).
     _trace = None
     _trace_track = 0
+    #: Race-checker hook (set by the tile-group partitioner): a barrier
+    #: epoch is a release/acquire edge over the whole group.
+    _san = None
 
     def __init__(self, sim: Simulator, members: List[Coord],
                  timing: BarrierTiming, ruche: bool = True) -> None:
@@ -76,6 +79,8 @@ class HwBarrierGroup:
         return max(self._hops.values())
 
     def arrive(self, node: Coord, time: float) -> Future:
+        if self._san is not None:
+            self._san.barrier_join(self, node, time)
         if node not in self._hops:
             raise ValueError(f"{node} is not a member of this barrier group")
         if node in self._pending:
@@ -87,6 +92,8 @@ class HwBarrierGroup:
         return fut
 
     def _release(self) -> None:
+        if self._san is not None:
+            self._san.barrier_release(self)
         hop = self.timing.hop_latency
         root_time = max(t + self._hops[n] * hop for n, (t, _f) in self._pending.items())
         first_arrival = min(t for t, _f in self._pending.values())
@@ -116,6 +123,9 @@ class SwBarrierGroup:
     #: Timeline tracer hook (set by the tile-group partitioner).
     _trace = None
     _trace_track = 0
+    #: Race-checker hook: the SW counter-and-spin barrier is the same
+    #: release/acquire edge as the HW tree, just slower.
+    _san = None
 
     def __init__(self, sim: Simulator, members: List[Coord],
                  counter_node: Optional[Coord] = None,
@@ -142,6 +152,8 @@ class SwBarrierGroup:
                 + abs(node[1] - self.counter_node[1]))
 
     def arrive(self, node: Coord, time: float) -> Future:
+        if self._san is not None:
+            self._san.barrier_join(self, node, time)
         if node not in self.members:
             raise ValueError(f"{node} is not a member of this barrier group")
         if node in self._pending:
@@ -153,6 +165,8 @@ class SwBarrierGroup:
         return fut
 
     def _release(self) -> None:
+        if self._san is not None:
+            self._san.barrier_release(self)
         # Serialize the amoadds at the counter bank in arrival order.
         bank_free = self._bank_free
         flag_time = 0.0

@@ -147,4 +147,9 @@ class Cell:
         tracer = self.machine.sim.tracer
         if tracer is not None:
             tracer.launch_started(handle)
+        sanitizer = getattr(self.machine.sim, "sanitizer", None)
+        if sanitizer is not None:
+            # Launch is a host -> tiles happens-before edge: everything
+            # the host set up (pokes, DMA) is visible to the kernel.
+            sanitizer.launch_started(handle)
         return handle

@@ -21,17 +21,18 @@ from .result import RunResult
 __all__ = ["RunResult", "collect_result", "run_on_cell", "run_on_cells"]
 
 
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.runtime.host.{old} is deprecated; use {new} instead "
-        "(see docs/API.md for the migration table)",
-        DeprecationWarning, stacklevel=3)
+def _message(old: str, new: str) -> str:
+    return (f"repro.runtime.host.{old} is deprecated; use {new} instead "
+            "(see docs/API.md for the migration table)")
 
 
 def collect_result(machine: Machine, handle: LaunchHandle, cycles: float,
                    kernel_name: str, keep_machine: bool = False) -> RunResult:
     """Deprecated alias of :func:`repro.session.collect`."""
-    _deprecated("collect_result", "repro.session.collect")
+    # stacklevel=2 from the shim itself, so the warning points at the
+    # *caller's* file -- the line that needs migrating.
+    warnings.warn(_message("collect_result", "repro.session.collect"),
+                  DeprecationWarning, stacklevel=2)
     from ..session import collect
 
     return collect(machine, handle, cycles, kernel_name,
@@ -45,7 +46,8 @@ def run_on_cell(config: MachineConfig, kernel: Kernel, args: Any = None,
                 keep_machine: bool = False,
                 max_events: Optional[int] = None) -> RunResult:
     """Deprecated alias of :func:`repro.run` (one kernel on Cell (0, 0))."""
-    _deprecated("run_on_cell", "repro.run or repro.Session")
+    warnings.warn(_message("run_on_cell", "repro.run or repro.Session"),
+                  DeprecationWarning, stacklevel=2)
     from ..session import run
 
     return run(config, kernel, args, group_shape=group_shape, setup=setup,
@@ -61,7 +63,9 @@ def run_on_cells(config: MachineConfig,
 
     ``launches`` is a list of ``(cell_xy, kernel, args)``.
     """
-    _deprecated("run_on_cells", "repro.Session (one launch() per Cell)")
+    warnings.warn(
+        _message("run_on_cells", "repro.Session (one launch() per Cell)"),
+        DeprecationWarning, stacklevel=2)
     from ..session import Session
 
     session = Session(config)

@@ -60,6 +60,9 @@ class MemorySystem:
         # Hot-path constants (remote_request runs once per remote op).
         self._creq_flits = timings.noc.compressed_request_flits
         self._cresp_flits = timings.noc.compressed_response_flits
+        #: Race-checker hook (set by :func:`repro.sanitize.attach`):
+        #: observes AMO bank serialization and host poke/peek accesses.
+        self._san: Optional[Any] = None
         self._build(chip, feats, timings)
 
     def _build(self, chip, feats, timings) -> None:
@@ -153,6 +156,10 @@ class MemorySystem:
     def _serve_amo(self, args) -> None:
         dest, node, kind, value, done = args
         arrival = self.sim._now
+        if self._san is not None:
+            # The AMO's functional point: this event order *is* the
+            # architectural serialization order the checker models.
+            self._san.amo_serialized(node, dest, arrival)
         old = self._amo_execute(dest, kind, value)
         bank = self.banks[(dest.cell_xy, dest.bank_index)]
         ready = bank.access(dest.mem_addr, is_write=False,
@@ -199,10 +206,14 @@ class MemorySystem:
 
     def poke(self, addr: int, value: int, node: Coord) -> None:
         """Host-side functional write to atomic memory (no timing)."""
+        if self._san is not None:
+            self._san.host_write(addr, node)
         dest = self.translator.translate(addr, node)
         self.atomic_mem[self._canonical(dest)] = value
 
     def peek(self, addr: int, node: Coord) -> int:
+        if self._san is not None:
+            self._san.host_read(addr, node)
         dest = self.translator.translate(addr, node)
         return self.atomic_mem.get(self._canonical(dest), 0)
 

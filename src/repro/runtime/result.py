@@ -46,6 +46,11 @@ class RunResult:
         """The :class:`repro.trace.Trace` of a traced run, if any."""
         return self.extra.get("trace")
 
+    @property
+    def sanitize(self) -> Optional[Any]:
+        """The :class:`repro.sanitize.Sanitizer` of a sanitized run."""
+        return self.extra.get("sanitize")
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-able snapshot of the result (the sweep-job payload).
 

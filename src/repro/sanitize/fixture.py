@@ -1,0 +1,88 @@
+"""Diagnostic kernels with *seeded* synchronization bugs.
+
+``FIXTURE`` is the kernel behind ``repro sanitize fixture``: in its
+default (racy) mode it commits three textbook violations of the HB
+memory model, each of which the sanitizer must flag --
+
+1. every tile stores to the same Local-DRAM word with no ordering at
+   all (a store-store race);
+2. tile 0 publishes a word and joins the barrier *without fencing*, so
+   the non-blocking store is still in flight when tile 1 reads it after
+   the barrier (the fence-before-barrier discipline, Section IV);
+3. tile 0 reads a neighbour scratchpad word that no tile ever wrote.
+
+With ``{"clean": True}`` the same kernel runs the corrected versions
+(disjoint words, fence before the barrier, write-then-sync-then-read)
+and must produce zero findings -- the CI smoke job checks both modes.
+
+``DEADLOCK_FIXTURE`` additionally leaves one tile out of the barrier,
+driving the machine into the deadlock diagnostic so tests can assert
+the sanitizer's end-of-run barrier check fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..isa.context import KernelContext
+from ..isa.program import kernel
+from ..kernels.base import tile_id
+
+#: Local-DRAM offsets, clear of the runtime's reserved page and of the
+#: suite kernels' Layout base (0x10000).
+SHARED_OFF = 0x8000  # the word every tile races on
+STAGE_OFF = 0x8100  # the producer/consumer handoff word
+SPREAD_OFF = 0x8200  # per-tile words for the clean variant
+SPM_OFF = 0x800  # scratchpad handoff word (clean mode writes it)
+SPM_UNWRITTEN_OFF = 0xc00  # scratchpad word nobody ever writes
+
+
+def fixture_args(clean: bool = False) -> Dict[str, Any]:
+    return {"clean": clean}
+
+
+@kernel("SanFixture", dwarf="diagnostic", category="fixture")
+def FIXTURE(t: KernelContext, args: Optional[Dict[str, Any]]) -> Iterator:
+    clean = bool(args and args.get("clean"))
+    tid = tile_id(t)
+    v = t.reg()
+    yield t.alu(dst=v)
+
+    # 1. All tiles hit one word (racy) vs. one word per tile (clean).
+    if clean:
+        yield t.store(t.local_dram(SPREAD_OFF + 4 * tid), srcs=[v])
+    else:
+        yield t.store(t.local_dram(SHARED_OFF), srcs=[v])
+
+    # 2. Producer/consumer across the barrier; the racy mode forgets
+    # the fence, so the store is unreleased when the consumer reads.
+    if tid == 0:
+        yield t.store(t.local_dram(STAGE_OFF), srcs=[v])
+        if clean:
+            yield t.fence()
+    yield t.barrier()
+    if tid == 1:
+        yield t.load(t.local_dram(STAGE_OFF))
+
+    # 3. Remote scratchpad read: of a word tile 1 published (clean) or
+    # of a word nobody ever wrote (racy).
+    if clean:
+        if tid == 1:
+            yield t.store(t.spm(SPM_OFF), srcs=[v])
+        yield t.barrier()  # SPM stores are pipeline-local: no fence needed
+        if tid == 0:
+            yield t.load(t.tile_spm_ptr(1, 0, SPM_OFF))
+    elif tid == 0:
+        yield t.load(t.tile_spm_ptr(1, 0, SPM_UNWRITTEN_OFF))
+
+    yield t.fence()
+    yield t.barrier()
+
+
+@kernel("SanDeadlockFixture", dwarf="diagnostic", category="fixture")
+def DEADLOCK_FIXTURE(t: KernelContext, args: Any) -> Iterator:
+    """Tile 0 skips the barrier; everyone else waits forever."""
+    v = t.reg()
+    yield t.alu(dst=v)
+    if tile_id(t) != 0:
+        yield t.barrier()

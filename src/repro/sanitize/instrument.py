@@ -1,0 +1,31 @@
+"""Wire a :class:`Sanitizer` into a live machine.
+
+:func:`attach` is the single place that knows which components carry
+``_san`` hooks: the tile cores (every load/store/vload/AMO/fence plus
+the kernel-end drain), the memory system (AMO bank serialization, host
+poke/peek), the DMA helpers, and -- at launch time, via
+``sim.sanitizer`` -- the barrier groups built by ``partition_cell`` and
+the launch edges from ``Cell.launch``.
+
+Attach before launching kernels; detaching is not supported -- build a
+fresh machine (or ``Session``) for an unsanitized run.  The sanitizer
+is purely observational: sanitize-on runs are cycle-identical to
+sanitize-off runs (pinned by tests/test_sanitize.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def attach(machine: Any, sanitizer: Any) -> Any:
+    """Instrument ``machine`` with ``sanitizer``; returns the sanitizer."""
+    sim = machine.sim
+    if getattr(sim, "sanitizer", None) is not None:
+        raise RuntimeError("machine already has a sanitizer attached")
+    sanitizer.bind(machine)
+    sim.sanitizer = sanitizer
+    for core in machine.cores.values():
+        core._san = sanitizer
+    machine.memsys._san = sanitizer
+    return sanitizer

@@ -1,0 +1,56 @@
+"""Text and JSON rendering of sanitizer results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def sanitize_report(san: Any) -> Dict[str, Any]:
+    """JSON-able report for one sanitized run."""
+    return {
+        "clean": san.clean,
+        "ops_checked": san.ops_checked,
+        "counts": dict(sorted(san.counts.items())),
+        "findings": [f.to_dict() for f in san.findings],
+        "findings_recorded": len(san.findings),
+    }
+
+
+def _access_line(label: str, access: Dict[str, Any],
+                 mark_unfenced: bool = False) -> str:
+    tile = access.get("tile")
+    where = "host" if tile == "host" else f"tile ({tile[0]},{tile[1]})"
+    line = f"    {label}: {where} @ cycle {access['time']:.0f}  {access['op']}"
+    if mark_unfenced and not access.get("released", True):
+        line += "  [never fenced]"
+    return line
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable sanitizer report."""
+    lines = []
+    if report["clean"]:
+        lines.append(f"sanitize: clean "
+                     f"({report['ops_checked']} memory ops checked)")
+        return "\n".join(lines)
+    total = sum(report["counts"].values())
+    counts = ", ".join(f"{k} x{v}" for k, v in report["counts"].items())
+    lines.append(f"sanitize: {total} finding(s) "
+                 f"({counts}; {report['ops_checked']} memory ops checked)")
+    for i, finding in enumerate(report["findings"], 1):
+        head = f"  #{i} {finding['kind']}: {finding['detail']}"
+        if finding.get("count", 1) > 1:
+            head += f"  (x{finding['count']} occurrences)"
+        lines.append(head)
+        if finding.get("addr"):
+            lines.append(f"    word: {finding['addr']}")
+        if finding.get("access"):
+            lines.append(_access_line("access", finding["access"]))
+        if finding.get("other"):
+            lines.append(_access_line("conflicts with", finding["other"],
+                                      mark_unfenced=True))
+    recorded = report["findings_recorded"]
+    if total > recorded and recorded:
+        lines.append(f"  ... further occurrences collapsed into the "
+                     f"{recorded} site(s) above")
+    return "\n".join(lines)

@@ -20,6 +20,12 @@ Tracing is a constructor flag: ``Session(config, trace=True)`` (or a
 :class:`repro.trace.TraceConfig` for tuned windows/caps) wires the
 observability layer in before any kernel starts; ``session.trace`` then
 carries the timeline and metrics after :meth:`Session.run`.
+
+Sanitizing works the same way: ``Session(config, sanitize=True)`` (or a
+:class:`repro.sanitize.SanitizeConfig`) attaches the happens-before
+checker; after :meth:`Session.run`, ``session.sanitizer`` holds the
+findings (``session.sanitizer.clean`` / ``.summary()``).  Both hooks
+are purely observational -- cycle counts are identical either way.
 """
 
 from __future__ import annotations
@@ -83,12 +89,17 @@ class Session:
     * ``trace`` -- ``True`` or a :class:`repro.trace.TraceConfig` to
       record a cycle timeline + metrics (``session.trace``); ``False``
       (default) costs nothing;
+    * ``sanitize`` -- ``True`` or a
+      :class:`repro.sanitize.SanitizeConfig` to attach the
+      happens-before race checker (``session.sanitizer``); ``False``
+      (default) costs nothing;
     * ``record_bin_width`` -- enable per-link time series on the NoC
       (the pre-trace recording layer some experiments use).
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, *,
                  trace: Union[bool, Any] = False,
+                 sanitize: Union[bool, Any] = False,
                  record_bin_width: Optional[float] = None) -> None:
         self.config = HB_16x8 if config is None else config
         self.machine = Machine(self.config, record_bin_width=record_bin_width)
@@ -98,6 +109,14 @@ class Session:
 
             trace_config = trace if isinstance(trace, TraceConfig) else None
             self.trace = attach(self.machine, Trace(trace_config))
+        self.sanitizer: Optional[Any] = None
+        if sanitize:
+            from .sanitize import SanitizeConfig, Sanitizer
+            from .sanitize import attach as san_attach
+
+            san_config = (sanitize if isinstance(sanitize, SanitizeConfig)
+                          else None)
+            self.sanitizer = san_attach(self.machine, Sanitizer(san_config))
         self._pending: List[Tuple[LaunchHandle, str]] = []
         #: Results of every completed :meth:`run`, in launch order.
         self.results: List[RunResult] = []
@@ -149,7 +168,13 @@ class Session:
         if not self._pending:
             raise RuntimeError("nothing to run; call launch() first")
         handles = [handle for handle, _name in self._pending]
-        self.machine.run_to_completion(handles, max_events=max_events)
+        try:
+            self.machine.run_to_completion(handles, max_events=max_events)
+        finally:
+            # Finalize even on the deadlock diagnostic so the sanitizer
+            # can report incomplete barrier epochs alongside it.
+            if self.sanitizer is not None:
+                self.sanitizer.finalize(self.machine.sim.now)
         batch = [
             collect(self.machine, handle, handle.cycles(), name,
                     keep_machine=keep_machine)
@@ -159,6 +184,9 @@ class Session:
             self.trace.finalize(self.machine.sim.now)
             for result in batch:
                 result.extra["trace"] = self.trace
+        if self.sanitizer is not None:
+            for result in batch:
+                result.extra["sanitize"] = self.sanitizer
         self._pending = []
         self.results.extend(batch)
         return batch
@@ -167,7 +195,8 @@ class Session:
         state = (f"{len(self._pending)} pending" if self._pending
                  else f"{len(self.results)} result(s)")
         traced = ", traced" if self.trace is not None else ""
-        return f"Session({self.config.name}, {state}{traced})"
+        sanitized = ", sanitized" if self.sanitizer is not None else ""
+        return f"Session({self.config.name}, {state}{traced}{sanitized})"
 
 
 def run(config: Optional[MachineConfig] = None, kernel: Kernel = None,
@@ -178,17 +207,20 @@ def run(config: Optional[MachineConfig] = None, kernel: Kernel = None,
         record_bin_width: Optional[float] = None,
         keep_machine: bool = False,
         max_events: Optional[int] = None,
-        trace: Union[bool, Any] = False) -> RunResult:
+        trace: Union[bool, Any] = False,
+        sanitize: Union[bool, Any] = False) -> RunResult:
     """One-shot: run ``kernel`` on one Cell of a fresh machine.
 
     The Session-era replacement for ``run_on_cell`` -- identical machine
     construction and drive order, so cycle counts match it exactly.  New
-    capabilities are keyword-only: ``cell`` picks the target Cell and
-    ``trace`` records a timeline (reachable as ``result.trace``).
+    capabilities are keyword-only: ``cell`` picks the target Cell,
+    ``trace`` records a timeline (reachable as ``result.trace``), and
+    ``sanitize`` attaches the race checker (``result.sanitize``).
     """
     if kernel is None:
         raise TypeError("run() needs a kernel")
-    session = Session(config, trace=trace, record_bin_width=record_bin_width)
+    session = Session(config, trace=trace, sanitize=sanitize,
+                      record_bin_width=record_bin_width)
     session.launch(kernel, args, cell=cell, group_shape=group_shape,
                    setup=setup)
     return session.run(max_events=max_events, keep_machine=keep_machine)[0]

@@ -124,6 +124,21 @@ class TestLegacyShims:
             results = run_on_cells(tiny_config, [((0, 0), kernel, args)])
         assert len(results) == 1
 
+    def test_warning_points_at_callers_file(self, tiny_config):
+        # stacklevel=2: the warning must name THIS file (the code that
+        # needs migrating), not host.py or some helper inside it.
+        from repro.runtime.host import run_on_cell
+
+        kernel, args = _tiny("AES")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_on_cell(tiny_config, kernel, args)
+        hits = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "run_on_cell" in str(w.message)]
+        assert hits
+        assert hits[0].filename == __file__
+
     def test_collect_result_warns(self, tiny_config):
         from repro.runtime.host import collect_result
 
