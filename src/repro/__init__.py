@@ -11,6 +11,8 @@ table from the legacy ``run_on_cell`` entry points):
   (cycle timelines, metrics registry, Perfetto export);
 * :class:`SanitizeConfig` -- knobs for ``Session(sanitize=...)``, the
   PGAS data-race and synchronization checker;
+* :class:`AuditConfig` -- knobs for ``Session(audit=...)``, the
+  timing-model invariant and differential-validation checker;
 * ``KERNELS`` -- the ten-benchmark parallel suite (Table I).
 
 Quickstart::
@@ -45,6 +47,7 @@ from .arch.config import (
     MachineConfig,
     small_config,
 )
+from .audit import AuditConfig
 from .kernels.registry import SUITE as KERNELS
 from .runtime.result import RunResult
 from .sanitize import SanitizeConfig
@@ -61,6 +64,7 @@ __all__ = [
     "Trace",
     "TraceConfig",
     "SanitizeConfig",
+    "AuditConfig",
     "KERNELS",
     "HB_16x8",
     "HB_16x16",

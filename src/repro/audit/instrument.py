@@ -1,0 +1,40 @@
+"""Wire an :class:`Auditor` into a live machine.
+
+:func:`attach` is the single place that knows which components carry
+``_audit`` hooks: the simulator run loop (event-time monotonicity), the
+cache banks (port reservations, LRU shadowing, MSHR accounting), the
+HBM pseudo-channels (bank readiness, bus serialization, row-state
+shadowing), the wormhole strips and both global NoC planes.
+
+Attach before launching kernels; detaching is not supported -- build a
+fresh machine (or ``Session``) for an unaudited run.  The auditor is
+purely observational: audit-on runs are cycle-identical to audit-off
+runs (pinned by tests/test_audit.py).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def attach(machine: Any, auditor: Any) -> Any:
+    """Instrument ``machine`` with ``auditor``; returns the auditor."""
+    sim = machine.sim
+    if getattr(sim, "audit", None) is not None:
+        raise RuntimeError("machine already has an auditor attached")
+    auditor.bind(machine)
+    sim.audit = auditor
+    memsys = machine.memsys
+    for bank in memsys.banks.values():
+        bank._audit = auditor
+        auditor.watch_bank(bank)
+    for channel in memsys.hbm.values():
+        channel._audit = auditor
+        auditor.watch_channel(channel)
+    for strip in memsys.strips.values():
+        strip._audit = auditor
+        auditor.watch_strip(strip)
+    for net in (memsys.req_net, memsys.resp_net):
+        net._audit = auditor
+        auditor.watch_network(net)
+    return auditor

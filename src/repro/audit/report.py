@@ -1,0 +1,40 @@
+"""Text and JSON rendering of audit results."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def audit_report(auditor: Any) -> Dict[str, Any]:
+    """JSON-able report for one audited run."""
+    return {
+        "clean": auditor.clean,
+        "checks": auditor.checks,
+        "counts": dict(sorted(auditor.counts.items())),
+        "violations": [v.to_dict() for v in auditor.violations],
+        "violations_recorded": len(auditor.violations),
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable audit report."""
+    lines = []
+    if report["clean"]:
+        lines.append(f"audit: clean ({report['checks']} invariant/"
+                     f"differential checks)")
+        return "\n".join(lines)
+    total = sum(report["counts"].values())
+    counts = ", ".join(f"{k} x{v}" for k, v in report["counts"].items())
+    lines.append(f"audit: {total} violation(s) "
+                 f"({counts}; {report['checks']} checks)")
+    for i, violation in enumerate(report["violations"], 1):
+        head = (f"  #{i} {violation['kind']} @ {violation['component']} "
+                f"(cycle {violation['time']:.0f}): {violation['detail']}")
+        if violation.get("count", 1) > 1:
+            head += f"  (x{violation['count']} occurrences)"
+        lines.append(head)
+    recorded = report["violations_recorded"]
+    if total > recorded and recorded:
+        lines.append(f"  ... further occurrences collapsed into the "
+                     f"{recorded} site(s) above")
+    return "\n".join(lines)

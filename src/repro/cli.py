@@ -13,6 +13,9 @@ reproduced figure.  ``python -m repro list`` shows what is available.
 * ``repro sanitize <kernel|fixture>`` runs one suite kernel (or the
   seeded-race diagnostic fixture) under the happens-before race checker
   and exits 1 if it finds anything;
+* ``repro audit <kernel|all>`` runs one suite kernel (or every kernel)
+  under the timing-model invariant/differential checker and exits 1 on
+  any violation;
 * ``repro kernels`` lists the Table-I benchmark registry;
 * ``repro bench-speed`` measures the engine's own host throughput;
 * ``--profile`` wraps any experiment in cProfile and prints the hottest
@@ -145,6 +148,62 @@ def _sanitize_cmd(args: argparse.Namespace) -> int:
         if not args.json:
             print(f"wrote {args.out}")
     return 0 if report["clean"] else 1
+
+
+def _audit_cmd(args: argparse.Namespace) -> int:
+    """``repro audit <kernel|all>``: audited run(s), report out, exit 1
+    on any invariant or differential violation."""
+    import json
+
+    from .arch.config import HB_16x8
+    from .audit import audit_report, format_report
+    from .experiments.common import suite_args
+    from .kernels.registry import SUITE
+    from .session import Session
+
+    if not args.target:
+        print("audit: missing kernel (repro audit <kernel|all>); one of: "
+              + ", ".join(SUITE) + ", all", file=sys.stderr)
+        return 2
+    size = args.size or "small"
+    target = args.target.lower()
+    if target == "all":
+        names = list(SUITE)
+    else:
+        by_lower = {k.lower(): k for k in SUITE}
+        name = by_lower.get(target)
+        if name is None:
+            print(f"unknown suite kernel {args.target!r}; one of: "
+                  + ", ".join(SUITE) + ", all", file=sys.stderr)
+            return 2
+        names = [name]
+
+    runs = []
+    for name in names:
+        session = Session(HB_16x8, audit=True)
+        session.launch(SUITE[name].kernel, suite_args(name, size))
+        result = session.run()[0]
+        report = audit_report(session.auditor)
+        report["kernel"], report["size"] = name, size
+        report["config"], report["cycles"] = HB_16x8.name, result.cycles
+        runs.append(report)
+        if not args.json:
+            print(f"{name} ({size}) on {HB_16x8.name}: "
+                  f"{result.cycles:g} cycles")
+            print(format_report(report))
+    clean = all(r["clean"] for r in runs)
+    # Single-kernel reports stay flat (the sanitize schema); 'all' wraps
+    # the per-kernel reports so one artifact carries the whole suite.
+    payload = runs[0] if len(runs) == 1 else {
+        "clean": clean, "size": size, "config": HB_16x8.name, "runs": runs}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if clean else 1
 
 
 def _trace_cmd(args: argparse.Namespace) -> int:
@@ -284,14 +343,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
-             + ", sweep, journal, trace, sanitize, kernels, bench-speed, "
-               "list, all",
+             + ", sweep, journal, trace, sanitize, audit, kernels, "
+               "bench-speed, list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="sweep: experiment name or 'all'; journal: path to a JSONL "
-             "run journal; trace/sanitize: suite kernel name "
-             "(sanitize also accepts 'fixture')",
+             "run journal; trace/sanitize/audit: suite kernel name "
+             "(sanitize also accepts 'fixture'; audit also accepts 'all')",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -307,9 +366,10 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="bench-speed: also write samples as JSON; "
                              "trace: output path (default: trace_<kernel>"
-                             ".json); sanitize: also write the JSON report")
+                             ".json); sanitize/audit: also write the JSON "
+                             "report")
     parser.add_argument("--json", action="store_true",
-                        help="sanitize: print the report as JSON")
+                        help="sanitize/audit: print the report as JSON")
     parser.add_argument("--window", type=float, default=100.0, metavar="CYC",
                         help="trace: metrics sampling window in cycles "
                              "(default: 100)")
@@ -337,6 +397,8 @@ def main(argv=None) -> int:
         print("trace <kernel> (traced run -> Chrome-trace JSON)")
         print("sanitize <kernel|fixture> (race/sync check; exit 1 on "
               "findings)")
+        print("audit <kernel|all> (timing-model invariant check; exit 1 "
+              "on violations)")
         print("kernels (list the Table-I benchmark registry)")
         print("bench-speed (engine host-throughput benchmark)")
         return 0
@@ -344,6 +406,8 @@ def main(argv=None) -> int:
         return _kernels_cmd()
     if name == "sanitize":
         return _sanitize_cmd(args)
+    if name == "audit":
+        return _audit_cmd(args)
     if name == "bench-speed":
         if args.profile:
             from .profile.speed import profile_top

@@ -110,6 +110,10 @@ class Simulator:
         #: at it; components read it at wiring points (launch, barrier
         #: partitioning) and through their own ``_san`` attributes.
         self.sanitizer = None
+        #: Invariant hook (a :class:`repro.audit.Auditor` or ``None``).
+        #: When set, ``run()`` leaves the inlined fast path and reports
+        #: each dispatched event's time for monotonicity checking.
+        self.audit = None
 
     @property
     def now(self) -> float:
@@ -276,7 +280,8 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:
-            if until is None and max_events is None and self.tracer is None:
+            if (until is None and max_events is None and self.tracer is None
+                    and self.audit is None):
                 # Hot path: ``step``/``_pop_next`` inlined into one drain
                 # loop -- two fewer Python calls per event.  ``_compact``
                 # mutates the containers in place, so the local aliases
@@ -326,6 +331,7 @@ class Simulator:
                 return self._now
             count = 0
             tracer = self.tracer
+            auditor = self.audit
             while True:
                 nxt = self.peek()
                 if nxt is None:
@@ -342,6 +348,8 @@ class Simulator:
                 self.step()
                 if tracer is not None:
                     tracer.engine_tick(self._now)
+                if auditor is not None:
+                    auditor.engine_event(self._now)
                 count += 1
                 if max_events is not None and count >= max_events:
                     raise SimulationError(

@@ -64,6 +64,10 @@ class CacheBank:
         #: Timeline tracer hook (set by :func:`repro.trace.attach`).
         self._trace = None
         self._trace_track = 0
+        #: Invariant-checker hook (set by :func:`repro.audit.attach`):
+        #: observes port reservations, hit/miss classification, evictions
+        #: and MSHR accounting against naive reference models.
+        self._audit = None
         # Hot-path constants.
         self._nsets = timing.sets
         self._nways = timing.ways
@@ -78,7 +82,11 @@ class CacheBank:
         """Serve one request; the future resolves when the response data is
         ready to inject into the response network."""
         fut = Future(self.sim)
-        port_cycles = words * self._port_cpa // 2
+        # The bank data port is double-pumped (two words per port cycle),
+        # so an n-word access holds it for ceil(n * cpa / 2) cycles and
+        # never less than one: flooring would let single-word requests
+        # occupy no port time at all and halve odd-length bursts.
+        port_cycles = -(-words * self._port_cpa // 2)
         if port_cycles < 1:
             port_cycles = 1
         start = self._port.reserve(time, port_cycles)
@@ -87,9 +95,13 @@ class CacheBank:
         if is_amo:
             cv["amos"] += 1
         line = mem_addr // self._block_bytes
-        ways = self._sets[line % self._nsets]
+        set_idx = line % self._nsets
+        ways = self._sets[set_idx]
         entry = ways.pop(line, None)
         trace = self._trace
+        if self._audit is not None:
+            self._audit.cache_access(self, set_idx, line, entry is not None,
+                                     time, start, port_cycles)
         if entry is not None:
             ways[line] = entry  # LRU promote: MRU lives at the back
             cv["store_hits" if is_write else "load_hits"] += 1
@@ -115,14 +127,16 @@ class CacheBank:
         if is_amo:
             # Read-modify-write: the old value is needed, so even under
             # write-validate the line must be fetched; it refills dirty.
-            self._miss(line, fut, start, mark_dirty=True)
+            self._miss(line, fut, start, mark_dirty=True,
+                       port_cycles=port_cycles)
             return fut
         if is_write and self.write_validate:
             # Allocate without fetching; only a dirty victim costs DRAM work.
             self._install(line, dirty=True, time=start)
             fut.resolve_at(start + self._hit_latency, None)
             return fut
-        self._miss(line, fut, start, mark_dirty=is_write)
+        self._miss(line, fut, start, mark_dirty=is_write,
+                   port_cycles=port_cycles)
         return fut
 
     # -- tag management -------------------------------------------------------
@@ -151,11 +165,16 @@ class CacheBank:
             return
         if len(ways) >= self._nways:
             victim = next(iter(ways))  # front of the dict == LRU
+            if self._audit is not None:
+                self._audit.cache_evict(self, line % self._nsets, victim,
+                                        time)
             victim_line = ways.pop(victim)
             self.counters.raw["evictions"] += 1
             if victim_line.dirty:
                 self._writeback(victim, time)
         ways[line] = _Line(line, dirty)
+        if self._audit is not None:
+            self._audit.cache_install(self, line % self._nsets, line, time)
 
     def _writeback(self, line: int, time: float) -> None:
         """Dirty eviction: occupy the strip channel and the HBM bus."""
@@ -166,22 +185,30 @@ class CacheBank:
 
     # -- miss path ---------------------------------------------------------------
 
-    def _miss(self, line: int, fut: Future, time: float, mark_dirty: bool) -> None:
+    def _miss(self, line: int, fut: Future, time: float, mark_dirty: bool,
+              port_cycles: float = 1) -> None:
         existing = self.mshr.lookup(line)
         if existing is not None:
             self.mshr.merge(line, fut)
+            if self._audit is not None:
+                self._audit.mshr_merge(self, line, time)
             if mark_dirty:
                 # The waiter's write lands after refill; remember dirtiness.
                 existing.waiters.append(self._dirty_marker(line))
             return
         if self.mshr.full:
             retry_at = self.mshr.earliest_completion(time)
+            if retry_at <= time:
+                # Never re-enter in the same cycle: a stale completion
+                # heap must not let the retry spin without advancing time.
+                retry_at = time + 1
             self.counters.raw["mshr_full_stalls"] += 1
             if self._trace is not None:
                 self._trace.instant(self._trace_track, "mshr-full", time)
-            self.sim.schedule_at(
-                retry_at, lambda: self._miss(line, fut, retry_at, mark_dirty)
-            )
+            if self._audit is not None:
+                self._audit.mshr_retry(self, line, time, retry_at)
+            self.sim.schedule_at(retry_at, self._retry_miss,
+                                 (line, fut, mark_dirty, port_cycles))
             return
         addr = line * self._block_bytes
         mem_done = self.hbm.access(addr, is_write=False, time=time + 1)
@@ -190,6 +217,8 @@ class CacheBank:
         )
         entry = self.mshr.allocate(line, time, refill_done)
         entry.waiters.append(fut)
+        if self._audit is not None:
+            self._audit.mshr_alloc(self, line, time)
         if self.nonblocking is False:
             # Blocking bank: nothing else is served until the refill lands.
             self._port.free_at = max(self._port.free_at, refill_done)
@@ -197,6 +226,22 @@ class CacheBank:
             self.sim._post(refill_done, self._refill_dirty, line)
         else:
             self.sim._post(refill_done, self._refill_clean, line)
+
+    def _retry_miss(self, args) -> None:
+        """Re-issue a miss that stalled on a full MSHR file.
+
+        The stalled request lost its original port grant, so it must
+        re-arbitrate: the retry reserves the bank port again before
+        re-entering the miss path (a full MSHR file is not a free pass
+        to bypass port contention).
+        """
+        line, fut, mark_dirty, port_cycles = args
+        start = self._port.reserve(self.sim._now, port_cycles)
+        if self._audit is not None:
+            self._audit.cache_access(self, line % self._nsets, line,
+                                     False, self.sim._now, start,
+                                     port_cycles, retry=True)
+        self._miss(line, fut, start, mark_dirty, port_cycles)
 
     def _dirty_marker(self, line: int) -> Future:
         marker = Future(self.sim)
@@ -211,6 +256,8 @@ class CacheBank:
 
     def _refill(self, line: int, dirty: bool, time: float) -> None:
         self._install(line, dirty=dirty, time=time)
+        if self._audit is not None:
+            self._audit.mshr_release(self, line, time)
         waiters = self.mshr.release(line)
         hit_latency = self._hit_latency
         for waiter in waiters:

@@ -27,6 +27,11 @@ from ..engine.stats import Counter, Interval
 @dataclass
 class _Bank:
     ready_at: float = 0
+    # A bank that has activated at least once keeps a row open until the
+    # next activation: only a never-touched bank may skip the precharge.
+    # One-way flag -- pruning stale ``rows`` timestamps must not turn an
+    # activated bank back into a fresh one.
+    opened: bool = False
     # row -> last access completion time; emulates the FR-FCFS reorder
     # window (see PseudoChannel.REORDER_WINDOW).
     rows: Dict[int, float] = None
@@ -61,6 +66,9 @@ class PseudoChannel:
         #: Timeline tracer hook (set by :func:`repro.trace.attach`).
         self._trace = None
         self._trace_track = 0
+        #: Invariant-checker hook (set by :func:`repro.audit.attach`):
+        #: observes bank readiness, bus serialization and row states.
+        self._audit = None
 
     def _bank_and_row(self, addr: int) -> (int, int):
         t = self.timing
@@ -93,17 +101,21 @@ class PseudoChannel:
             bank_busy = self.T_CCD
             row_state = "hit"
             self.counters.add("row_hits")
-        elif not bank.rows:
+        elif not bank.opened:
+            # First-ever activation of this bank: no row to precharge.
             latency = t.t_rcd + t.t_cl
             bank_busy = t.t_rcd + self.T_CCD
             row_state = "open"
             self.counters.add("row_opens")
         else:
+            # Some row is open (even if its timestamp has been pruned
+            # from ``rows``), so the activation pays tRP first.
             latency = t.row_miss_latency
             bank_busy = t.t_rp + t.t_rcd + self.T_CCD
             row_state = "conflict"
             self.counters.add("row_conflicts")
         bank.ready_at = start + bank_busy
+        bank.opened = True
         burst_start = self._bus.reserve(start + latency, self.burst_cycles)
         bank.rows[row] = burst_start + self.burst_cycles
         if len(bank.rows) > 64:
@@ -127,6 +139,10 @@ class PseudoChannel:
                 self._trace_track, "write" if is_write else "read",
                 burst_start, self.burst_cycles,
                 {"bank": bank_idx, "row_state": row_state})
+        if self._audit is not None:
+            self._audit.hbm_access(
+                self, bank_idx, row, time, start, row_state, burst_start,
+                self.burst_cycles, done, ready_at, bank.ready_at)
         return done
 
     def _account_pressure(self, arrival: float, burst_start: float) -> None:
@@ -138,17 +154,31 @@ class PseudoChannel:
             self._pressure_covered = burst_start
 
     def utilization(self, elapsed: float) -> Dict[str, float]:
-        """Fractions of (refresh-adjusted) elapsed cycles per category."""
+        """Fractions of (refresh-adjusted) elapsed cycles per category.
+
+        The four categories partition time, so they always sum to 1:
+        on a saturated channel (bus cycles exceeding the refresh-adjusted
+        denominator) the active categories are rescaled proportionally
+        rather than clamped one by one -- independent ``min(1, ...)``
+        clamps would let read + write + busy exceed 1.
+        """
         if elapsed <= 0:
             return {"read": 0.0, "write": 0.0, "busy": 0.0, "idle": 1.0}
         denom = elapsed * (1 - self.timing.refresh_overhead)
-        read = min(1.0, self.read_cycles / denom)
-        write = min(1.0, self.write_cycles / denom)
+        read = self.read_cycles / denom
+        write = self.write_cycles / denom
         # Categories are exclusive: 'busy' is pending-but-not-transferring,
         # so waiting that overlaps a transfer is folded into read/write.
         busy_cap = max(0.0, denom - self.read_cycles - self.write_cycles)
         busy = min(self.busy_cycles, busy_cap) / denom
-        idle = max(0.0, 1.0 - read - write - busy)
+        active = read + write + busy
+        if active > 1.0:
+            scale = 1.0 / active
+            read *= scale
+            write *= scale
+            busy *= scale
+            active = 1.0
+        idle = max(0.0, 1.0 - active)
         return {"read": read, "write": write, "busy": busy, "idle": idle}
 
     def bytes_per_cycle_peak(self) -> float:

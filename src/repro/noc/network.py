@@ -73,6 +73,9 @@ class Network:
         self._trace = None
         self._trace_track = 0
         self._trace_threshold = 0.0
+        #: Invariant-checker hook (set by :func:`repro.audit.attach`):
+        #: per-packet latency decomposition and hop-count lower bounds.
+        self._audit = None
 
     def send(self, src: Coord, dst: Coord, flits: int, time: float) -> DeliveryReport:
         """Reserve the path for a packet injected at ``time``.
@@ -115,7 +118,10 @@ class Network:
                 self._trace_track, "congested", time,
                 {"src": tuple(src), "dst": tuple(dst),
                  "stall": stall_total, "hops": len(path)})
-        return DeliveryReport(arrival, len(path), stall_total)
+        report = DeliveryReport(arrival, len(path), stall_total)
+        if self._audit is not None:
+            self._audit.noc_send(self, src, dst, flits, time, report)
+        return report
 
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
         """Latency with no contention (for tests and analytic checks)."""

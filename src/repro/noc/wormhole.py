@@ -37,6 +37,9 @@ class WormholeStrip:
         #: one track per channel, so reserved bursts never overlap.
         self._trace = None
         self._trace_tracks: Tuple[int, ...] = ()
+        #: Invariant-checker hook (set by :func:`repro.audit.attach`):
+        #: per-channel burst serialization and transit-latency floors.
+        self._audit = None
 
     def _transit_latency(self, bank_x: int) -> int:
         """Hops to the controller at the strip edge; skip channels let the
@@ -69,6 +72,10 @@ class WormholeStrip:
             self._trace.complete(
                 self._trace_tracks[channels.index(channel)], "burst",
                 start, burst, {"bank": bank_x, "bytes": nbytes})
+        if self._audit is not None:
+            self._audit.strip_transfer(
+                self, channels.index(channel), time, start, burst, done,
+                bank_x)
         return start, done
 
     def utilization(self, elapsed: float) -> float:

@@ -51,6 +51,11 @@ class RunResult:
         """The :class:`repro.sanitize.Sanitizer` of a sanitized run."""
         return self.extra.get("sanitize")
 
+    @property
+    def audit(self) -> Optional[Any]:
+        """The :class:`repro.audit.Auditor` of an audited run, if any."""
+        return self.extra.get("audit")
+
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-able snapshot of the result (the sweep-job payload).
 

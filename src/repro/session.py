@@ -24,8 +24,14 @@ carries the timeline and metrics after :meth:`Session.run`.
 Sanitizing works the same way: ``Session(config, sanitize=True)`` (or a
 :class:`repro.sanitize.SanitizeConfig`) attaches the happens-before
 checker; after :meth:`Session.run`, ``session.sanitizer`` holds the
-findings (``session.sanitizer.clean`` / ``.summary()``).  Both hooks
-are purely observational -- cycle counts are identical either way.
+findings (``session.sanitizer.clean`` / ``.summary()``).
+
+Auditing follows the same pattern again: ``Session(config, audit=True)``
+(or a :class:`repro.audit.AuditConfig`) attaches the timing-model
+invariant checker and its differential reference shadows; after
+:meth:`Session.run`, ``session.auditor`` holds any violations
+(``session.auditor.clean`` / ``.summary()``).  All three hooks are
+purely observational -- cycle counts are identical either way.
 """
 
 from __future__ import annotations
@@ -93,6 +99,9 @@ class Session:
       :class:`repro.sanitize.SanitizeConfig` to attach the
       happens-before race checker (``session.sanitizer``); ``False``
       (default) costs nothing;
+    * ``audit`` -- ``True`` or a :class:`repro.audit.AuditConfig` to
+      attach the timing-model invariant/differential checker
+      (``session.auditor``); ``False`` (default) costs nothing;
     * ``record_bin_width`` -- enable per-link time series on the NoC
       (the pre-trace recording layer some experiments use).
     """
@@ -100,6 +109,7 @@ class Session:
     def __init__(self, config: Optional[MachineConfig] = None, *,
                  trace: Union[bool, Any] = False,
                  sanitize: Union[bool, Any] = False,
+                 audit: Union[bool, Any] = False,
                  record_bin_width: Optional[float] = None) -> None:
         self.config = HB_16x8 if config is None else config
         self.machine = Machine(self.config, record_bin_width=record_bin_width)
@@ -117,6 +127,13 @@ class Session:
             san_config = (sanitize if isinstance(sanitize, SanitizeConfig)
                           else None)
             self.sanitizer = san_attach(self.machine, Sanitizer(san_config))
+        self.auditor: Optional[Any] = None
+        if audit:
+            from .audit import AuditConfig, Auditor
+            from .audit import attach as audit_attach
+
+            audit_config = audit if isinstance(audit, AuditConfig) else None
+            self.auditor = audit_attach(self.machine, Auditor(audit_config))
         self._pending: List[Tuple[LaunchHandle, str]] = []
         #: Results of every completed :meth:`run`, in launch order.
         self.results: List[RunResult] = []
@@ -172,9 +189,13 @@ class Session:
             self.machine.run_to_completion(handles, max_events=max_events)
         finally:
             # Finalize even on the deadlock diagnostic so the sanitizer
-            # can report incomplete barrier epochs alongside it.
+            # can report incomplete barrier epochs alongside it (the
+            # auditor likewise sweeps for leaked MSHR entries and bad
+            # utilization sums on whatever state the run reached).
             if self.sanitizer is not None:
                 self.sanitizer.finalize(self.machine.sim.now)
+            if self.auditor is not None:
+                self.auditor.finalize(self.machine.sim.now)
         batch = [
             collect(self.machine, handle, handle.cycles(), name,
                     keep_machine=keep_machine)
@@ -187,6 +208,10 @@ class Session:
         if self.sanitizer is not None:
             for result in batch:
                 result.extra["sanitize"] = self.sanitizer
+        if self.auditor is not None:
+            for result in batch:
+                self.auditor.check_result(result)
+                result.extra["audit"] = self.auditor
         self._pending = []
         self.results.extend(batch)
         return batch
@@ -196,7 +221,9 @@ class Session:
                  else f"{len(self.results)} result(s)")
         traced = ", traced" if self.trace is not None else ""
         sanitized = ", sanitized" if self.sanitizer is not None else ""
-        return f"Session({self.config.name}, {state}{traced}{sanitized})"
+        audited = ", audited" if self.auditor is not None else ""
+        return (f"Session({self.config.name}, {state}"
+                f"{traced}{sanitized}{audited})")
 
 
 def run(config: Optional[MachineConfig] = None, kernel: Kernel = None,
@@ -208,18 +235,21 @@ def run(config: Optional[MachineConfig] = None, kernel: Kernel = None,
         keep_machine: bool = False,
         max_events: Optional[int] = None,
         trace: Union[bool, Any] = False,
-        sanitize: Union[bool, Any] = False) -> RunResult:
+        sanitize: Union[bool, Any] = False,
+        audit: Union[bool, Any] = False) -> RunResult:
     """One-shot: run ``kernel`` on one Cell of a fresh machine.
 
     The Session-era replacement for ``run_on_cell`` -- identical machine
     construction and drive order, so cycle counts match it exactly.  New
     capabilities are keyword-only: ``cell`` picks the target Cell,
-    ``trace`` records a timeline (reachable as ``result.trace``), and
-    ``sanitize`` attaches the race checker (``result.sanitize``).
+    ``trace`` records a timeline (reachable as ``result.trace``),
+    ``sanitize`` attaches the race checker (``result.sanitize``), and
+    ``audit`` attaches the timing-model invariant checker
+    (``result.extra["audit"]``).
     """
     if kernel is None:
         raise TypeError("run() needs a kernel")
-    session = Session(config, trace=trace, sanitize=sanitize,
+    session = Session(config, trace=trace, sanitize=sanitize, audit=audit,
                       record_bin_width=record_bin_width)
     session.launch(kernel, args, cell=cell, group_shape=group_shape,
                    setup=setup)

@@ -131,6 +131,40 @@ class TestLru:
         assert bank.occupancy() <= 4
 
 
+class TestPortOccupancy:
+    """The double-pumped data port: ceil(words * cpa / 2), never 0.
+
+    Regression pins for the flooring bug where ``words * cpa // 2``
+    charged single-word accesses zero port cycles and shortchanged
+    odd-length bursts by half a cycle.
+    """
+
+    def test_single_word_holds_port_one_cycle(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        bank.access(0x0, False, 0, words=1)
+        assert bank._port.busy_cycles == 1  # floored to 0 before the fix
+
+    @pytest.mark.parametrize("words,cycles", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (16, 8),
+    ])
+    def test_occupancy_is_ceiling_of_half(self, words, cycles):
+        sim = Simulator()
+        bank = make_bank(sim)
+        bank.access(0x0, False, 0, words=words)
+        assert bank._port.busy_cycles == cycles
+
+    def test_back_to_back_accesses_serialize_on_port(self):
+        sim = Simulator()
+        bank = make_bank(sim)
+        # Write-validate store installs the line at once, holding [0, 1);
+        # the 3-word hit must then wait for the port and hold [1, 3).
+        bank.access(0x0, True, 0)
+        bank.access(0x0, False, 0, words=3)
+        assert bank._port.free_at == 3
+        sim.run()
+
+
 class TestMshr:
     def test_secondary_miss_merges(self):
         sim = Simulator()
@@ -150,6 +184,33 @@ class TestMshr:
         sim.run()
         assert all(f.done for f in futs)
         assert bank.counters.get("mshr_full_stalls") > 0
+
+    def test_mshr_full_stress_drains_completely(self):
+        """Flood a 2-entry file from many lines: every request completes,
+        every MSHR entry is released, and retries never spin in place
+        (regression pin for the same-cycle retry reschedule)."""
+        sim = Simulator()
+        bank = make_bank(sim, mshrs=2, sets=4, ways=2)
+        futs = [bank.access(i * 0x40, i % 3 == 0, 0) for i in range(24)]
+        sim.run()
+        assert all(f.done for f in futs)
+        assert len(bank.mshr) == 0
+        assert bank.counters.get("mshr_full_stalls") > 0
+        assert bank.hbm.counters.get("reads") > 0
+
+    def test_mshr_retry_repays_port_occupancy(self):
+        """A request bounced off a full MSHR file lost its port grant, so
+        the retry must re-arbitrate: total port occupancy is one cycle
+        per access plus one per retry (regression pin for the retry path
+        skipping the port)."""
+        sim = Simulator()
+        bank = make_bank(sim, mshrs=2)
+        for i in range(8):
+            bank.access(i * 0x40, False, 0)
+        sim.run()
+        stalls = bank.counters.get("mshr_full_stalls")
+        assert stalls > 0
+        assert bank._port.busy_cycles == 8 + stalls
 
     def test_secondary_store_marks_dirty(self):
         sim = Simulator()
