@@ -21,6 +21,7 @@ import argparse
 import json
 import platform
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -28,9 +29,56 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.arch.config import HB_16x8, small_config  # noqa: E402
 from repro.profile.speed import measure_suite  # noqa: E402
 
-#: The kernels the default run times (a spread of network-bound, compute-
-#: bound and irregular workloads); --kernels overrides.
-DEFAULT_KERNELS = ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi"]
+#: All ten Table-I suite kernels; --kernels overrides.
+DEFAULT_KERNELS = ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi",
+                   "BS", "SW", "FFT", "BH"]
+
+#: Default speed-trajectory file: every run appends one JSON line here,
+#: so the repo keeps an auditable history of engine throughput.
+DEFAULT_HISTORY = "BENCH_engine_history.jsonl"
+
+_CALIBRATION_OPS = 200_000
+
+
+def calibrate(loops: int = 3) -> float:
+    """Host-speed yardstick: ops/sec of a fixed pure-Python workload.
+
+    Stored alongside the benchmark so a regression check on a different
+    machine can normalize away raw host speed (see check_regression.py).
+    """
+    best = 0.0
+    for _ in range(loops):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(_CALIBRATION_OPS):
+            acc = (acc + i * 17) % 1000003
+        dt = time.perf_counter() - t0
+        if dt > 0:
+            best = max(best, _CALIBRATION_OPS / dt)
+    return best
+
+
+def append_history(path: Path, payload: dict) -> None:
+    """Append one slim JSONL line summarizing a benchmark run."""
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": payload["config"],
+        "size": payload["size"],
+        "repeats": payload["repeats"],
+        "python": payload["python"],
+        "calibration_ops_per_sec": payload.get("calibration_ops_per_sec"),
+        "kernels": {
+            name: {
+                "wall_seconds": s["wall_seconds"],
+                "events_per_sec": s["events_per_sec"],
+                "sim_cycles_per_sec": s["sim_cycles_per_sec"],
+                "cycles": s["cycles"],
+            }
+            for name, s in payload["kernels"].items()
+        },
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:
@@ -45,6 +93,11 @@ def main(argv=None) -> int:
                         help="wall-clock repeats; best is reported")
     parser.add_argument("--out", default="BENCH_engine.json",
                         help="output path (default: ./BENCH_engine.json)")
+    parser.add_argument("--history", default=DEFAULT_HISTORY, metavar="PATH",
+                        help="speed-trajectory JSONL to append to "
+                             f"(default: ./{DEFAULT_HISTORY})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append to the history file")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -74,11 +127,16 @@ def main(argv=None) -> int:
         "size": size,
         "repeats": repeats,
         "python": platform.python_version(),
+        "calibration_ops_per_sec": calibrate(),
         "kernels": samples,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    if not args.no_history:
+        history = Path(args.history)
+        append_history(history, payload)
+        print(f"appended to {history}")
     return 0
 
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Compare a fresh bench_engine.py run against a committed baseline.
+
+Two independent checks:
+
+* **Model drift** (hard): simulated ``cycles`` are deterministic for a
+  given config and size, so any difference between baseline and new run
+  means the timing model changed behaviour -- always a failure here
+  (golden-cycle tests pin the same values; this is a belt-and-braces
+  check on the benchmarked configuration).
+
+* **Speed regression** (thresholded): geomean of per-kernel
+  ``sim_cycles_per_sec`` ratios (new/old).  Raw host throughput is not
+  comparable across machines, so when both files carry the pure-Python
+  ``calibration_ops_per_sec`` yardstick the ratio is normalized by it
+  (a 2x-faster host makes both numbers ~2x larger, cancelling out).
+  Fails when the normalized geomean drops more than ``--threshold``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline BENCH_engine.json --new bench_ci.json --threshold 0.20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if "kernels" not in payload:
+        # Flat samples dict (repro bench-speed --out format).
+        payload = {"kernels": payload}
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--new", required=True)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed geomean slowdown fraction "
+                             "(default: 0.20)")
+    args = parser.parse_args(argv)
+
+    base = load(args.baseline)
+    new = load(args.new)
+    base_kernels = base["kernels"]
+    new_kernels = new["kernels"]
+    common = sorted(set(base_kernels) & set(new_kernels))
+    if not common:
+        print("check_regression: no common kernels", file=sys.stderr)
+        return 2
+
+    same_shape = (base.get("config") == new.get("config")
+                  and base.get("size") == new.get("size"))
+    base_cal = base.get("calibration_ops_per_sec")
+    new_cal = new.get("calibration_ops_per_sec")
+    normalize = bool(base_cal and new_cal)
+    if normalize:
+        host_ratio = new_cal / base_cal
+        print(f"host calibration ratio (new/old): {host_ratio:.2f}x")
+    else:
+        host_ratio = 1.0
+        print("no calibration in one of the files; comparing raw speeds")
+
+    failures = []
+    ratios = []
+    print(f"{'kernel':8s} {'old c/s':>12s} {'new c/s':>12s} "
+          f"{'norm ratio':>10s}  cycles")
+    for name in common:
+        b, n = base_kernels[name], new_kernels[name]
+        if same_shape and b["cycles"] != n["cycles"]:
+            failures.append(
+                f"{name}: simulated cycles drifted "
+                f"{b['cycles']:g} -> {n['cycles']:g} (model change)")
+            drift = "DRIFT"
+        else:
+            drift = "ok" if same_shape else "n/a"
+        ratio = (n["sim_cycles_per_sec"] / b["sim_cycles_per_sec"]
+                 / host_ratio)
+        ratios.append(ratio)
+        print(f"{name:8s} {b['sim_cycles_per_sec']:>12,.0f} "
+              f"{n['sim_cycles_per_sec']:>12,.0f} {ratio:>9.2f}x  {drift}")
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    floor = 1.0 - args.threshold
+    print(f"geomean speed ratio (normalized): {geomean:.2f}x "
+          f"(floor {floor:.2f}x)")
+    if geomean < floor:
+        failures.append(
+            f"geomean sim_cycles_per_sec ratio {geomean:.2f}x is below "
+            f"the {floor:.2f}x floor (>{args.threshold:.0%} regression)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("ok: no model drift, no speed regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

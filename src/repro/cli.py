@@ -75,7 +75,8 @@ def _bench_speed(args: argparse.Namespace) -> int:
     from .arch.config import HB_16x8
     from .profile.speed import measure_suite
 
-    kernels = args.kernels or ["PR", "BFS", "SpGEMM", "AES", "SGEMM", "Jacobi"]
+    kernels = args.kernels or ["PR", "BFS", "SpGEMM", "AES", "SGEMM",
+                               "Jacobi", "BS", "SW", "FFT", "BH"]
     samples = measure_suite(HB_16x8, size=args.size or "small",
                             kernels=kernels, repeats=args.repeats)
     for name, s in samples.items():
@@ -86,7 +87,38 @@ def _bench_speed(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             json.dump(samples, fh, indent=2, sort_keys=True)
         print(f"wrote {args.out}")
+    if args.compare:
+        _bench_compare(args.compare, samples)
     return 0
+
+
+def _bench_compare(old_path: str, samples: dict) -> None:
+    """Per-kernel speedup table against an earlier bench-speed JSON.
+
+    Accepts either the flat ``--out`` samples dict or the
+    ``benchmarks/bench_engine.py`` payload (``{"kernels": {...}}``).
+    """
+    import json
+    import math
+
+    with open(old_path) as fh:
+        old = json.load(fh)
+    old_samples = old.get("kernels", old)
+    common = [k for k in samples if k in old_samples]
+    if not common:
+        print(f"compare: no common kernels with {old_path}")
+        return
+    print(f"\nspeedup vs {old_path} (sim cycles/sec, new/old):")
+    ratios = []
+    for name in common:
+        old_scs = old_samples[name]["sim_cycles_per_sec"]
+        new_scs = samples[name]["sim_cycles_per_sec"]
+        ratio = new_scs / old_scs if old_scs else float("inf")
+        ratios.append(ratio)
+        print(f"  {name:8s} {old_scs:>12,.0f} -> {new_scs:>12,.0f} "
+              f"  {ratio:5.2f}x")
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    print(f"  {'geomean':8s} {'':>30s} {geomean:5.2f}x")
 
 
 def _kernels_cmd() -> int:
@@ -363,6 +395,9 @@ def main(argv=None) -> int:
                         help="bench-speed: suite kernels to measure")
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench-speed: wall-clock repeats (best wins)")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="bench-speed: print a per-kernel speedup "
+                             "table against an earlier JSON result")
     parser.add_argument("--out", default=None,
                         help="bench-speed: also write samples as JSON; "
                              "trace: output path (default: trace_<kernel>"

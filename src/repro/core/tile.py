@@ -29,9 +29,11 @@ from ..arch.config import FeatureSet
 from ..arch.geometry import Coord
 from ..arch.params import Timings
 from ..engine import Counter, Future, Process, Simulator
+from ..engine.batch import FoldTracker, expand_blocks
 from ..isa.ops import (
     AmoOp,
     BarrierOp,
+    BlockOp,
     BranchOp,
     FenceOp,
     FpOp,
@@ -48,6 +50,12 @@ from .icache import ICache
 from .scoreboard import Scoreboard
 
 RegReady = Union[float, Future]
+
+#: Test hook: when True, every core expands recorded compute windows and
+#: interprets them op-by-op (the exact path), exactly as if a
+#: trace/sanitize/audit hook were attached.  Cycle counts are identical
+#: either way -- that equivalence is what the batched-path tests pin.
+EXACT_MODE = False
 
 #: reg_kind value -> stall category charged while waiting on that producer.
 _KIND_STALL = {
@@ -142,13 +150,20 @@ class TileCore:
         reg_kind_get = reg_kind.get
         sb = self.scoreboard
         compression = self.features.load_compression
+        nonblocking = self.features.nonblocking_loads
         memsys = self.memsys
         is_own_spm = memsys.is_own_spm
-        spm_reserve = memsys.spm_reserve
-        icache_access = self.icache.access
+        remote_request = memsys.remote_request
+        remote_amo = memsys.remote_amo
+        sb_release = self._sb_release
+        # The tile's own SPM port, reserved inline (single-cycle claims
+        # from the local pipeline are the hottest memory path there is).
+        spm_port = memsys.spms[self.node]._port
+        icache = self.icache
+        icache_access = icache.access
+        line_instrs = icache.line_instrs
         branch_resolve = self.branch.predict_and_resolve
         fp_latency = self._fp_latency
-        gen_send = gen.send
         local_load = core_t.local_load
 
         # Hot names pulled into locals: stall categories and op classes.
@@ -159,9 +174,11 @@ class TileCore:
         S_BYPASS = st.STALL_BYPASS
         S_ICACHE = st.STALL_ICACHE
         S_BRANCH = st.STALL_BRANCH
+        S_AMO = st.STALL_AMO
         _IntOp, _FpOp, _BranchOp = IntOp, FpOp, BranchOp
         _LoadOp, _VecLoadOp, _StoreOp = LoadOp, VecLoadOp, StoreOp
         _AmoOp, _FenceOp, _BarrierOp, _SleepOp = AmoOp, FenceOp, BarrierOp, SleepOp
+        _BlockOp = BlockOp
         _Future = Future
         # Tracing hook: ``temit`` is None in untraced runs, so each stall
         # charge point pays one pointer comparison and nothing else.
@@ -172,6 +189,15 @@ class TileCore:
         # memory/sync op pays one pointer comparison when it is None.
         san = self._san
         node = self.node
+
+        # Batched windows are only eligible when every observability hook
+        # is off: with any of trace/sanitize/audit attached (or the test
+        # hook forcing it), recorded BlockOp windows expand back into the
+        # per-op stream so the hooks observe the classic interpreter.
+        if (trace is not None or san is not None or sim.audit is not None
+                or EXACT_MODE):
+            gen = expand_blocks(gen)
+        gen_send = gen.send
 
         t = sim._now
         self.start_time = t
@@ -184,15 +210,28 @@ class TileCore:
                 break
             send_val = None
 
-            # Instruction fetch.
-            miss = icache_access(op.pc)
-            if miss:
-                t += miss
-                cv[S_ICACHE] += miss
-                if temit is not None:
-                    temit(ttrack, S_ICACHE, t - miss, miss)
-
             cls = op.__class__
+
+            if cls is _BlockOp:
+                # A recorded compute window: replay it without touching
+                # the generator (and fold its steady state) -- the fast
+                # path's whole point.  Fetch happens inside, per entry.
+                t = yield from self._run_block(op, t)
+                continue
+
+            # Instruction fetch.  The same-line case (sequential fetch
+            # within one icache line, the common case by construction)
+            # is inlined; everything else takes the full lookup.
+            pc = op.pc
+            if pc // line_instrs == icache._last_line:
+                icache.hits += 1
+            else:
+                miss = icache_access(pc)
+                if miss:
+                    t += miss
+                    cv[S_ICACHE] += miss
+                    if temit is not None:
+                        temit(ttrack, S_ICACHE, t - miss, miss)
 
             if cls is _IntOp or cls is _FpOp or cls is _BranchOp:
                 # Source dependencies (compute fast-path: usually floats).
@@ -261,19 +300,57 @@ class TileCore:
                             temit(ttrack, S_BRANCH, t - flush, flush)
                 continue
 
-            # Memory and synchronization ops.
+            # Memory and synchronization ops.  Source waits and the
+            # non-blocking issue sequence are inlined: the generator
+            # helpers below are only entered on the slow paths (an
+            # unresolved future source, a full scoreboard, a disabled
+            # feature) so the common op costs no extra frames.
             srcs = getattr(op, "srcs", ())
             if srcs:
-                t = yield from self._wait_srcs(srcs, t)
+                for s in srcs:
+                    r = reg_ready_get(s)
+                    if r is None:
+                        continue
+                    if r.__class__ is _Future:
+                        t = yield from self._wait_srcs(srcs, t)
+                        break
+                    if r > t:
+                        gap = r - t
+                        kind = reg_kind_get(s, "int")
+                        if kind == "mem":
+                            cv[S_DEPEND] += gap
+                        elif kind == "fdiv":
+                            cv[S_FDIV] += gap
+                        else:
+                            cv[S_BYPASS] += gap
+                        if temit is not None:
+                            temit(ttrack, _KIND_STALL[kind], t, gap)
+                        t = r
 
             if cls is _LoadOp:
                 if san is not None:
                     san.load(node, op, t)
                 if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
-                    start = spm_reserve(self.node, t)
+                    free = spm_port.free_at
+                    start = free if free > t else t
+                    spm_port.free_at = start + 1
+                    spm_port.busy_cycles += 1
                     t += 1
                     cv[EXEC_INT] += 1
                     reg_ready[op.dst] = start + local_load
+                    reg_kind[op.dst] = "mem"
+                elif nonblocking and sb.outstanding < sb.capacity:
+                    sb.outstanding += 1
+                    sb.total_issued += 1
+                    if sb.outstanding > sb.peak:
+                        sb.peak = sb.outstanding
+                    if t > sim._now:
+                        yield t - sim._now
+                    fut = remote_request(node, op.addr, False, t, 1)
+                    fut.add_callback(sb_release)
+                    t += 1
+                    cv[EXEC_INT] += 1
+                    reg_ready[op.dst] = fut
                     reg_kind[op.dst] = "mem"
                 else:
                     t = yield from self._issue_remote(
@@ -283,9 +360,26 @@ class TileCore:
                 if san is not None:
                     san.vload(node, op, t)
                 if compression:
-                    t = yield from self._issue_remote(
-                        op.addr, False, t, words=len(op.dsts), dsts=op.dsts,
-                    )
+                    if nonblocking and sb.outstanding < sb.capacity:
+                        sb.outstanding += 1
+                        sb.total_issued += 1
+                        if sb.outstanding > sb.peak:
+                            sb.peak = sb.outstanding
+                        if t > sim._now:
+                            yield t - sim._now
+                        fut = remote_request(node, op.addr, False, t,
+                                             len(op.dsts))
+                        fut.add_callback(sb_release)
+                        t += 1
+                        cv[EXEC_INT] += 1
+                        for dst in op.dsts:
+                            reg_ready[dst] = fut
+                            reg_kind[dst] = "mem"
+                    else:
+                        t = yield from self._issue_remote(
+                            op.addr, False, t, words=len(op.dsts),
+                            dsts=op.dsts,
+                        )
                 else:
                     # Expanded into independent word loads, one per cycle.
                     for i, dst in enumerate(op.dsts):
@@ -296,7 +390,20 @@ class TileCore:
                 if san is not None:
                     san.store(node, op, t)
                 if (op.addr >> TAG_SHIFT) == 0 or is_own_spm(op.addr, self.node):
-                    spm_reserve(self.node, t)
+                    free = spm_port.free_at
+                    spm_port.free_at = (free if free > t else t) + 1
+                    spm_port.busy_cycles += 1
+                    t += 1
+                    cv[EXEC_INT] += 1
+                elif sb.outstanding < sb.capacity:
+                    sb.outstanding += 1
+                    sb.total_issued += 1
+                    if sb.outstanding > sb.peak:
+                        sb.peak = sb.outstanding
+                    if t > sim._now:
+                        yield t - sim._now
+                    fut = remote_request(node, op.addr, True, t, 1)
+                    fut.add_callback(sb_release)
                     t += 1
                     cv[EXEC_INT] += 1
                 else:
@@ -308,7 +415,27 @@ class TileCore:
                     # Handoff: the checker processes the AMO when the
                     # packet serializes at its bank (memsys hook).
                     san.amo_issue(node, op)
-                t, old = yield from self._issue_amo(op, t)
+                if sb.outstanding < sb.capacity:
+                    sb.outstanding += 1
+                    sb.total_issued += 1
+                    if sb.outstanding > sb.peak:
+                        sb.peak = sb.outstanding
+                    if t > sim._now:
+                        yield t - sim._now
+                    fut = remote_amo(node, op.addr, op.kind, op.value, t)
+                    fut.add_callback(sb_release)
+                    t += 1
+                    cv[EXEC_INT] += 1
+                    self.last_stall = S_AMO
+                    yield fut
+                    arrival, old = fut._value
+                    if arrival > t:
+                        cv[S_AMO] += arrival - t
+                        if temit is not None:
+                            temit(ttrack, S_AMO, t, arrival - t)
+                        t = arrival
+                else:
+                    t, old = yield from self._issue_amo(op, t)
                 send_val = old
                 if op.dst is not None:
                     reg_ready[op.dst] = t
@@ -371,6 +498,172 @@ class TileCore:
             trace.complete(ttrack, "kernel", self.start_time,
                            t - self.start_time)
         self.finish_time = t
+        return t
+
+    # -- the batched fast path --------------------------------------------------
+
+    def _run_block(self, op: BlockOp, t: float):
+        """Replay a recorded compute window; returns the advanced clock.
+
+        Executes the decoded body ``op.iters`` times without touching
+        the kernel generator, then hands the steady state to a
+        :class:`FoldTracker` so long windows advance arithmetically.
+        This path only runs with every observability hook off, so the
+        icache state can live in locals for the whole window -- written
+        back whenever control can leave the tile (future yields) and at
+        the end, keeping any concurrent reader consistent.
+        """
+        sim = self.sim
+        cv = self.counters.raw
+        reg_ready = self.reg_ready
+        reg_kind = self.reg_kind
+        reg_ready_get = reg_ready.get
+        reg_kind_get = reg_kind.get
+        fp_latency = self._fp_latency
+        branch_resolve = self.branch.predict_and_resolve
+        local_load = self.timings.core.local_load
+        spm_port = self.memsys.spms[self.node]._port
+        node = self.node
+        _Future = Future
+
+        EXEC_INT = st.EXEC_INT
+        EXEC_FP = st.EXEC_FP
+        S_DEPEND = st.STALL_DEPEND_LOAD
+        S_FDIV = st.STALL_FDIV
+        S_BYPASS = st.STALL_BYPASS
+        S_ICACHE = st.STALL_ICACHE
+        S_BRANCH = st.STALL_BRANCH
+
+        icache = self.icache
+        miss_penalty = icache.miss_penalty
+        tags = icache._tags
+        num_lines = icache.num_lines
+        last_line = icache._last_line
+        hits = icache.hits
+        misses = icache.misses
+
+        body = op.decoded_for(icache.line_instrs)
+        nbody = len(body)
+        n = op.iters
+        last_iter = n - 1
+        # Folding needs two matching full iterations plus the final
+        # per-op one, so it can only pay off from four iterations up.
+        track = FoldTracker(op, self) if n > 3 else None
+
+        i = 0
+        while i < n:
+            if track is not None:
+                track.begin_iter(t)
+            dirty = False
+            for kind, line, dst, srcs, a, b in body:
+                # Instruction fetch (same-line short-circuit inline).
+                if line != last_line:
+                    last_line = line
+                    idx = line % num_lines
+                    if tags[idx] == line:
+                        hits += 1
+                    else:
+                        tags[idx] = line
+                        misses += 1
+                        t += miss_penalty
+                        cv[S_ICACHE] += miss_penalty
+                        dirty = True
+                else:
+                    hits += 1
+
+                # Source dependencies.
+                for s in srcs:
+                    r = reg_ready_get(s)
+                    if r is None:
+                        continue
+                    if r.__class__ is _Future:
+                        if not r._done:
+                            self.last_stall = _KIND_STALL[
+                                reg_kind_get(s, "int")]
+                            # Control leaves the tile: publish icache
+                            # state, re-localize after the wakeup.
+                            icache._last_line = last_line
+                            icache.hits = hits
+                            icache.misses = misses
+                            if t > sim._now:
+                                yield t - sim._now
+                            yield r
+                            last_line = icache._last_line
+                            hits = icache.hits
+                            misses = icache.misses
+                        ready = r._value
+                        reg_ready[s] = ready
+                        dirty = True
+                    else:
+                        ready = r
+                    if ready > t:
+                        gap = ready - t
+                        kindc = reg_kind_get(s, "int")
+                        if kindc == "mem":
+                            cv[S_DEPEND] += gap
+                        elif kindc == "fdiv":
+                            cv[S_FDIV] += gap
+                        else:
+                            cv[S_BYPASS] += gap
+                        t = ready
+
+                # Execute (kinds: 0=int, 1=fp, 2=branch, 3=load).
+                if kind == 0:
+                    issue = t
+                    t += 1
+                    cv[EXEC_INT] += 1
+                    if dst is not None:
+                        reg_ready[dst] = issue + a
+                        reg_kind[dst] = "int" if a == 1 else "fp"
+                elif kind == 1:
+                    lat = fp_latency[a]
+                    if b:
+                        fdiv_free = self._fdiv_free
+                        if fdiv_free > t:
+                            cv[S_FDIV] += fdiv_free - t
+                            t = fdiv_free
+                        issue = t
+                        self._fdiv_free = issue + lat
+                        kindc = "fdiv"
+                    else:
+                        issue = t
+                        kindc = "fp"
+                    t += 1
+                    cv[EXEC_FP] += 1
+                    reg_ready[dst] = issue + lat
+                    reg_kind[dst] = kindc
+                elif kind == 2:
+                    t += 1
+                    cv[EXEC_INT] += 1
+                    flush = branch_resolve(
+                        b, a if a is not None else i < last_iter)
+                    if flush:
+                        t += flush
+                        cv[S_BRANCH] += flush
+                else:
+                    free = spm_port.free_at
+                    start = free if free > t else t
+                    spm_port.free_at = start + 1
+                    spm_port.busy_cycles += 1
+                    t += 1
+                    cv[EXEC_INT] += 1
+                    reg_ready[dst] = start + local_load
+                    reg_kind[dst] = "mem"
+
+            if track is not None and i < last_iter - 1:
+                if dirty:
+                    track.dirty = True
+                k = track.end_iter(t, i)
+                if k > 0:
+                    t = track.fold(t, k)
+                    hits += k * nbody
+                    i += k
+                    track = None
+            i += 1
+
+        icache._last_line = last_line
+        icache.hits = hits
+        icache.misses = misses
         return t
 
     # -- memory-op helpers -------------------------------------------------------

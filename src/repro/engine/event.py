@@ -130,17 +130,22 @@ class Simulator:
         hot callers pass a bound method plus its argument instead of
         allocating a closure per event.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        # ``not (delay >= 0)`` instead of ``delay < 0``: NaN fails every
+        # comparison, so it slips through the naive check and then rots
+        # the heap's ordering invariant silently.
+        if not delay >= 0:
+            raise SimulationError(
+                f"cannot schedule at a negative or NaN delay (delay={delay})"
+            )
         return self.schedule_at(self._now + delay, fn, arg)
 
     def schedule_at(self, time: float, fn: Callable[..., None],
                     arg: Any = _NO_ARG) -> Event:
         """Schedule ``fn`` to run at absolute ``time``."""
         now = self._now
-        if time < now:
+        if not time >= now:
             raise SimulationError(
-                f"cannot schedule at t={time} before now={now}"
+                f"cannot schedule at t={time} before now={now} (or at NaN)"
             )
         event = Event(self, time, self._seq, fn, arg)
         self._seq += 1
@@ -158,9 +163,9 @@ class Simulator:
         cancel -- use :meth:`schedule_at` for that.
         """
         now = self._now
-        if time < now:
+        if not time >= now:
             raise SimulationError(
-                f"cannot schedule at t={time} before now={now}"
+                f"cannot schedule at t={time} before now={now} (or at NaN)"
             )
         seq = self._seq
         self._seq = seq + 1
@@ -286,32 +291,40 @@ class Simulator:
                 # loop -- two fewer Python calls per event.  ``_compact``
                 # mutates the containers in place, so the local aliases
                 # stay valid across callbacks.
+                #
+                # Quiescence skip-ahead: the loop maintains the invariant
+                # that every event in the FIFO lane is at the current
+                # time and every heap entry is strictly in the future.
+                # When the FIFO drains, nothing in the machine is
+                # runnable *now* -- every component is quiescent until
+                # the next deadline -- so the clock jumps straight to the
+                # heap's head time and all events tied at that timestamp
+                # are bulk-moved (in seq order) into the FIFO lane.  Idle
+                # spans cost one heap inspection instead of per-cycle
+                # machinery, and dispatch itself no longer compares heap
+                # heads or re-assigns ``_now`` per event.
                 fast = self._fast
                 queue = self._queue
                 pool = self._pool
                 heappop = heapq.heappop
+                append = fast.append
+                popleft = fast.popleft
                 executed = 0
                 try:
                     while True:
                         if fast:
-                            if queue:
-                                head = queue[0]
-                                # Heap entries at the current time predate
-                                # the clock's arrival, so carry smaller seqs.
-                                if head[0] == self._now and head[1] < fast[0].seq:
-                                    event = heappop(queue)[2]
-                                else:
-                                    event = fast.popleft()
-                            else:
-                                event = fast.popleft()
+                            event = popleft()
                         elif queue:
-                            event = heappop(queue)[2]
+                            tnext = queue[0][0]
+                            self._now = tnext
+                            while queue and queue[0][0] == tnext:
+                                append(heappop(queue)[2])
+                            continue
                         else:
                             break
                         if event.cancelled:
                             self._ncancelled -= 1
                             continue
-                        self._now = event.time
                         fn = event.fn
                         arg = event.arg
                         event.fn = None

@@ -135,15 +135,32 @@ class Process:
                 tracer.process_finished(self, self.sim._now)
             return
         sim = self.sim
-        if isinstance(yielded, (int, float)):
-            if yielded < 0:
+        # Exact-class dispatch first: yields are overwhelmingly plain
+        # ints/floats (sleeps) and Futures, so two identity checks beat
+        # the isinstance chain; subclasses fall through to the old path.
+        cls = yielded.__class__
+        if cls is int or cls is float:
+            if not yielded >= 0:
                 raise SimulationError(
-                    f"process {self.name!r} yielded negative delay {yielded}"
+                    f"process {self.name!r} yielded negative or NaN "
+                    f"delay {yielded}"
+                )
+            sim._post(sim._now + yielded, self._step, None)
+        elif cls is Future:
+            if yielded._done:
+                # Fast lane: no callback registration, straight to the queue.
+                sim._post(sim._now, self._step, yielded._value)
+            else:
+                yielded._callbacks.append(self._wake)
+        elif isinstance(yielded, (int, float)):
+            if not yielded >= 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative or NaN "
+                    f"delay {yielded}"
                 )
             sim._post(sim._now + yielded, self._step, None)
         elif isinstance(yielded, Future):
             if yielded._done:
-                # Fast lane: no callback registration, straight to the queue.
                 sim._post(sim._now, self._step, yielded._value)
             else:
                 yielded._callbacks.append(self._wake)

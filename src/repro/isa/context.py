@@ -53,6 +53,8 @@ class KernelContext:
         self.group_index = group_index
         self._next_reg = 1
         self._pc = 0
+        # Recorded compute windows, by label (see :meth:`block`).
+        self._blocks = {}
         # r0 behaves like RISC-V x0: always ready, never written.
         self.zero = 0
 
@@ -105,6 +107,29 @@ class KernelContext:
     def branch_fwd(self, taken: bool, srcs: Sequence[int] = ()) -> BranchOp:
         """A forward branch; predicted not-taken, so taken ones flush."""
         return BranchOp(taken=taken, backward=False, srcs=srcs, pc=self._pc_next())
+
+    # -- batched compute windows -------------------------------------------
+
+    def block(self, label: str):
+        """A recorded compute-only window (see :mod:`repro.engine.batch`).
+
+        The first call for ``label`` returns a recording builder
+        (``blk.recording`` is True); later calls return a replay handle
+        for the cached window.  Both provide ``emit(iters)``, so the
+        idiomatic use records lazily at the loop position -- keeping pcs
+        identical to the hand-unrolled stream::
+
+            blk = t.block("round")
+            if blk.recording:
+                ... blk.alu(...)/blk.load(...)/blk.branch_back() ...
+            yield blk.emit(iters=ROUNDS)
+        """
+        from ..engine.batch import BlockBuilder, BlockReplay
+
+        cached = self._blocks.get(label)
+        if cached is not None:
+            return BlockReplay(self, cached)
+        return BlockBuilder(self, label)
 
     # -- compute ops --------------------------------------------------------
 
@@ -159,9 +184,21 @@ class KernelContext:
         return LoadOp(dst, addr, srcs, pc, racy)
 
     def vload(self, addr: int, n: int = 4, srcs: Sequence[int] = (),
-              racy: bool = False) -> VecLoadOp:
-        """``n`` sequential word loads (the Load Packet Compression idiom)."""
-        return VecLoadOp(self.regs(n), addr, srcs=srcs, pc=self._pc_next(),
+              racy: bool = False,
+              dsts: Optional[Sequence[int]] = None) -> VecLoadOp:
+        """``n`` sequential word loads (the Load Packet Compression idiom).
+
+        ``dsts`` names the destination registers explicitly (they must
+        number ``n``); kernels with recorded compute windows use this to
+        land each stripe in a fixed register set so the window's operand
+        tuples stay valid across iterations.  Timing is identical either
+        way -- ready times are tracked per register id.
+        """
+        if dsts is None:
+            dsts = self.regs(n)
+        elif len(dsts) != n:
+            raise ValueError(f"vload of {n} words got {len(dsts)} dsts")
+        return VecLoadOp(dsts, addr, srcs=srcs, pc=self._pc_next(),
                          racy=racy)
 
     def store(self, addr: int, srcs: Sequence[int] = (),

@@ -176,5 +176,128 @@ class SleepOp(Op):
         self.cycles = cycles
 
 
+#: Decoded-entry kinds for :class:`BlockOp` bodies.  Every entry is a
+#: uniform 6-tuple ``(kind, pc, dst, srcs, a, b)``:
+#:
+#: * ``K_INT``: ``a`` = latency
+#: * ``K_FP``:  ``a`` = unit name, ``b`` = True for the iterative unit
+#: * ``K_BR``:  ``a`` = taken (``None`` = taken except final iteration),
+#:   ``b`` = backward
+#: * ``K_LD``:  ``a`` = address (Local-SPM space only)
+K_INT, K_FP, K_BR, K_LD = 0, 1, 2, 3
+
+_FP_ITERATIVE = ("fdiv", "fsqrt")
+
+
+class BlockOp(Op):
+    """A pre-decoded compute-only instruction region, replayed ``iters``
+    times as one op.
+
+    This is the memoized-decode/batched form of the IR: the kernel
+    context records a loop body (or straight-line region) *once*, each
+    instruction decoded down to a flat operand tuple, and the core's
+    replay loop executes the whole window without touching the kernel
+    generator, without building per-instruction op objects, and -- once
+    the iteration reaches a verified steady state -- by advancing whole
+    iterations arithmetically.
+
+    Only timing-closed ops may appear in a body: int/fp compute,
+    branches with static outcomes, and Local-SPM loads (whose timing
+    never leaves the tile).  Anything that can touch shared state --
+    remote memory, atomics, fences, barriers -- stays outside so the
+    block advances the tile's local clock atomically in host order.
+
+    When any observability hook (trace/sanitize/audit) is attached, the
+    core never sees a ``BlockOp``: :func:`repro.engine.batch.expand_blocks`
+    re-materializes the recorded ops one by one, so hook-on runs take
+    the classic per-op path (and stay cycle-identical to batched runs).
+    """
+
+    __slots__ = ("body", "iters", "end_pc", "writes", "readonly",
+                 "branch_count", "load_count", "has_fdiv",
+                 "_decoded", "_decoded_width")
+
+    def __init__(self, body, iters: int, end_pc: int) -> None:
+        self.pc = body[0][1] if body else end_pc
+        self.body = tuple(body)
+        self.iters = iters
+        self.end_pc = end_pc
+        writes = []
+        reads = []
+        branch_count = 0
+        load_count = 0
+        has_fdiv = False
+        for kind, _pc, dst, srcs, a, b in self.body:
+            for s in srcs:
+                if s not in reads:
+                    reads.append(s)
+            if kind == K_BR:
+                branch_count += 1
+                continue
+            if kind == K_LD:
+                load_count += 1
+            elif kind == K_FP and b:
+                has_fdiv = True
+            if dst is not None and dst not in writes:
+                writes.append(dst)
+        self.writes = tuple(writes)
+        self.readonly = tuple(r for r in reads if r not in writes)
+        self.branch_count = branch_count
+        self.load_count = load_count
+        self.has_fdiv = has_fdiv
+        self._decoded = None
+        self._decoded_width = 0
+
+    def decoded_for(self, line_instrs: int):
+        """The replay-ready body: entries with the pc pre-divided down to
+        its icache line number, memoized per line width.  The replay loop
+        iterates these directly -- one tuple unpack per instruction, no
+        per-execution division."""
+        if self._decoded is None or self._decoded_width != line_instrs:
+            self._decoded = tuple(
+                (kind, pc // line_instrs, dst, srcs, a, b)
+                for kind, pc, dst, srcs, a, b in self.body)
+            self._decoded_width = line_instrs
+        return self._decoded
+
+    def replayed(self, iters: int) -> "BlockOp":
+        """This block with a different iteration count (shared body)."""
+        if iters == self.iters:
+            return self
+        clone = BlockOp.__new__(BlockOp)
+        for name in ("pc", "body", "end_pc", "writes", "readonly",
+                     "branch_count", "load_count", "has_fdiv",
+                     "_decoded", "_decoded_width"):
+            setattr(clone, name, getattr(self, name))
+        clone.iters = iters
+        return clone
+
+    def expand(self):
+        """Yield the equivalent per-instruction op stream.
+
+        Used by the exact path (trace/sanitize/audit attached): the
+        expanded ops carry the same pcs, registers, addresses and branch
+        outcomes the recorder saw, so the classic interpreter -- and
+        every hook observing it -- sees the identical instruction
+        stream a hand-unrolled kernel would have yielded.
+        """
+        last = self.iters - 1
+        for i in range(self.iters):
+            for kind, pc, dst, srcs, a, b in self.body:
+                if kind == K_INT:
+                    yield IntOp(dst, srcs, a, pc)
+                elif kind == K_FP:
+                    yield FpOp(dst, srcs, a, pc)
+                elif kind == K_BR:
+                    yield BranchOp(a if a is not None else i < last, b,
+                                   srcs, pc)
+                else:
+                    yield LoadOp(dst, a, srcs, pc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BlockOp({len(self.body)} ops x {self.iters} iters, "
+                f"pc={self.pc}..{self.end_pc})")
+
+
 AnyOp = Op
 MemoryOps: Tuple[type, ...] = (LoadOp, VecLoadOp, StoreOp, AmoOp)

@@ -47,30 +47,40 @@ def aes_kernel(t, args):
     tid = tile_id(t)
     blk_lo, blk_hi = range_split(args["total_blocks"], num_tiles(t), tid)
 
+    # Fixed register set: each block's state lands in the same four
+    # registers (and lookups in one scratch reg) so the recorded round
+    # window's operand tuples stay valid across blocks.  Ready times are
+    # tracked per register id, so reuse is timing-neutral.
+    state = list(t.regs(4))
+    lut = t.reg()
+
     block_top = t.loop_top()
     for b in range(blk_lo, blk_hi):
-        vl = t.vload(t.local_dram(args["input"] + 16 * b))
-        yield vl
-        state = list(vl.dsts)
+        yield t.vload(t.local_dram(args["input"] + 16 * b), dsts=state)
         # Initial AddRoundKey.
         for w in state:
             yield t.alu(w, [w])
-        round_top = t.loop_top()
-        for rnd in range(ROUNDS):
+        # The ten AES rounds are one recorded compute window: all-local
+        # work (S-box lookups hit the tile's own scratchpad), so the
+        # core replays it without re-decoding and folds the steady
+        # state.  Recorded lazily here -- at the loop position -- so the
+        # pcs match the hand-unrolled stream exactly.
+        rounds = t.block("round")
+        if rounds.recording:
             # SubBytes: 16 S-box lookups from the local scratchpad; the
             # table index depends on the state word (real data hazard).
             for byte in range(16):
                 word = state[byte % 4]
-                lookup = t.load(t.spm(4 * (byte * 4 % SBOX_WORDS)),
-                                srcs=[word])
-                yield lookup
-                yield t.alu(word, [word, lookup.dst])
+                rounds.load(t.spm(4 * (byte * 4 % SBOX_WORDS)),
+                            dst=lut, srcs=[word])
+                rounds.alu(word, [word, lut])
             # ShiftRows + MixColumns + AddRoundKey: byte shuffles and xors.
             for col in range(4):
-                yield t.alu(state[col], [state[col], state[(col + 1) % 4]])
-                yield t.mul(state[col], [state[col]])
-                yield t.alu(state[col], [state[col], state[(col + 3) % 4]])
-            yield t.branch_back(round_top, taken=(rnd < ROUNDS - 1))
+                rounds.alu(state[col], [state[col], state[(col + 1) % 4]])
+                rounds.mul(state[col], [state[col]])
+                rounds.alu(state[col], [state[col], state[(col + 3) % 4]])
+            rounds.branch_back()
+        yield rounds.emit(iters=ROUNDS)
         for i, w in enumerate(state):
             yield t.store(t.local_dram(args["output"] + 16 * b + 4 * i),
                           srcs=[w])

@@ -38,6 +38,13 @@ def fft_kernel(t, args):
     lo, hi = range_split(half, ntiles, tid)
     base = args["data"]
 
+    # Fixed register set: every butterfly's operands land in the same
+    # registers so the recorded FP windows' operand tuples stay valid.
+    idx_r = t.reg()
+    are, aim, bre, bim = t.regs(4)
+    tre, tim = t.reg(), t.reg()
+    out0re, out0im, out1re, out1im = t.regs(4)
+
     stage_top = t.loop_top()
     for s in range(stages):
         stride = 1 << s
@@ -48,31 +55,33 @@ def fft_kernel(t, args):
             offset = b % stride
             idx = block * 2 * stride + offset
             pair = idx + stride
-            yield t.alu(t.reg())  # index arithmetic
+            yield t.alu(idx_r)  # index arithmetic
             if stride == 1 and idx % 2 == 0:
                 # Adjacent complex pair: one compressed 4-word load.
-                vl = t.vload(t.local_dram(base + 8 * idx))
-                yield vl
-                are, aim, bre, bim = vl.dsts
+                yield t.vload(t.local_dram(base + 8 * idx),
+                              dsts=(are, aim, bre, bim))
+                shape = 1
             else:
-                a_ld = t.vload(t.local_dram(base + 8 * idx), n=2)
-                yield a_ld
-                b_ld = t.vload(t.local_dram(base + 8 * pair), n=2)
-                yield b_ld
-                are, aim = a_ld.dsts
-                bre, bim = b_ld.dsts
-            # Twiddle multiply (4 fmul + 2 fadd) and butterfly add/sub.
-            tre, tim = t.reg(), t.reg()
-            yield t.fmul(tre, [bre])
-            yield t.fma(tre, [tre, bim])
-            yield t.fmul(tim, [bim])
-            yield t.fma(tim, [tim, bre])
-            out0re, out0im = t.reg(), t.reg()
-            out1re, out1im = t.reg(), t.reg()
-            yield t.fadd(out0re, [are, tre])
-            yield t.fadd(out0im, [aim, tim])
-            yield t.fadd(out1re, [are, tre])
-            yield t.fadd(out1im, [aim, tim])
+                yield t.vload(t.local_dram(base + 8 * idx), n=2,
+                              dsts=(are, aim))
+                yield t.vload(t.local_dram(base + 8 * pair), n=2,
+                              dsts=(bre, bim))
+                shape = 2
+            # Twiddle multiply (4 fmul + 2 fadd) and butterfly add/sub,
+            # as one recorded window.  Stage 0's single compressed load
+            # puts the window one pc earlier than the two-load stages,
+            # so it is keyed by the load shape.
+            bfly = t.block(f"bfly/{shape}")
+            if bfly.recording:
+                bfly.fmul(tre, [bre])
+                bfly.fma(tre, [tre, bim])
+                bfly.fmul(tim, [bim])
+                bfly.fma(tim, [tim, bre])
+                bfly.fadd(out0re, [are, tre])
+                bfly.fadd(out0im, [aim, tim])
+                bfly.fadd(out1re, [are, tre])
+                bfly.fadd(out1im, [aim, tim])
+            yield bfly.emit()
             yield t.store(t.local_dram(base + 8 * idx), srcs=[out0re])
             yield t.store(t.local_dram(base + 8 * idx + 4), srcs=[out0im])
             yield t.store(t.local_dram(base + 8 * pair), srcs=[out1re])

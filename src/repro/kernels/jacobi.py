@@ -72,42 +72,56 @@ def jacobi_kernel(t, args):
     if py < gh - 1:
         neighbours.append((0, 1))
 
+    # Fixed register sets: every chunk's loads land in the same
+    # registers so the recorded stencil windows' operand tuples stay
+    # valid across chunks.  The loads themselves stay classic ops --
+    # their addresses change every chunk, and the race checker must
+    # keep seeing the real ones.
+    self_regs = list(t.regs(6))
+    nbr_regs = list(t.regs(4 * len(neighbours)))
+    accs = list(t.regs(4))
+
     iter_top = t.loop_top()
     for it in range(args["iters"]):
         chunk_top = t.loop_top()
         for z0 in range(1, z + 1, 4):
             # 22-point load pattern of Fig 7: 6 self + 4x4 neighbours.
-            self_regs = []
             for j in range(6):
                 if use_spm:
-                    ld = t.load(t.spm(cur + 4 * min(z0 - 1 + j,
-                                                    col_words - 1)))
+                    yield t.load(t.spm(cur + 4 * min(z0 - 1 + j,
+                                                     col_words - 1)),
+                                 dst=self_regs[j])
                 else:
-                    ld = t.load(t.local_dram(
-                        my_col + 4 * min(z0 - 1 + j, col_words - 1)))
-                yield ld
-                self_regs.append(ld.dst)
-            nbr_regs = []
+                    yield t.load(t.local_dram(
+                        my_col + 4 * min(z0 - 1 + j, col_words - 1)),
+                        dst=self_regs[j])
+            nr = 0
             for dx, dy in neighbours:
                 for j in range(4):
                     word = min(z0 + j, col_words - 1)
                     if use_spm:
                         # Non-blocking remote SPM loads pipeline in the
                         # network; consumption below creates load-use slack.
-                        ld = t.load(neighbour_addr(dx, dy, word))
+                        yield t.load(neighbour_addr(dx, dy, word),
+                                     dst=nbr_regs[nr])
                     else:
                         nid = tid + dx + dy * gw
-                        ld = t.load(t.local_dram(
-                            args["grid"] + 4 * (col_words * nid + word)))
-                    yield ld
-                    nbr_regs.append(ld.dst)
-            # Compute and store the 1x1x4 output chunk.
+                        yield t.load(t.local_dram(
+                            args["grid"] + 4 * (col_words * nid + word)),
+                            dst=nbr_regs[nr])
+                    nr += 1
+            # Compute and store the 1x1x4 output chunk.  Each output
+            # word's FP chain is a recorded window (the interleaved
+            # stores keep their own pcs, so the windows are per-word).
             for j in range(4):
-                acc = t.reg()
-                yield t.fmul(acc, [self_regs[j], self_regs[j + 1]])
-                yield t.fma(acc, [acc, self_regs[j + 2]])
-                for k in range(j, len(nbr_regs), 4):
-                    yield t.fma(acc, [acc, nbr_regs[k]])
+                acc = accs[j]
+                stencil = t.block(f"stencil{j}")
+                if stencil.recording:
+                    stencil.fmul(acc, [self_regs[j], self_regs[j + 1]])
+                    stencil.fma(acc, [acc, self_regs[j + 2]])
+                    for k in range(j, len(nbr_regs), 4):
+                        stencil.fma(acc, [acc, nbr_regs[k]])
+                yield stencil.emit()
                 if use_spm:
                     yield t.store(t.spm(nxt + 4 * (z0 + j)), srcs=[acc])
                 else:

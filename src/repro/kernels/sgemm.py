@@ -56,46 +56,58 @@ def sgemm_kernel(t, args):
                        * args.get("work_fraction", 1.0))
     blk_lo, blk_hi = range_split(total_blocks, ntiles, tid)
 
+    # Fixed register sets so the recorded fma windows' operand tuples
+    # stay valid across C blocks: 16 accumulators plus two load buffers
+    # (double buffering alternates them), each 2*TB stripes of TB words.
+    accs = [t.reg() for _ in range(TB * TB)]
+    bufs = [[t.regs(TB) for _ in range(2 * TB)] for _ in range(2)]
+
     blk_top = t.loop_top()
     for blk in range(blk_lo, blk_hi):
         bi, bj = divmod(blk, blocks_per_dim)
-        accs = [t.reg() for _ in range(TB * TB)]
-        for acc in accs:
-            yield t.alu(acc)
+        zero = t.block("zero_accs")
+        if zero.recording:
+            for acc in accs:
+                zero.alu(acc)
+        yield zero.emit()
 
-        def issue_chunk(k):
+        def issue_chunk(k, buf):
             # One A-row chunk and one B-column chunk per block row/col:
             # 2*TB compressed loads feeding TB*TB fmas.
-            a_rows = []
             for r in range(TB):
-                av = t.vload(t.local_dram(
-                    args["a"] + 4 * (n * (bi * TB + r) + k)))
-                yield av
-                a_rows.append(av.dsts)
-            b_cols = []
+                yield t.vload(t.local_dram(
+                    args["a"] + 4 * (n * (bi * TB + r) + k)), dsts=buf[r])
             for cidx in range(TB):
-                bv = t.vload(t.local_dram(
-                    args["b"] + 4 * (n * (bj * TB + cidx) + k)))
-                yield bv
-                b_cols.append(bv.dsts)
-            return a_rows, b_cols
+                yield t.vload(t.local_dram(
+                    args["b"] + 4 * (n * (bj * TB + cidx) + k)),
+                    dsts=buf[TB + cidx])
 
         # Double-buffered k loop: chunk k+TB's non-blocking loads are in
         # the network while chunk k's fmas execute (load-use distance).
+        nk = n // TB
         k_top = t.loop_top()
-        current = yield from issue_chunk(0)
-        for k in range(0, n, TB):
-            last = k + TB >= n
-            nxt = None if last else (yield from issue_chunk(k + TB))
-            a_rows, b_cols = current
-            # u-outermost: 15 other fmas separate successive writes to the
-            # same accumulator, hiding the 3-cycle fma latency.
-            for u in range(TB):
-                for r in range(TB):
-                    for cidx in range(TB):
-                        acc = accs[r * TB + cidx]
-                        yield t.fma(acc, [acc, a_rows[r][u], b_cols[cidx][u]])
-            current = nxt
+        yield from issue_chunk(0, bufs[0])
+        for j in range(nk):
+            last = j == nk - 1
+            if not last:
+                yield from issue_chunk((j + 1) * TB, bufs[(j + 1) % 2])
+            buf = bufs[j % 2]
+            # The 64-fma chunk is a recorded window.  Its pc offset
+            # within the loop body differs between the first, middle and
+            # final iterations (the vload count ahead of it varies), and
+            # its operands alternate with the buffer parity -- so the
+            # window is keyed by both, recorded lazily in place.
+            chunk = t.block(f"fma+{t.loop_top() - k_top}/{j % 2}")
+            if chunk.recording:
+                # u-outermost: 15 other fmas separate successive writes
+                # to the same accumulator, hiding the 3-cycle fma latency.
+                for u in range(TB):
+                    for r in range(TB):
+                        for cidx in range(TB):
+                            acc = accs[r * TB + cidx]
+                            chunk.fma(acc, [acc, buf[r][u],
+                                            buf[TB + cidx][u]])
+            yield chunk.emit()
             yield t.branch_back(k_top, taken=not last)
         for r in range(TB):
             for cidx in range(TB):

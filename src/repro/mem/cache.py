@@ -81,7 +81,20 @@ class CacheBank:
                words: int = 1, is_amo: bool = False) -> Future:
         """Serve one request; the future resolves when the response data is
         ready to inject into the response network."""
+        res = self.access_timed(mem_addr, is_write, time, words, is_amo)
+        if res.__class__ is Future:
+            return res
         fut = Future(self.sim)
+        fut.resolve_at(res, None)
+        return fut
+
+    def access_timed(self, mem_addr: int, is_write: bool, time: float,
+                     words: int = 1, is_amo: bool = False):
+        """Serve one request; returns the data-ready cycle as a plain
+        float when it is synchronously known (hits and write-validate
+        stores -- the overwhelmingly common cases), or a :class:`Future`
+        on the miss paths, whose completion depends on MSHR/HBM state.
+        Callers that need a uniform future use :meth:`access`."""
         # The bank data port is double-pumped (two words per port cycle),
         # so an n-word access holds it for ceil(n * cpa / 2) cycles and
         # never less than one: flooring would let single-word requests
@@ -113,8 +126,7 @@ class CacheBank:
                     "amo-hit" if is_amo
                     else ("store-hit" if is_write else "load-hit"),
                     start, port_cycles)
-            fut.resolve_at(start + self._hit_latency, None)
-            return fut
+            return start + self._hit_latency
         cv["store_misses" if is_write else "load_misses"] += 1
         if trace is not None:
             # The span covers the port occupancy (reservation window);
@@ -124,16 +136,18 @@ class CacheBank:
                 "amo-miss" if is_amo
                 else ("store-miss" if is_write else "load-miss"),
                 start, port_cycles)
+        if is_write and not is_amo and self.write_validate:
+            # Allocate without fetching; only a dirty victim costs DRAM
+            # work (and the writeback posts no events, so returning the
+            # ready time keeps the caller's schedule order unchanged).
+            self._install(line, dirty=True, time=start)
+            return start + self._hit_latency
+        fut = Future(self.sim)
         if is_amo:
             # Read-modify-write: the old value is needed, so even under
             # write-validate the line must be fetched; it refills dirty.
             self._miss(line, fut, start, mark_dirty=True,
                        port_cycles=port_cycles)
-            return fut
-        if is_write and self.write_validate:
-            # Allocate without fetching; only a dirty victim costs DRAM work.
-            self._install(line, dirty=True, time=start)
-            fut.resolve_at(start + self._hit_latency, None)
             return fut
         self._miss(line, fut, start, mark_dirty=is_write,
                    port_cycles=port_cycles)

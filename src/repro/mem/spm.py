@@ -37,12 +37,22 @@ class Scratchpad:
     def access(self, offset: int, is_write: bool, time: float,
                words: int = 1) -> Future:
         """Serve a (possibly remote) SPM access; resolves when data is ready."""
-        self.check_offset(offset)
         fut = Future(self.sim)
+        fut.resolve_at(self.access_timed(offset, is_write, time, words), None)
+        return fut
+
+    def access_timed(self, offset: int, is_write: bool, time: float,
+                     words: int = 1) -> float:
+        """Like :meth:`access`, but returns the data-ready cycle directly.
+
+        SPM accesses always complete at a synchronously known cycle, so
+        the memory system can schedule the response without routing it
+        through an intermediate future.
+        """
+        self.check_offset(offset)
         start = self.reserve(time, words)
         self.counters.add("writes" if is_write else "reads")
-        fut.resolve_at(start + self.access_latency, None)
-        return fut
+        return start + self.access_latency
 
     def utilization(self, elapsed: float) -> float:
         return self._port.utilization(elapsed)

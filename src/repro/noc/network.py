@@ -123,6 +123,45 @@ class Network:
             self._audit.noc_send(self, src, dst, flits, time, report)
         return report
 
+    def send_arrival(self, src: Coord, dst: Coord, flits: int,
+                     time: float) -> float:
+        """Hot-path variant of :meth:`send` returning only the arrival
+        cycle.  Link-state updates and counters are identical; the
+        :class:`DeliveryReport` allocation is skipped.  Falls back to
+        :meth:`send` whenever an attached hook needs the full report.
+        """
+        if self._trace is not None or self._audit is not None:
+            return self.send(src, dst, flits, time).arrival
+        if flits <= 0:
+            raise ValueError("packets carry at least one flit")
+        path = self._routes.get((src, dst))
+        if path is None:
+            path = tuple(route(self.topology, src, dst, order=self.order))
+            self._routes[(src, dst)] = path
+        hop_cost = self._hop_cost
+        stall_total = 0.0
+        head = time + self._inject
+        for link in path:
+            start = link.free_at
+            if start < head:
+                start = head
+            else:
+                stall = start - head
+                stall_total += stall
+                link.stall_cycles += stall
+            link.free_at = start + flits
+            link.busy_cycles += flits
+            link.packets += 1
+            if link.series is not None:
+                link.series.add_range(start, start + flits)
+            head = start + hop_cost
+        cv = self.counters.raw
+        cv["packets"] += 1
+        cv["flits"] += flits
+        cv["hops"] += len(path)
+        cv["stall_cycles"] += stall_total
+        return head + (flits - 1) + self._eject
+
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
         """Latency with no contention (for tests and analytic checks)."""
         hops = len(route(self.topology, src, dst, order=self.order))

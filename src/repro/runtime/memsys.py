@@ -60,6 +60,9 @@ class MemorySystem:
         # Hot-path constants (remote_request runs once per remote op).
         self._creq_flits = timings.noc.compressed_request_flits
         self._cresp_flits = timings.noc.compressed_response_flits
+        # The translator's memo dict, aliased for an inline probe (its
+        # capacity flush uses clear(), so the object identity is stable).
+        self._tmemo = self.translator._memo
         #: Race-checker hook (set by :func:`repro.sanitize.attach`):
         #: observes AMO bank serialization and host poke/peek accesses.
         self._san: Optional[Any] = None
@@ -109,7 +112,9 @@ class MemorySystem:
                        time: float, words: int = 1) -> Future:
         """A remote load/store.  The returned future resolves with the
         response's arrival cycle back at the requesting tile."""
-        dest = self.translator.translate(addr, node)
+        dest = self._tmemo.get((addr, node))
+        if dest is None:
+            dest = self.translator.translate(addr, node)
         if words > 1:
             req_flits = self._creq_flits
             resp_flits = 1 if is_write else self._cresp_flits
@@ -117,9 +122,9 @@ class MemorySystem:
             req_flits = 1
             resp_flits = 1
         done = Future(self.sim)
-        report = self.req_net.send(node, dest.node, req_flits, time)
+        arrival = self.req_net.send_arrival(node, dest.node, req_flits, time)
         # Engine-internal post: one args tuple instead of a closure.
-        self.sim._post(report.arrival, self._serve_request,
+        self.sim._post(arrival, self._serve_request,
                        (dest, node, is_write, words, resp_flits, done))
         return done
 
@@ -127,15 +132,22 @@ class MemorySystem:
         dest, node, is_write, words, resp_flits, done = args
         arrival = self.sim._now
         if dest.kind is TargetKind.SPM:
-            ready = self.spms[dest.node].access(
+            ready = self.spms[dest.node].access_timed(
                 dest.mem_addr, is_write, arrival, words
             )
         else:
             bank = self.banks[(dest.cell_xy, dest.bank_index)]
-            ready = bank.access(dest.mem_addr, is_write, arrival, words)
-        ready.add_callback(
-            lambda _v: self._respond(dest.node, node, resp_flits, done)
-        )
+            ready = bank.access_timed(dest.mem_addr, is_write, arrival, words)
+        if ready.__class__ is Future:
+            # Miss path: completion depends on MSHR/HBM state.
+            ready.add_callback(
+                lambda _v: self._respond(dest.node, node, resp_flits, done)
+            )
+        else:
+            # Synchronous outcome: schedule the response directly, with
+            # no intermediate future between bank and response network.
+            self.sim._post(ready, self._respond_args,
+                           (dest.node, node, resp_flits, done, None))
 
     def remote_amo(self, node: Coord, addr: int, kind: str, value: int,
                    time: float) -> Future:
@@ -144,12 +156,14 @@ class MemorySystem:
         The functional read-modify-write executes when the packet reaches
         the bank, in event order -- the simulated serialization point.
         """
-        dest = self.translator.translate(addr, node)
+        dest = self._tmemo.get((addr, node))
+        if dest is None:
+            dest = self.translator.translate(addr, node)
         if dest.kind is not TargetKind.CACHE:
             raise ValueError("atomics target DRAM spaces (cache banks) only")
         done = Future(self.sim)
-        report = self.req_net.send(node, dest.node, 1, time)
-        self.sim._post(report.arrival, self._serve_amo,
+        arrival = self.req_net.send_arrival(node, dest.node, 1, time)
+        self.sim._post(arrival, self._serve_amo,
                        (dest, node, kind, value, done))
         return done
 
@@ -162,19 +176,33 @@ class MemorySystem:
             self._san.amo_serialized(node, dest, arrival)
         old = self._amo_execute(dest, kind, value)
         bank = self.banks[(dest.cell_xy, dest.bank_index)]
-        ready = bank.access(dest.mem_addr, is_write=False,
-                            time=arrival, is_amo=True)
-        ready.add_callback(
-            lambda _v: self._respond(dest.node, node, 1, done, payload=old)
-        )
+        ready = bank.access_timed(dest.mem_addr, is_write=False,
+                                  time=arrival, is_amo=True)
+        if ready.__class__ is Future:
+            ready.add_callback(
+                lambda _v: self._respond(dest.node, node, 1, done,
+                                         payload=old)
+            )
+        else:
+            self.sim._post(ready, self._respond_args,
+                           (dest.node, node, 1, done, old))
 
     def _respond(self, src: Coord, dst: Coord, flits: int, done: Future,
                  payload: Any = None) -> None:
-        report = self.resp_net.send(src, dst, flits, self.sim.now)
+        arrival = self.resp_net.send_arrival(src, dst, flits, self.sim.now)
         if payload is None:
-            done.resolve_at(report.arrival, report.arrival)
+            done.resolve_at(arrival, arrival)
         else:
-            done.resolve_at(report.arrival, (report.arrival, payload))
+            done.resolve_at(arrival, (arrival, payload))
+
+    def _respond_args(self, args) -> None:
+        """:meth:`_respond` with an args tuple (the ``_post`` fast form)."""
+        src, dst, flits, done, payload = args
+        arrival = self.resp_net.send_arrival(src, dst, flits, self.sim._now)
+        if payload is None:
+            done.resolve_at(arrival, arrival)
+        else:
+            done.resolve_at(arrival, (arrival, payload))
 
     # -- functional atomic memory ----------------------------------------------------
 

@@ -50,6 +50,20 @@ def test_negative_delay_rejected():
         sim.schedule(-1, lambda: None)
 
 
+def test_nan_delay_rejected():
+    # NaN fails every comparison, so a naive ``delay < 0`` check lets it
+    # through and silently corrupts the heap order; the guard must catch it.
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="NaN"):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_nan_absolute_time_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
 def test_schedule_in_past_rejected():
     sim = Simulator()
     sim.schedule(10, lambda: None)

@@ -152,6 +152,17 @@ def test_negative_yield_raises():
         sim.run()
 
 
+def test_nan_yield_raises():
+    sim = Simulator()
+
+    def proc():
+        yield float("nan")
+
+    spawn(sim, proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
 def test_unsupported_yield_raises():
     sim = Simulator()
 
