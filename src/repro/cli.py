@@ -16,6 +16,9 @@ reproduced figure.  ``python -m repro list`` shows what is available.
 * ``repro audit <kernel|all>`` runs one suite kernel (or every kernel)
   under the timing-model invariant/differential checker and exits 1 on
   any violation;
+* ``repro cells <kernel|exchange|pipeline>`` simulates a multi-Cell
+  grid as parallel PDES shards (``--cells CXxCY``, ``--cell-workers``,
+  ``--check-determinism``);
 * ``repro kernels`` lists the Table-I benchmark registry;
 * ``repro bench-speed`` measures the engine's own host throughput;
 * ``--profile`` wraps any experiment in cProfile and prints the hottest
@@ -68,6 +71,51 @@ COST_HINT = {
 }
 
 
+def _parse_cells(text: str) -> tuple:
+    """``"2x1"`` -> ``(2, 1)`` (the --cells grid syntax)."""
+    try:
+        x, _, y = text.lower().partition("x")
+        cx, cy = int(x), int(y)
+        if cx < 1 or cy < 1:
+            raise ValueError
+        return cx, cy
+    except ValueError:
+        raise SystemExit(f"bad --cells {text!r}: want CXxCY, e.g. 2x1")
+
+
+def _bench_cells(args: argparse.Namespace) -> int:
+    """``bench-speed --cells``: PDES scaling over serialized execution."""
+    import json
+
+    from .arch.config import HB_16x8
+    from .profile.speed import measure_cells
+
+    cx, cy = _parse_cells(args.cells)
+    config = HB_16x8.with_geometry(cells_x=cx, cells_y=cy)
+    workers = args.cell_workers or min(cx * cy, 2)
+    kernels = args.kernels or ["AES", "PR"]
+    samples = {}
+    for name in kernels:
+        s = measure_cells(config, name, size=args.size or "tiny",
+                          workers=workers, repeats=args.repeats,
+                          window=args.sync_window)
+        samples[name] = s
+        det = "deterministic" if s["deterministic"] else "NON-DETERMINISTIC"
+        print(f"{name:10s} serial={s['serial_wall_seconds']:.3f}s "
+              f"parallel={s['parallel_wall_seconds']:.3f}s "
+              f"scaling={s['scaling']:.2f}x ({det})")
+        if s["host_cpus"] < workers:
+            print(f"           note: host has {s['host_cpus']} CPU(s) for "
+                  f"{workers} workers -- they time-share, so scaling "
+                  "saturates at ~1x here; rerun on a multicore host for "
+                  "the real curve")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(samples, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0 if all(s["deterministic"] for s in samples.values()) else 1
+
+
 def _bench_speed(args: argparse.Namespace) -> int:
     """Measure host events/sec per suite kernel (the engine benchmark)."""
     import json
@@ -75,6 +123,8 @@ def _bench_speed(args: argparse.Namespace) -> int:
     from .arch.config import HB_16x8
     from .profile.speed import measure_suite
 
+    if args.cells:
+        return _bench_cells(args)
     kernels = args.kernels or ["PR", "BFS", "SpGEMM", "AES", "SGEMM",
                                "Jacobi", "BS", "SW", "FFT", "BH"]
     samples = measure_suite(HB_16x8, size=args.size or "small",
@@ -238,6 +288,87 @@ def _audit_cmd(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def _cells_cmd(args: argparse.Namespace) -> int:
+    """``repro cells <kernel|exchange|pipeline>``: one PDES run.
+
+    Simulates every Cell of a ``--cells CXxCY`` grid as a parallel
+    shard.  Suite kernels run one independent instance per Cell; the
+    ``exchange``/``pipeline`` fixtures push real traffic across the
+    Cell seams.  ``--check-determinism`` reruns with 1 worker and
+    requires a bit-identical fingerprint; exit is non-zero on a
+    fingerprint mismatch or an unclean audit/sanitize pass.
+    """
+    import json
+    import os
+
+    from .arch.config import HB_16x8
+    from .experiments.common import suite_args
+    from .kernels.registry import SUITE
+    from .pdes import LaunchSpec, run_cells
+    from .pdes import fixture as xfix
+
+    cx, cy = _parse_cells(args.cells)
+    config = HB_16x8.with_geometry(cells_x=cx, cells_y=cy)
+    size = args.size or "tiny"
+    target = (args.target or "exchange").lower()
+    if target == "exchange":
+        name, launches = "exchange", xfix.exchange_launches(config)
+    elif target == "pipeline":
+        name, launches = "pipeline", xfix.pipeline_launches(config)
+    else:
+        by_lower = {k.lower(): k for k in SUITE}
+        name = by_lower.get(target)
+        if name is None:
+            print(f"unknown kernel {args.target!r}; one of: "
+                  + ", ".join(SUITE) + ", exchange, pipeline",
+                  file=sys.stderr)
+            return 2
+        launches = [LaunchSpec(cell=xy, kernel=name,
+                               args=suite_args(name, size),
+                               remote=False)
+                    for xy in config.chip.cells()]
+    workers = args.cell_workers or min(cx * cy, os.cpu_count() or 1)
+    res = run_cells(config, launches, workers=workers,
+                    window=args.sync_window, audit=args.audit_cells,
+                    sanitize=args.sanitize_cells)
+    deterministic = None
+    if args.check_determinism:
+        ref = run_cells(config, launches, workers=1,
+                        window=args.sync_window, audit=args.audit_cells,
+                        sanitize=args.sanitize_cells)
+        deterministic = ref.fingerprint() == res.fingerprint()
+    report = res.to_dict()
+    report["kernel"], report["size"] = name, size
+    if deterministic is not None:
+        report["deterministic"] = deterministic
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{name} ({size}) on {config.name} {cx}x{cy} cells, "
+              f"{res.workers} worker(s):")
+        for shard in res.shards:
+            cyc = ", ".join(f"{c:g}" for c in shard["cycles"]) or "-"
+            print(f"  cell {tuple(shard['cell'])}: {cyc} cycles, "
+                  f"{shard['events']:,} events, "
+                  f"{shard['sent']} msgs out / {shard['received']} in")
+        print(f"  sync: window={res.window:g} (lookahead {res.lookahead:g}), "
+              f"{res.rounds} rounds, {res.messages} cross-Cell messages, "
+              f"{res.wall_seconds:.3f}s wall")
+        if deterministic is not None:
+            print("  determinism: " + ("1-worker run is bit-identical"
+                                       if deterministic else
+                                       "MISMATCH vs 1-worker run"))
+        if args.audit_cells or args.sanitize_cells:
+            print("  checks: " + ("clean" if res.clean else "VIOLATIONS"))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        if not args.json:
+            print(f"wrote {args.out}")
+    failed = (deterministic is False) or not res.clean
+    return 1 if failed else 0
+
+
 def _trace_cmd(args: argparse.Namespace) -> int:
     """``repro trace <kernel>``: one traced run, Chrome-trace JSON out."""
     from .arch.config import HB_16x8
@@ -375,8 +506,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
-             + ", sweep, journal, trace, sanitize, audit, kernels, "
-               "bench-speed, list, all",
+             + ", sweep, journal, trace, sanitize, audit, cells, "
+               "kernels, bench-speed, list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -408,6 +539,25 @@ def main(argv=None) -> int:
     parser.add_argument("--window", type=float, default=100.0, metavar="CYC",
                         help="trace: metrics sampling window in cycles "
                              "(default: 100)")
+    parser.add_argument("--cells", default=None, metavar="CXxCY",
+                        help="cells: Cell grid (default 2x1); bench-speed: "
+                             "switch to the PDES scaling benchmark")
+    parser.add_argument("--cell-workers", type=int, default=None, metavar="N",
+                        help="cells/bench-speed --cells: shard worker "
+                             "processes (default: min(cells, cpus))")
+    parser.add_argument("--sync-window", type=float, default=None,
+                        metavar="CYC",
+                        help="cells: conservative window size (default: "
+                             "the inter-Cell lookahead)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="cells: rerun with 1 worker and require a "
+                             "bit-identical fingerprint")
+    parser.add_argument("--audit", dest="audit_cells", action="store_true",
+                        help="cells: attach the timing-model auditor to "
+                             "every shard")
+    parser.add_argument("--sanitize", dest="sanitize_cells",
+                        action="store_true",
+                        help="cells: attach the race checker to every shard")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="sweep: worker processes (default: CPU count; "
                              "0 runs in-process)")
@@ -434,8 +584,11 @@ def main(argv=None) -> int:
               "findings)")
         print("audit <kernel|all> (timing-model invariant check; exit 1 "
               "on violations)")
+        print("cells <kernel|exchange|pipeline> (parallel multi-Cell "
+              "PDES run; --cells CXxCY --cell-workers N)")
         print("kernels (list the Table-I benchmark registry)")
-        print("bench-speed (engine host-throughput benchmark)")
+        print("bench-speed (engine host-throughput benchmark; --cells "
+              "CXxCY for the PDES scaling bench)")
         return 0
     if name == "kernels":
         return _kernels_cmd()
@@ -449,6 +602,10 @@ def main(argv=None) -> int:
             print(profile_top(_bench_speed, args))
             return 0
         return _bench_speed(args)
+    if name == "cells":
+        if args.cells is None:
+            args.cells = "2x1"
+        return _cells_cmd(args)
     if name == "trace":
         return _trace_cmd(args)
     if name == "sweep":

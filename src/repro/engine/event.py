@@ -342,6 +342,58 @@ class Simulator:
                 finally:
                     self.events_executed += executed
                 return self._now
+            if (max_events is None and self.tracer is None
+                    and self.audit is None):
+                # Bounded fast path: the same inlined drain, stopping as
+                # soon as the heap's head is past the horizon.  The FIFO
+                # lane never needs a horizon check -- its events are at
+                # the current time, which only reaches ``until`` via the
+                # guarded heap refill.  This is the PDES window loop's
+                # hot path: thousands of ``run(until=barrier)`` calls per
+                # shard must not pay the peek()-per-event slow loop.
+                fast = self._fast
+                queue = self._queue
+                pool = self._pool
+                heappop = heapq.heappop
+                append = fast.append
+                popleft = fast.popleft
+                executed = 0
+                try:
+                    while True:
+                        if fast:
+                            event = popleft()
+                        elif queue:
+                            tnext = queue[0][0]
+                            if tnext > until:
+                                break
+                            self._now = tnext
+                            while queue and queue[0][0] == tnext:
+                                append(heappop(queue)[2])
+                            continue
+                        else:
+                            break
+                        if event.cancelled:
+                            self._ncancelled -= 1
+                            continue
+                        fn = event.fn
+                        arg = event.arg
+                        event.fn = None
+                        event.arg = None
+                        if event.pooled:
+                            if len(pool) < _POOL_MAX:
+                                pool.append(event)
+                        else:
+                            event._sim = None
+                        executed += 1
+                        if arg is _NO_ARG:
+                            fn()
+                        else:
+                            fn(arg)
+                finally:
+                    self.events_executed += executed
+                if until > self._now:
+                    self._now = until
+                return self._now
             count = 0
             tracer = self.tracer
             auditor = self.audit

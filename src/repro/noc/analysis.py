@@ -103,3 +103,68 @@ def zero_load_diameter(cols: int, rows: int, ruche_factor: int) -> int:
         q, r = divmod(dx, ruche_factor)
         dx = q + r
     return dx + dy
+
+
+# ---------------------------------------------------------------------------
+# Inter-Cell latency floor: the PDES lookahead.
+
+def _hops(dx: int, dy: int, ruche: bool, factor: int) -> int:
+    """Dimension-ordered hop count between nodes ``dx`` columns and
+    ``dy`` rows apart (the arithmetic of :func:`repro.noc.routing.hop_count`,
+    without needing a Topology)."""
+    dx, dy = abs(dx), abs(dy)
+    if ruche and factor > 1:
+        q, r = divmod(dx, factor)
+        dx = q + r
+    return dx + dy
+
+
+def min_intercell_hops(config) -> int:
+    """Fewest network hops any cross-Cell (tile, cache-bank) pair is apart.
+
+    Every cross-Cell packet travels tile -> foreign bank (requests, AMOs)
+    or bank -> foreign tile (responses); tile-to-tile traffic does not
+    exist (remote SPM access across Cells is rejected by the PDES
+    channel).  Both directions of a pair have the same dimension-ordered
+    hop count, so one scan over (tile, bank) pairs of the two adjacency
+    directions covers all message kinds.  With the cache strips on the
+    Cell's north/south edges this floor is 2 hops for any geometry:
+    horizontally, the last tile column is 1 column + >=1 row from the
+    neighbour's nearest bank; vertically, the south strip row is 2 rows
+    above the next Cell's north strip.
+    """
+    chip = config.chip
+    if chip.num_cells < 2:
+        raise ValueError("min_intercell_hops needs a multi-Cell chip")
+    ruche = config.features.ruche_network
+    factor = config.timings.noc.ruche_factor
+    pairs = []
+    if chip.cells_x > 1:
+        pairs.append(((0, 0), (1, 0)))
+    if chip.cells_y > 1:
+        pairs.append(((0, 0), (0, 1)))
+    best = None
+    for cell_a, cell_b in pairs:
+        for tile in chip.cell.tile_coords():
+            tx, ty = chip.to_global(cell_a, tile)
+            for bank in chip.cell.bank_coords():
+                bx, by = chip.to_global(cell_b, bank)
+                hops = _hops(bx - tx, by - ty, ruche, factor)
+                if best is None or hops < best:
+                    best = hops
+    return best
+
+
+def intercell_lookahead(config) -> float:
+    """Zero-load latency floor of any cross-Cell packet: the conservative
+    PDES window.  No message emitted at simulated time ``t`` can arrive
+    at another Cell before ``t + lookahead``, so shards may advance
+    ``lookahead`` cycles past the global minimum next-event time without
+    ever receiving a message from their past.  Reuses the zero-load
+    decomposition (inject + hops * hop_cost + eject, single flit) that
+    the audit layer validates per delivered packet.
+    """
+    noc = config.timings.noc
+    hop_cost = noc.router_latency + noc.link_cycles_per_flit
+    return (noc.inject_latency + min_intercell_hops(config) * hop_cost
+            + noc.eject_latency)

@@ -21,7 +21,7 @@ from typing import Dict, Optional, Tuple
 from ..arch.geometry import ChipGeometry, Coord
 from ..arch.params import NocTiming
 from ..engine.stats import Counter
-from .routing import route
+from .routing import hop_count, route
 from .topology import Link, Topology
 
 
@@ -64,6 +64,7 @@ class Network:
         self._inject = timing.inject_latency
         self._eject = timing.eject_latency
         self._routes: Dict[Tuple[Coord, Coord], Tuple[Link, ...]] = {}
+        self._hops: Dict[Tuple[Coord, Coord], int] = {}
         if record_bin_width is not None:
             for link in self.topology.links():
                 link.enable_series(record_bin_width)
@@ -165,6 +166,23 @@ class Network:
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
         """Latency with no contention (for tests and analytic checks)."""
         hops = len(route(self.topology, src, dst, order=self.order))
+        return (self._inject + hops * self._hop_cost
+                + (flits - 1) + self._eject)
+
+    def conservative_latency(self, src: Coord, dst: Coord,
+                             flits: int = 1) -> float:
+        """Zero-load latency with *no state touched*: pure arithmetic on a
+        memoized hop count.  Equal to :meth:`zero_load_latency` (dimension-
+        ordered paths take exactly ``hop_count`` links), but safe to call
+        from the PDES cross-Cell channel, where pricing a packet must not
+        mutate link reservations -- shards never share link state, so any
+        mutation here would make their histories diverge.
+        """
+        key = (src, dst)
+        hops = self._hops.get(key)
+        if hops is None:
+            hops = hop_count(self.topology, src, dst)
+            self._hops[key] = hops
         return (self._inject + hops * self._hop_cost
                 + (flits - 1) + self._eject)
 

@@ -24,11 +24,18 @@ from .fingerprint import code_fingerprint
 from .graph import Plan, Sweep, build_plan, reduce_all
 from .job import Job, execute, jsonable
 from .journal import RunJournal, read_journal
-from .pool import JobOutcome, collect_payloads, execute_serial, run_jobs
+from .pool import (
+    WORKER_BUDGET_ENV,
+    JobOutcome,
+    collect_payloads,
+    execute_serial,
+    run_jobs,
+)
 
 __all__ = [
     "Job",
     "JobOutcome",
+    "WORKER_BUDGET_ENV",
     "Plan",
     "ResultStore",
     "RunJournal",

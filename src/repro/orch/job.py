@@ -72,6 +72,14 @@ class Job:
     seed: int = 0
     timeout_s: Optional[float] = None  # per-job wall-clock limit
     retries: int = 1  # attempts after the first failure/timeout
+    #: Worker processes the job itself spawns (a multi-Cell PDES job
+    #: sets this to its shard-worker count).  The pool charges the job
+    #: that many scheduler slots so nested pools never oversubscribe the
+    #: host, and exports the grant as ``REPRO_WORKER_BUDGET`` in the
+    #: worker's environment (:func:`repro.pdes.resolve_workers` obeys
+    #: it).  Scheduling metadata only -- excluded from :meth:`spec`, so
+    #: cache identity is untouched.
+    procs: int = 1
 
     def __post_init__(self) -> None:
         if ":" not in self.fn:

@@ -22,6 +22,7 @@ enforced there).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import time
 from collections import deque
@@ -37,6 +38,18 @@ from .journal import RunJournal
 #: Terminal job states.
 OK, CACHED, FAILED, TIMEOUT, CANCELLED = (
     "ok", "cached", "failed", "timeout", "cancelled")
+
+#: Process budget exported to every job's environment: how many worker
+#: processes the job itself may spawn (``Job.procs``, the slot grant the
+#: scheduler charged for it).  ``repro.pdes.resolve_workers`` clamps
+#: shard-worker requests to it, so a multi-Cell job inside a pool never
+#: nests a second full-width pool on the same host.
+WORKER_BUDGET_ENV = "REPRO_WORKER_BUDGET"
+
+
+def _job_cost(job: Job, workers: int) -> int:
+    """Scheduler slots a job occupies (its process budget, capped)."""
+    return min(max(job.procs, 1), max(workers, 1))
 
 ProgressFn = Callable[["JobOutcome", int, int, Optional[float]], None]
 
@@ -164,6 +177,8 @@ def _run_inprocess(jobs: List[Job], keys: List[str], misses: List[int],
             idx = current = queue.popleft()
             attempts[idx] += 1
             t0 = time.perf_counter()
+            previous = os.environ.get(WORKER_BUDGET_ENV)
+            os.environ[WORKER_BUDGET_ENV] = str(max(jobs[idx].procs, 1))
             try:
                 payload = execute(jobs[idx])
             except KeyboardInterrupt:
@@ -182,6 +197,11 @@ def _run_inprocess(jobs: List[Job], keys: List[str], misses: List[int],
                     jobs[idx], keys[idx], OK, payload=payload,
                     wall_s=time.perf_counter() - t0,
                     attempts=attempts[idx]))
+            finally:
+                if previous is None:
+                    os.environ.pop(WORKER_BUDGET_ENV, None)
+                else:
+                    os.environ[WORKER_BUDGET_ENV] = previous
             current = None
     except KeyboardInterrupt:
         cancelled = set(queue)
@@ -206,6 +226,9 @@ def _worker_main(conn: connection.Connection, worker_id: int) -> None:
         if msg is None:
             break
         idx, job = msg
+        # The job's slot grant, visible to anything it spawns (nested
+        # PDES shard pools size themselves from this).
+        os.environ[WORKER_BUDGET_ENV] = str(max(job.procs, 1))
         t0 = time.perf_counter()
         try:
             payload = execute(job)
@@ -223,8 +246,13 @@ class _Worker:
 
     def __init__(self, ctx: Any, wid: int) -> None:
         parent, child = ctx.Pipe(duplex=True)
+        # Non-daemonic on purpose: a daemonic process may not fork
+        # children, which would bar multi-Cell PDES jobs (procs > 1)
+        # from spawning their shard workers.  Cleanup still converges:
+        # the worker loop exits on pipe EOF, so workers never outlive a
+        # parent that died without the explicit shutdown handshake.
         self.proc = ctx.Process(target=_worker_main, args=(child, wid),
-                                daemon=True)
+                                daemon=False)
         self.proc.start()
         child.close()  # parent keeps only its end
         self.conn = parent
@@ -265,6 +293,12 @@ def _run_pool(jobs: List[Job], keys: List[str], misses: List[int],
     pool = [_Worker(ctx, wid) for wid in range(min(workers, len(misses)))]
     next_wid = len(pool)
     idle = list(pool)
+    # Slot ledger: a job holding `procs` worker processes of its own
+    # (nested PDES shard pools) is charged that many scheduler slots, so
+    # total host processes stay bounded by `workers` even when multi-Cell
+    # jobs mix with ordinary ones.  A fully idle pool always admits the
+    # head job (its cost is capped at `workers`), so nothing starves.
+    held: Dict[int, int] = {}  # worker id -> slots charged
 
     def finish(idx: int, status: str, payload: Any, error: Optional[str],
                wall: float, wid: Optional[int]) -> None:
@@ -283,9 +317,14 @@ def _run_pool(jobs: List[Job], keys: List[str], misses: List[int],
     try:
         while queue or any(w.task is not None for w in pool):
             while queue and idle:
+                cost = _job_cost(jobs[queue[0]], workers)
+                in_use = sum(held.values())
+                if in_use and in_use + cost > workers:
+                    break  # wait for slots to free before admitting
                 worker = idle.pop()
                 idx = queue.popleft()
                 attempts[idx] += 1
+                held[worker.wid] = cost
                 worker.assign(idx, jobs[idx], default_timeout)
             busy = [w for w in pool if w.task is not None]
             if not busy:
@@ -298,6 +337,7 @@ def _run_pool(jobs: List[Job], keys: List[str], misses: List[int],
                 worker = next(w for w in busy if w.conn is conn)
                 idx = worker.task
                 worker.task = worker.deadline = None
+                held.pop(worker.wid, None)
                 try:
                     _idx, status, result, wall, wid = conn.recv()
                 except (EOFError, OSError):  # the worker crashed outright
@@ -320,6 +360,7 @@ def _run_pool(jobs: List[Job], keys: List[str], misses: List[int],
                 if (worker.task is not None and worker.deadline is not None
                         and now >= worker.deadline):
                     idx = worker.task
+                    held.pop(worker.wid, None)
                     worker.kill()
                     pool.remove(worker)
                     if worker in idle:

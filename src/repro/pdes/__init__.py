@@ -1,0 +1,63 @@
+"""repro.pdes -- parallel multi-Cell simulation, conservatively synced.
+
+The monolithic machine simulates every Cell in one event queue; this
+package shards the chip one-Cell-per-shard and runs the shards in
+parallel worker processes, synchronized by conservative time windows
+whose lookahead is the inter-Cell NoC latency floor.  The layering:
+
+* :mod:`~repro.pdes.channel` -- the typed cross-Cell message fabric
+  (the only coupling between shards);
+* :mod:`~repro.pdes.shard` -- one Cell's machine + window stepper,
+  built from a picklable :class:`ShardSpec`;
+* :mod:`~repro.pdes.coordinator` -- the window-barrier loop and the
+  serial/forked transports (:func:`run_cells` is the entry point);
+* :mod:`~repro.pdes.worker` -- the shard worker process;
+* :mod:`~repro.pdes.fixture` -- cross-Cell traffic kernels for tests
+  and smoke benches.
+
+The determinism contract: ``run_cells(..., workers=1)`` and
+``workers=N`` execute the *same* windowed algorithm over the same
+deterministically-ordered message stream, so their results -- cycles,
+counters, event counts, functional memory -- are bit-identical
+(``CellsResult.fingerprint()`` collapses that to one hash).
+
+Front ends: ``Session(config, cells=(X, Y))`` and ``repro cells`` on
+the command line.
+"""
+
+from ..noc.analysis import intercell_lookahead, min_intercell_hops
+from .channel import (
+    CellAmo,
+    CellRequest,
+    CellResponse,
+    PdesError,
+    ShardChannel,
+    sort_key,
+)
+from .coordinator import (
+    WORKER_BUDGET_ENV,
+    CellsResult,
+    resolve_workers,
+    run_cells,
+)
+from .shard import CellShard, LaunchSpec, ShardSpec, StepReport, resolve_kernel
+
+__all__ = [
+    "CellAmo",
+    "CellRequest",
+    "CellResponse",
+    "CellShard",
+    "CellsResult",
+    "LaunchSpec",
+    "PdesError",
+    "ShardChannel",
+    "ShardSpec",
+    "StepReport",
+    "WORKER_BUDGET_ENV",
+    "intercell_lookahead",
+    "min_intercell_hops",
+    "resolve_kernel",
+    "resolve_workers",
+    "run_cells",
+    "sort_key",
+]

@@ -1,0 +1,294 @@
+"""Typed cross-Cell channels: the only traffic between PDES shards.
+
+Every remote operation a tile issues funnels through
+:meth:`~repro.runtime.memsys.MemorySystem.remote_request` /
+``remote_amo``; when the translated destination lies in a Cell the shard
+does not own, the installed :class:`ShardChannel` turns it into one of
+three picklable message types instead of touching the local fabric:
+
+* :class:`CellRequest` -- a remote load/store heading to a foreign bank;
+* :class:`CellAmo` -- a remote atomic (functional execution happens at
+  the *owning* shard, in its ingress event order -- the serialization
+  point, exactly as in the monolithic machine);
+* :class:`CellResponse` -- the answer routed back to the requester.
+
+Cross-Cell packets are priced at the zero-load latency of the real
+request/response networks (:meth:`Network.conservative_latency` -- pure
+arithmetic, no link-state mutation, so shard histories can never diverge
+through pricing).  Inter-Cell link contention is therefore *not*
+modelled in PDES mode; intra-Cell traffic keeps full contention timing.
+The zero-load floor over all cross-Cell pairs is the conservative
+window's lookahead (:func:`repro.noc.analysis.intercell_lookahead`).
+
+Determinism: every message carries ``(src_cell, seq)``; the coordinator
+delivers each window's messages sorted by ``(arrival, src_cell, seq)``
+(:func:`sort_key`), and ingress events are scheduled in that order, so
+the receiving shard's event sequence -- and hence every cycle count --
+is a pure function of the message *set*, not of worker count or pipe
+timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..arch.geometry import Coord
+from ..engine import Future
+from ..pgas.translate import Destination, TargetKind
+
+
+class PdesError(RuntimeError):
+    """A PDES-mode constraint was violated."""
+
+
+class CellRequest:
+    """A remote load/store crossing a Cell boundary."""
+
+    __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "src_node",
+                 "dest", "is_write", "words", "resp_flits", "arrival")
+
+    def __init__(self, seq: int, req_id: int, src_cell: Coord,
+                 dst_cell: Coord, src_node: Coord, dest: Destination,
+                 is_write: bool, words: int, resp_flits: int,
+                 arrival: float) -> None:
+        self.seq = seq
+        self.req_id = req_id
+        self.src_cell = src_cell
+        self.dst_cell = dst_cell
+        self.src_node = src_node
+        self.dest = dest
+        self.is_write = is_write
+        self.words = words
+        self.resp_flits = resp_flits
+        self.arrival = arrival
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        op = "store" if self.is_write else "load"
+        return (f"CellRequest({op} {self.src_cell}->{self.dst_cell} "
+                f"t={self.arrival} seq={self.seq})")
+
+
+class CellAmo:
+    """A remote atomic crossing a Cell boundary."""
+
+    __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "src_node",
+                 "dest", "kind", "value", "arrival")
+
+    def __init__(self, seq: int, req_id: int, src_cell: Coord,
+                 dst_cell: Coord, src_node: Coord, dest: Destination,
+                 kind: str, value: int, arrival: float) -> None:
+        self.seq = seq
+        self.req_id = req_id
+        self.src_cell = src_cell
+        self.dst_cell = dst_cell
+        self.src_node = src_node
+        self.dest = dest
+        self.kind = kind
+        self.value = value
+        self.arrival = arrival
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CellAmo({self.kind} {self.src_cell}->{self.dst_cell} "
+                f"t={self.arrival} seq={self.seq})")
+
+
+class CellResponse:
+    """The reply to a :class:`CellRequest`/:class:`CellAmo`.
+
+    ``payload`` is ``None`` for plain loads/stores (the requester's
+    future resolves with the arrival cycle, matching the monolithic
+    contract) and the AMO's old value otherwise (resolving with
+    ``(arrival, old)``).
+    """
+
+    __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "arrival",
+                 "payload")
+
+    def __init__(self, seq: int, req_id: int, src_cell: Coord,
+                 dst_cell: Coord, arrival: float,
+                 payload: Optional[int]) -> None:
+        self.seq = seq
+        self.req_id = req_id
+        self.src_cell = src_cell
+        self.dst_cell = dst_cell
+        self.arrival = arrival
+        self.payload = payload
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CellResponse({self.src_cell}->{self.dst_cell} "
+                f"t={self.arrival} seq={self.seq})")
+
+
+def sort_key(msg: Any) -> Tuple[float, Coord, int]:
+    """The deterministic delivery order: arrival time, then source Cell,
+    then per-source sequence number."""
+    return (msg.arrival, msg.src_cell, msg.seq)
+
+
+class ShardChannel:
+    """One shard's endpoint of the cross-Cell fabric.
+
+    Installed on the shard machine's memory system as ``xchannel``;
+    collects outbound messages per window (the coordinator drains them
+    at the barrier) and turns inbound messages into simulator events.
+    """
+
+    def __init__(self, machine: Any, cell_xy: Coord) -> None:
+        if machine.owned_cells is None:
+            raise PdesError("ShardChannel needs a sharded machine "
+                            "(Machine(owned_cells=...))")
+        self.machine = machine
+        self.cell_xy = cell_xy
+        self.sim = machine.sim
+        self.memsys = machine.memsys
+        self._req_net = machine.memsys.req_net
+        self._resp_net = machine.memsys.resp_net
+        self.outbox: List[Any] = []
+        self.pending: Dict[int, Future] = {}
+        #: Set by the shard when every launch declared ``remote=False``:
+        #: initiating a cross-Cell request then raises, which is what
+        #: lets the coordinator trust the declaration and free-run.
+        self.local_only = False
+        self._next_req = 0
+        self._next_seq = 0
+        #: Totals for the sync report.
+        self.sent = 0
+        self.received = 0
+        machine.memsys.xchannel = self
+
+    # -- source side (called from memsys on the remote-op path) ------------
+
+    def request(self, node: Coord, dest: Destination, is_write: bool,
+                words: int, req_flits: int, resp_flits: int,
+                time: float) -> Future:
+        if self.local_only:
+            raise PdesError(
+                f"tile {node} in cell {self.cell_xy} issued a cross-Cell "
+                f"access to cell {dest.cell_xy}, but every launch on this "
+                "shard was declared remote=False (Cell-local)")
+        if dest.kind is TargetKind.SPM:
+            raise PdesError(
+                f"cross-Cell Group-SPM access (tile {node} -> {dest.node} "
+                f"in cell {dest.cell_xy}) is not supported in PDES mode; "
+                "stage through Group-DRAM instead")
+        done = Future(self.sim)
+        req_id = self._next_req
+        self._next_req = req_id + 1
+        self.pending[req_id] = done
+        arrival = time + self._req_net.conservative_latency(
+            node, dest.node, req_flits)
+        self.outbox.append(CellRequest(
+            self._bump(), req_id, self.cell_xy, dest.cell_xy, node, dest,
+            is_write, words, resp_flits, arrival))
+        return done
+
+    def amo(self, node: Coord, dest: Destination, kind: str, value: int,
+            time: float) -> Future:
+        if self.local_only:
+            raise PdesError(
+                f"tile {node} in cell {self.cell_xy} issued a cross-Cell "
+                f"atomic to cell {dest.cell_xy}, but every launch on this "
+                "shard was declared remote=False (Cell-local)")
+        done = Future(self.sim)
+        req_id = self._next_req
+        self._next_req = req_id + 1
+        self.pending[req_id] = done
+        arrival = time + self._req_net.conservative_latency(
+            node, dest.node, 1)
+        self.outbox.append(CellAmo(
+            self._bump(), req_id, self.cell_xy, dest.cell_xy, node, dest,
+            kind, value, arrival))
+        return done
+
+    def _bump(self) -> int:
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self.sent += 1
+        return seq
+
+    # -- destination side (window ingress) ----------------------------------
+
+    def ingest(self, messages: List[Any]) -> None:
+        """Schedule every inbound message's effect at its arrival cycle.
+
+        Called at the window barrier, before :meth:`Simulator.run`; the
+        conservative window guarantees ``arrival >= now`` for every
+        message.  ``messages`` must already be in deterministic delivery
+        order (the coordinator sorts globally) -- the schedule order
+        fixes the tie-break among same-cycle ingresses.
+        """
+        schedule_at = self.sim.schedule_at
+        for msg in messages:
+            self.received += 1
+            cls = msg.__class__
+            if cls is CellResponse:
+                schedule_at(msg.arrival, self._on_response, msg)
+            elif cls is CellRequest:
+                schedule_at(msg.arrival, self._on_request, msg)
+            elif cls is CellAmo:
+                schedule_at(msg.arrival, self._on_amo, msg)
+            else:
+                raise PdesError(f"unknown cross-Cell message {msg!r}")
+
+    def _on_request(self, msg: CellRequest) -> None:
+        ready = self.memsys.serve_remote(msg.dest, msg.is_write,
+                                         self.sim._now, msg.words)
+        if ready.__class__ is Future:
+            ready.add_callback(lambda _v, m=msg: self._reply(m, None))
+        else:
+            self.sim._post(ready, self._reply_args, (msg, None))
+
+    def _on_amo(self, msg: CellAmo) -> None:
+        ready, old = self.memsys.serve_remote_amo(
+            msg.dest, msg.src_node, msg.kind, msg.value, self.sim._now)
+        if ready.__class__ is Future:
+            ready.add_callback(lambda _v, m=msg, o=old: self._reply(m, o))
+        else:
+            self.sim._post(ready, self._reply_args, (msg, old))
+
+    def _reply(self, msg: Any, payload: Optional[int]) -> None:
+        """Emit the response at the bank's ready cycle (== now)."""
+        resp_flits = msg.resp_flits if msg.__class__ is CellRequest else 1
+        arrival = self.sim._now + self._resp_net.conservative_latency(
+            msg.dest.node, msg.src_node, resp_flits)
+        self.outbox.append(CellResponse(
+            self._bump(), msg.req_id, self.cell_xy, msg.src_cell, arrival,
+            payload))
+
+    def _reply_args(self, args: Tuple[Any, Optional[int]]) -> None:
+        self._reply(*args)
+
+    def _on_response(self, msg: CellResponse) -> None:
+        done = self.pending.pop(msg.req_id)
+        if msg.payload is None:
+            done.resolve(msg.arrival)
+        else:
+            done.resolve((msg.arrival, msg.payload))
+
+    # -- barrier drain -------------------------------------------------------
+
+    def drain(self) -> List[Any]:
+        out = self.outbox
+        self.outbox = []
+        return out

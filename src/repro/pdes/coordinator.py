@@ -1,0 +1,399 @@
+"""The conservative-window coordinator: N shards in lockstep windows.
+
+The synchronization algorithm (classic conservative PDES, specialized to
+the Cell fabric):
+
+1. every shard reports its next local event time; in-flight cross-Cell
+   messages report their arrival times;
+2. the window base ``T`` is the minimum over all of those -- nothing
+   anywhere in the chip can happen before ``T``;
+3. every shard with pending work before ``T + W`` advances to the
+   barrier ``T + W``, where the window ``W`` is at most the *lookahead*
+   ``L``: the zero-load latency floor between any two Cells
+   (:func:`repro.noc.analysis.intercell_lookahead`).  Any message a
+   shard emits during the window is stamped ``>= T``, so it arrives
+   ``>= T + L >= T + W`` -- always in a *later* window, which is what
+   makes advancing every shard to ``T + W`` with no mid-window
+   communication safe;
+4. outboxes are drained, globally sorted by ``(arrival, src_cell,
+   seq)``, and delivered; repeat until every queue is empty.
+
+One shortcut on top: when every still-live shard carries only launches
+declared ``remote=False`` (a runtime-enforced promise of Cell-locality
+-- the shard's channel raises on any cross-Cell access) and nothing is
+in flight, no message can ever be created, so the coordinator drops the
+barriers and free-runs each shard to completion in a single unbounded
+stride.  That collapses the round count from ``O(cycles / W)`` to
+``O(1)`` for embarrassingly-parallel chips, which is where PDES
+throughput scaling actually comes from -- the windowed path spends its
+wall-clock on barrier IPC, not simulation.
+
+Because delivery order is a pure function of the message set, the same
+windowed algorithm run by one in-process transport (``workers=1``) or by
+N forked workers produces bit-identical shard histories -- cycles,
+counters, event counts and functional memory all match.  That is the
+correctness oracle the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..arch import serialize
+from ..arch.config import MachineConfig
+from ..arch.geometry import Coord
+from ..noc.analysis import intercell_lookahead
+from ..orch.job import canonical_json
+from .channel import PdesError, sort_key
+from .shard import CellShard, LaunchSpec, ShardSpec, StepReport
+from .worker import shard_worker_main
+
+#: Environment override for the process budget (set by the orch pool in
+#: its workers so nested multi-Cell jobs never oversubscribe the host).
+WORKER_BUDGET_ENV = "REPRO_WORKER_BUDGET"
+
+
+def resolve_workers(requested: int, num_shards: Optional[int] = None) -> int:
+    """Clamp a worker request to the env budget (and the shard count).
+
+    Inside a daemonic process the answer is always 1: daemonic
+    processes may not fork children, so the run degrades to the serial
+    transport (bit-identical results, just no parallelism).
+    """
+    import multiprocessing
+
+    if multiprocessing.current_process().daemon:
+        return 1
+    workers = max(1, int(requested))
+    budget = os.environ.get(WORKER_BUDGET_ENV)
+    if budget:
+        try:
+            workers = min(workers, max(1, int(budget)))
+        except ValueError:
+            raise PdesError(
+                f"bad {WORKER_BUDGET_ENV}={budget!r} (want an integer)")
+    if num_shards is not None:
+        workers = min(workers, num_shards)
+    return workers
+
+
+@dataclass
+class CellsResult:
+    """The outcome of one multi-Cell PDES run."""
+
+    config_name: str
+    cells: List[Coord]
+    workers: int
+    window: float
+    lookahead: float
+    rounds: int
+    messages: int
+    wall_seconds: float
+    #: One payload dict per shard (``CellShard.collect`` output), in
+    #: Cell order.
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> List[float]:
+        """Every launch's cycle count, in (cell, launch) order."""
+        return [c for s in self.shards for c in s["cycles"]]
+
+    @property
+    def max_cycles(self) -> float:
+        return max(self.cycles) if self.cycles else 0.0
+
+    @property
+    def aggregate_cycles(self) -> float:
+        """Sum of simulated cycles across shards (the PDES throughput
+        numerator: N Cells at time T did N*T cycles of simulation)."""
+        return sum(s["now"] for s in self.shards)
+
+    @property
+    def total_events(self) -> int:
+        return sum(s["events"] for s in self.shards)
+
+    @property
+    def clean(self) -> bool:
+        """True when every attached audit/sanitize pass found nothing."""
+        return all(s.get("audit_clean", True) and s.get("sanitize_clean", True)
+                   for s in self.shards)
+
+    def fingerprint(self) -> str:
+        """Hash of everything deterministic: shard payloads + sync stats.
+
+        Two runs of the same workload fingerprint identically regardless
+        of worker count -- the bit-identity contract in one string.
+        """
+        body = canonical_json({"shards": self.shards, "rounds": self.rounds,
+                               "messages": self.messages})
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": self.config_name,
+            "cells": [list(c) for c in self.cells],
+            "workers": self.workers,
+            "window": self.window,
+            "lookahead": self.lookahead,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "wall_seconds": self.wall_seconds,
+            "aggregate_cycles": self.aggregate_cycles,
+            "total_events": self.total_events,
+            "max_cycles": self.max_cycles,
+            "fingerprint": self.fingerprint(),
+            "shards": self.shards,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Transports: the same window loop drives both.
+
+class _SerialTransport:
+    """All shards in this process -- the reference (and 1-worker) mode."""
+
+    def __init__(self, specs: Sequence[ShardSpec]) -> None:
+        # Round-trip through pickle exactly as the pipe transport would:
+        # shards must never share live args objects (kernels mutate
+        # them), or serial and parallel runs could diverge.
+        specs = pickle.loads(pickle.dumps(list(specs)))
+        self.shards = [CellShard(spec) for spec in specs]
+
+    def init(self) -> List[StepReport]:
+        return [shard.report() for shard in self.shards]
+
+    def advance(self, assignments: List[Tuple[int, float, List[Any]]]
+                ) -> List[Tuple[int, StepReport]]:
+        return [(idx, self.shards[idx].advance(t_end, msgs))
+                for idx, t_end, msgs in assignments]
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return [shard.collect() for shard in self.shards]
+
+    def close(self) -> None:
+        pass
+
+
+class _PipeTransport:
+    """Shards round-robined over forked worker processes."""
+
+    def __init__(self, specs: Sequence[ShardSpec], workers: int) -> None:
+        from ..orch.pool import _context
+
+        ctx = _context()
+        self.n = len(specs)
+        self.worker_of = [i % workers for i in range(self.n)]
+        self.local_of: List[int] = []
+        per: List[List[ShardSpec]] = [[] for _ in range(workers)]
+        for i, spec in enumerate(specs):
+            wid = self.worker_of[i]
+            self.local_of.append(len(per[wid]))
+            per[wid].append(spec)
+        self._per = per
+        self.conns: List[Any] = []
+        self.procs: List[Any] = []
+        for wid in range(workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=shard_worker_main, args=(child, wid),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def _recv(self, wid: int) -> Any:
+        try:
+            status, payload = self.conns[wid].recv()
+        except (EOFError, OSError) as exc:
+            raise PdesError(f"shard worker {wid} died: {exc}") from exc
+        if status != "ok":
+            raise PdesError(f"shard worker {wid} failed:\n{payload}")
+        return payload
+
+    def init(self) -> List[StepReport]:
+        for wid, conn in enumerate(self.conns):
+            conn.send(("init", self._per[wid]))
+        per_worker = [self._recv(wid) for wid in range(len(self.conns))]
+        return [per_worker[self.worker_of[i]][self.local_of[i]]
+                for i in range(self.n)]
+
+    def advance(self, assignments: List[Tuple[int, float, List[Any]]]
+                ) -> List[Tuple[int, StepReport]]:
+        buckets: Dict[int, List[Tuple[int, float, List[Any]]]] = {}
+        order: Dict[int, List[int]] = {}
+        for idx, t_end, msgs in assignments:
+            wid = self.worker_of[idx]
+            buckets.setdefault(wid, []).append(
+                (self.local_of[idx], t_end, msgs))
+            order.setdefault(wid, []).append(idx)
+        active = sorted(buckets)
+        for wid in active:  # all workers crunch their windows in parallel
+            self.conns[wid].send(("advance", buckets[wid]))
+        results: List[Tuple[int, StepReport]] = []
+        for wid in active:
+            results.extend(zip(order[wid], self._recv(wid)))
+        return results
+
+    def collect(self) -> List[Dict[str, Any]]:
+        for conn in self.conns:
+            conn.send(("collect", None))
+        per_worker = [self._recv(wid) for wid in range(len(self.conns))]
+        return [per_worker[self.worker_of[i]][self.local_of[i]]
+                for i in range(self.n)]
+
+    def close(self) -> None:
+        for conn, proc in zip(self.conns, self.procs):
+            try:
+                conn.send(("shutdown", None))
+            except (OSError, BrokenPipeError):
+                pass
+        for conn, proc in zip(self.conns, self.procs):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The window loop.
+
+def run_cells(config: MachineConfig,
+              launches: Iterable[LaunchSpec], *,
+              pokes: Iterable[Tuple[Coord, int, int]] = (),
+              workers: int = 1,
+              window: Optional[float] = None,
+              audit: bool = False,
+              sanitize: bool = False,
+              _jitter_seed: Optional[int] = None) -> CellsResult:
+    """Simulate every Cell of ``config`` as a PDES shard.
+
+    ``launches`` are :class:`LaunchSpec` records (several per Cell is
+    fine); ``pokes`` are host writes ``(cell, offset, value)`` applied
+    before launch in the owning shard.  ``workers=1`` runs every shard
+    in-process through the *same* window loop, so it is the bit-exact
+    reference for any worker count.  ``window`` defaults to the
+    lookahead (the largest safe value); smaller windows are valid and
+    must not change results.
+
+    ``_jitter_seed`` shuffles each round's message batch before the
+    canonical sort -- a test hook proving delivery order is a function
+    of the sort key, not of arrival-at-the-coordinator order.
+    """
+    cells = list(config.chip.cells())
+    if len(cells) < 2:
+        raise ValueError(
+            f"PDES wants a multi-Cell config; {config.name} has "
+            f"{len(cells)} cell (use Session/run for single-Cell)")
+    lookahead = float(intercell_lookahead(config))
+    if window is None:
+        window = lookahead
+    if not 0 < window <= lookahead:
+        raise ValueError(
+            f"window must be in (0, {lookahead}] (the inter-Cell zero-load "
+            f"latency floor); got {window}")
+    config_dict = serialize.to_dict(config)
+    by_cell: Dict[Coord, List[LaunchSpec]] = {xy: [] for xy in cells}
+    for launch in launches:
+        xy = tuple(launch.cell)
+        if xy not in by_cell:
+            raise ValueError(f"launch targets cell {xy}, not on this chip")
+        by_cell[xy].append(launch)
+    pokes_by: Dict[Coord, List[Tuple[int, int]]] = {xy: [] for xy in cells}
+    for cell, offset, value in pokes:
+        xy = tuple(cell)
+        if xy not in pokes_by:
+            raise ValueError(f"poke targets cell {xy}, not on this chip")
+        pokes_by[xy].append((offset, value))
+    specs = [ShardSpec(config=config_dict, cell=xy,
+                       launches=tuple(by_cell[xy]),
+                       pokes=tuple(pokes_by[xy]),
+                       audit=audit, sanitize=sanitize)
+             for xy in cells]
+    workers = resolve_workers(workers, len(cells))
+    # Shards whose launches all declared remote=False can never send
+    # (channel-enforced); once every live shard is in this set and no
+    # message is in flight, windows are pointless -- free-run instead.
+    silent = [all(not launch.remote for launch in spec.launches)
+              for spec in specs]
+    transport = (_SerialTransport(specs) if workers <= 1
+                 else _PipeTransport(specs, workers))
+    rng = random.Random(_jitter_seed) if _jitter_seed is not None else None
+    index_of = {xy: i for i, xy in enumerate(cells)}
+    t0 = time.perf_counter()
+    try:
+        reports = transport.init()
+        inflight: List[Any] = []
+        for report in reports:
+            inflight.extend(report.outbox)
+        rounds = 0
+        messages = 0
+        while True:
+            if not inflight and all(
+                    quiet or report.done
+                    for quiet, report in zip(silent, reports)):
+                # No live shard can initiate cross-Cell traffic and
+                # nothing is in flight, so no reply can arise either:
+                # the rest of the run is embarrassingly parallel.
+                assignments = [(i, None, []) for i, r in enumerate(reports)
+                               if r.next_time is not None]
+                if not assignments:
+                    break
+                for idx, report in transport.advance(assignments):
+                    reports[idx] = report
+                    inflight.extend(report.outbox)
+                rounds += 1
+                continue
+            candidates = [r.next_time for r in reports
+                          if r.next_time is not None]
+            candidates.extend(m.arrival for m in inflight)
+            if not candidates:
+                break
+            t_end = min(candidates) + window
+            deliver = inflight
+            inflight = []
+            if rng is not None:
+                rng.shuffle(deliver)  # the sort must undo any order
+            deliver.sort(key=sort_key)
+            messages += len(deliver)
+            inbox: Dict[Coord, List[Any]] = {}
+            for msg in deliver:
+                inbox.setdefault(msg.dst_cell, []).append(msg)
+            assignments = []
+            for i, xy in enumerate(cells):
+                msgs = inbox.pop(xy, [])
+                report = reports[i]
+                if msgs or (report.next_time is not None
+                            and report.next_time <= t_end):
+                    assignments.append((i, t_end, msgs))
+            if inbox:
+                raise PdesError(
+                    f"messages addressed to unknown cells {sorted(inbox)}")
+            for idx, report in transport.advance(assignments):
+                reports[idx] = report
+                inflight.extend(report.outbox)
+            rounds += 1
+        stuck = [r.cell for r in reports if not r.done]
+        if stuck:
+            raise PdesError(
+                f"deadlock: cells {sorted(index_of[tuple(c)] for c in stuck)} "
+                f"-> {sorted(tuple(c) for c in stuck)} drained their event "
+                "queues with launches unfinished or remote ops unanswered")
+        payloads = transport.collect()
+    finally:
+        transport.close()
+    wall = time.perf_counter() - t0
+    return CellsResult(
+        config_name=config.name, cells=cells, workers=workers,
+        window=window, lookahead=lookahead, rounds=rounds,
+        messages=messages, wall_seconds=wall, shards=payloads,
+    )

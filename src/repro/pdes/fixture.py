@@ -1,0 +1,151 @@
+"""Cross-Cell traffic fixtures: kernels whose whole point is the seam.
+
+The suite kernels are Cell-local by design (Table I scales *within* a
+Cell), so the PDES tests and smoke benches need workloads that actually
+exercise the cross-Cell channel: Group-DRAM stores into a neighbour,
+AMO flags across the boundary, and spin-poll consumption.  Two shapes:
+
+* ``EXCHANGE`` -- every Cell pushes a block into the next Cell (ring
+  order), raises the neighbour's flag, then polls its own flag until
+  its inbound block has landed.  Symmetric all-to-next traffic.
+* ``PRODUCE``/``CONSUME`` -- the paper's Fig 6 idiom split across a
+  Cell pair with *no host-shared state*: the consumer's readiness is
+  carried entirely by the timed AMO flag, which is exactly what works
+  when producer and consumer live in different processes.
+
+Functional payload correctness rides on the AMO memory (flags count
+arrivals); plain-store payloads are timing-only, as everywhere in the
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..arch.config import MachineConfig
+from ..arch.geometry import Coord
+from ..isa.program import kernel
+from ..kernels.base import num_tiles, range_split, sync, tile_id
+from ..pgas import spaces
+from .shard import LaunchSpec
+
+#: Fixed Local-DRAM layout, identical in every Cell (no machine needed
+#: to plan launches: these are plain offsets above the runtime's heap).
+BUF_OFFSET = 0x10000
+FLAG_OFFSET = 0x8000
+DONE_OFFSET = 0x8040  # separate cache block from the ready flag
+
+
+@kernel("xcell-exchange", dwarf="MapReduce", category="memory-irregular")
+def exchange_kernel(t, args):
+    """Push a block to the next Cell, flag it, poll for my own block."""
+    words = args["words"]
+    out_ptr = args["out_ptr"]      # Group-DRAM pointer into the next Cell
+    flag_out = args["flag_out"]    # Group-DRAM flag in the next Cell
+    flag_in = args["flag_in"]      # my own flag's Local-DRAM offset
+    lo, hi = range_split(words, num_tiles(t), tile_id(t))
+    val = t.reg()
+    top = t.loop_top()
+    for i in range(lo, hi):
+        yield t.fma(val, [val])
+        yield t.store(out_ptr + 4 * i, srcs=[val])
+        yield t.branch_back(top, taken=(i < hi - 1))
+    yield from sync(t)  # all of this Cell's stores have landed
+    if tile_id(t) == 0:
+        yield t.amoadd(flag_out, 1)
+    # Every tile spins on the *local* flag (cheap: own cache bank).
+    top = t.loop_top()
+    while True:
+        flag = yield t.amoadd(t.local_dram(flag_in), 0)
+        ready = flag >= 1
+        yield t.branch_back(top, taken=not ready)
+        if ready:
+            break
+        yield t.sleep(32)
+    yield from sync(t)
+
+
+@kernel("xcell-produce", dwarf="MapReduce", category="memory-irregular")
+def produce_kernel(t, args):
+    """Fig 6 producer, PDES-safe: the flag is the only ready signal."""
+    words = args["words"]
+    out_ptr = args["out_ptr"]
+    lo, hi = range_split(words, num_tiles(t), tile_id(t))
+    val = t.reg()
+    top = t.loop_top()
+    for i in range(lo, hi):
+        yield t.fma(val, [val])
+        yield t.store(out_ptr + 4 * i, srcs=[val])
+        yield t.branch_back(top, taken=(i < hi - 1))
+    yield from sync(t)
+    if tile_id(t) == 0:
+        yield t.amoadd(args["flag_out"], 1)
+    yield t.fence()
+
+
+@kernel("xcell-consume", dwarf="MapReduce", category="memory-irregular")
+def consume_kernel(t, args):
+    """Fig 6 consumer: poll the timed flag, then stream the block."""
+    words = args["words"]
+    flag_in = args["flag_in"]
+    top = t.loop_top()
+    while True:
+        flag = yield t.amoadd(t.local_dram(flag_in), 0)
+        ready = flag >= 1
+        yield t.branch_back(top, taken=not ready)
+        if ready:
+            break
+        yield t.sleep(64)
+    lo, hi = range_split(words, num_tiles(t), tile_id(t))
+    acc = t.reg()
+    top = t.loop_top()
+    for i in range(lo, hi, 4):
+        vl = t.vload(t.local_dram(BUF_OFFSET + 4 * i))
+        yield vl
+        for r in vl.dsts:
+            yield t.fma(acc, [acc, r])
+        yield t.branch_back(top, taken=(i + 4 < hi))
+    yield from sync(t)
+
+
+EXCHANGE = exchange_kernel
+PRODUCE = produce_kernel
+CONSUME = consume_kernel
+
+
+def exchange_launches(config: MachineConfig, words: int = 64
+                      ) -> List[LaunchSpec]:
+    """One ``EXCHANGE`` launch per Cell, ring-wired (Cell i -> i+1)."""
+    cells = list(config.chip.cells())
+    launches = []
+    for i, xy in enumerate(cells):
+        nx, ny = cells[(i + 1) % len(cells)]
+        args: Dict[str, int] = {
+            "words": words,
+            "out_ptr": spaces.group_dram(nx, ny, BUF_OFFSET),
+            "flag_out": spaces.group_dram(nx, ny, FLAG_OFFSET),
+            "flag_in": FLAG_OFFSET,
+        }
+        launches.append(LaunchSpec(cell=xy, kernel="repro.pdes.fixture:EXCHANGE",
+                                   args=args))
+    return launches
+
+
+def pipeline_launches(config: MachineConfig, words: int = 64
+                      ) -> List[LaunchSpec]:
+    """``PRODUCE``/``CONSUME`` over adjacent Cell pairs (0->1, 2->3, ...)."""
+    cells = list(config.chip.cells())
+    if len(cells) % 2:
+        raise ValueError("pipeline fixture wants an even Cell count")
+    launches = []
+    for i in range(0, len(cells), 2):
+        src, dst = cells[i], cells[i + 1]
+        launches.append(LaunchSpec(
+            cell=src, kernel="repro.pdes.fixture:PRODUCE",
+            args={"words": words,
+                  "out_ptr": spaces.group_dram(dst[0], dst[1], BUF_OFFSET),
+                  "flag_out": spaces.group_dram(dst[0], dst[1], FLAG_OFFSET)}))
+        launches.append(LaunchSpec(
+            cell=dst, kernel="repro.pdes.fixture:CONSUME",
+            args={"words": words, "flag_in": FLAG_OFFSET}))
+    return launches

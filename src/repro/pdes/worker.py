@@ -1,0 +1,54 @@
+"""The shard worker process: a pipe loop around :class:`CellShard`.
+
+One worker hosts one or more shards (``workers < cells`` packs several
+Cells per process).  The protocol is four request kinds over a duplex
+pipe, each answered with ``("ok", payload)`` or ``("error", text)``:
+
+* ``("init", [ShardSpec, ...])`` -> initial :class:`StepReport` list;
+* ``("advance", [(shard_index, t_end, messages), ...])`` -> reports;
+* ``("collect", None)`` -> result payload dicts;
+* ``("shutdown", None)`` -> close and exit.
+
+Workers are spawned with the fork-preferring context the orch pool
+uses; SIGINT is ignored in children (the coordinator owns Ctrl-C and
+tears the pool down on interrupt).
+"""
+
+from __future__ import annotations
+
+import signal
+import traceback
+from typing import Any, List
+
+from .shard import CellShard, ShardSpec
+
+
+def shard_worker_main(conn: Any, worker_id: int) -> None:
+    """Child entry point (module-level so it survives pickling by the
+    spawn start method on fork-less platforms)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # coordinator owns Ctrl-C
+    shards: List[CellShard] = []
+    while True:
+        try:
+            cmd, body = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if cmd == "init":
+                shards = [CellShard(spec) for spec in body]
+                conn.send(("ok", [s.report() for s in shards]))
+            elif cmd == "advance":
+                reports = [shards[idx].advance(t_end, msgs)
+                           for idx, t_end, msgs in body]
+                conn.send(("ok", reports))
+            elif cmd == "collect":
+                conn.send(("ok", [s.collect() for s in shards]))
+            elif cmd == "shutdown":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", f"unknown command {cmd!r}"))
+        except BaseException:  # noqa: BLE001 -- serialized to coordinator
+            conn.send(("error",
+                       f"worker {worker_id}: {traceback.format_exc()}"))
+    conn.close()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
 import time
 from typing import Any, Dict, Iterable, List, Optional
@@ -75,6 +76,114 @@ def measure_suite(config: Any, size: str = "small",
         name: measure_kernel(config, name, size=size, repeats=repeats,
                              **run_kwargs)
         for name in names
+    }
+
+
+def measure_cells(config: Any, name: str, size: str = "tiny",
+                  workers: int = 2, repeats: int = 1,
+                  window: Optional[float] = None,
+                  words: int = 64) -> Dict[str, Any]:
+    """Serial-vs-parallel PDES throughput for one multi-Cell workload.
+
+    ``name`` is a suite kernel (one independent instance per Cell) or a
+    cross-Cell fixture (``"exchange"``/``"pipeline"``).  Runs the same
+    workload three ways -- the monolithic single-event-queue machine
+    (what PDES replaces), PDES with 1 worker, PDES with ``workers``
+    workers -- checks the 1-vs-N fingerprints agree, and reports
+    aggregate simulated-cycles/sec for each.  ``scaling`` is the
+    parallel-PDES/monolithic throughput ratio: the actual speedup of
+    sharding the chip.  For suite kernels (Cell-local by design) the
+    monolithic and PDES cycle counts must also agree exactly
+    (``cycles_match_monolithic``); the fixtures cross the seam, where
+    PDES prices zero-load latency instead of simulating contention, so
+    there the monolithic leg is skipped and ``scaling`` falls back to
+    the parallel/serial-PDES ratio.
+    """
+    from ..kernels.registry import SUITE
+    from ..pdes import LaunchSpec, run_cells
+    from ..pdes import fixture as xfix
+    from ..session import Session
+
+    cells = list(config.chip.cells())
+
+    def make_launches() -> List[Any]:
+        if name == "exchange":
+            return xfix.exchange_launches(config, words=words)
+        if name == "pipeline":
+            return xfix.pipeline_launches(config, words=words)
+        # One independent suite-kernel instance per Cell (args rebuilt
+        # per Cell and per repeat: kernels mutate their args).  Suite
+        # kernels are Cell-local, and declaring it (remote=False,
+        # runtime-enforced) lets the coordinator free-run the shards
+        # instead of paying a barrier every lookahead window.
+        return [LaunchSpec(cell=xy, kernel=name, args=suite_args(name, size),
+                           remote=False)
+                for xy in cells]
+
+    walls: Dict[int, float] = {}
+    runs: Dict[int, Any] = {}
+    for w in (1, workers):
+        best = float("inf")
+        for _ in range(repeats):
+            launches = make_launches()
+            t0 = time.perf_counter()
+            res = run_cells(config, launches, workers=w, window=window)
+            best = min(best, time.perf_counter() - t0)
+        walls[w] = best
+        runs[w] = res
+    serial, parallel = runs[1], runs[workers]
+    agg = serial.aggregate_cycles
+    serial_rate = agg / walls[1] if walls[1] > 0 else 0.0
+    parallel_rate = agg / walls[workers] if walls[workers] > 0 else 0.0
+    mono_wall: Optional[float] = None
+    mono_rate: Optional[float] = None
+    cycles_match: Optional[bool] = None
+    if name in SUITE:
+        best = float("inf")
+        for _ in range(repeats):
+            sess = Session(config)
+            for xy in cells:
+                sess.launch(SUITE[name].kernel, suite_args(name, size),
+                            cell=xy)
+            t0 = time.perf_counter()
+            results = sess.run()
+            best = min(best, time.perf_counter() - t0)
+        mono_wall = best
+        mono_rate = agg / mono_wall if mono_wall > 0 else 0.0
+        cycles_match = [r.cycles for r in results] == serial.cycles
+    base_rate = mono_rate if mono_rate else serial_rate
+    try:
+        host_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux host
+        host_cpus = os.cpu_count() or 1
+    return {
+        "kernel": name,
+        "size": size,
+        "config": config.name,
+        "cells": [list(c) for c in serial.cells],
+        "workers": workers,
+        "window": serial.window,
+        "lookahead": serial.lookahead,
+        "rounds": serial.rounds,
+        "messages": serial.messages,
+        "repeats": repeats,
+        "deterministic": serial.fingerprint() == parallel.fingerprint(),
+        "cycles": serial.cycles,
+        "aggregate_cycles": agg,
+        "events": serial.total_events,
+        "serial_wall_seconds": walls[1],
+        "parallel_wall_seconds": walls[workers],
+        "monolithic_wall_seconds": mono_wall,
+        "serial_sim_cycles_per_sec": serial_rate,
+        "parallel_sim_cycles_per_sec": parallel_rate,
+        "monolithic_sim_cycles_per_sec": mono_rate,
+        "cycles_match_monolithic": cycles_match,
+        "scaling": parallel_rate / base_rate if base_rate else 0.0,
+        # Workers time-share when the host has fewer CPUs than workers,
+        # so interpret ``scaling`` against this: on a 1-CPU host it
+        # saturates at ~1x by construction (the free-run coordinator
+        # removes sync overhead, but cannot mint a second core).
+        "host_cpus": host_cpus,
     }
 
 

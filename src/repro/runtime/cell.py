@@ -61,6 +61,7 @@ class Cell:
         self._brk = self.HEAP_BASE
         self.kernel: Optional[Kernel] = None
         self.groups: List[TileGroup] = []
+        self._last_handle: Optional[LaunchHandle] = None
 
     # -- memory management -----------------------------------------------------
 
@@ -86,12 +87,24 @@ class Cell:
 
     def poke(self, offset: int, value: int) -> None:
         """Host functional write into this Cell's atomic memory."""
+        self._check_owned("poke")
         node = self._any_tile()
         self.machine.memsys.poke(spaces.local_dram(offset), value, node)
 
     def peek(self, offset: int) -> int:
+        self._check_owned("peek")
         node = self._any_tile()
         return self.machine.memsys.peek(spaces.local_dram(offset), node)
+
+    def _check_owned(self, what: str) -> None:
+        """PDES shards only drive their own Cells; touching a foreign
+        Cell object here would act on state another shard simulates."""
+        if not self.machine.owns(self.cell_xy):
+            raise RuntimeError(
+                f"cannot {what} cell {self.cell_xy}: this shard owns "
+                f"{sorted(self.machine.owned_cells)} -- address the "
+                "owning shard (malloc/group_dram are pure address "
+                "arithmetic and stay usable)")
 
     # -- kernel launch --------------------------------------------------------------
 
@@ -116,6 +129,17 @@ class Cell:
         """
         if self.kernel is None:
             raise RuntimeError("no kernel loaded; call load_kernel() first")
+        self._check_owned("launch on")
+        # A launch claims every tile of the Cell; starting another while
+        # one is in flight would hand the same cores a second program
+        # and silently corrupt both (shared scoreboards, clobbered
+        # ``done`` futures).  Sequential launches -- run to completion,
+        # then launch again -- remain fine.
+        if self._last_handle is not None and not self._last_handle.finished:
+            raise RuntimeError(
+                f"cell {self.cell_xy} already has kernel "
+                f"{self._last_handle.name!r} in flight; run the machine "
+                "to completion before launching again")
         config = self.machine.config
         cell_geo = config.chip.cell
         shape = group_shape or (cell_geo.tiles_x, cell_geo.tiles_y)
@@ -144,6 +168,7 @@ class Cell:
                 cores.append(core)
         name = f"{self.kernel.name}@cell{self.cell_xy}"
         handle = LaunchHandle(self, cores, self.machine.sim.now, name=name)
+        self._last_handle = handle
         tracer = self.machine.sim.tracer
         if tracer is not None:
             tracer.launch_started(handle)

@@ -13,24 +13,48 @@ from .memsys import MemorySystem
 
 
 class Machine:
-    """One instantiated HammerBlade machine model."""
+    """One instantiated HammerBlade machine model.
+
+    ``owned_cells`` shards the machine for PDES: only the named Cells
+    get cores, scratchpads, cache banks and HBM channels -- the rest of
+    the chip exists as geometry (the network grid and translator cover
+    it) but is another shard's to simulate.  ``None`` (the default)
+    owns everything: the monolithic machine, bit-identical to before.
+    """
 
     def __init__(self, config: MachineConfig,
-                 record_bin_width: Optional[float] = None) -> None:
+                 record_bin_width: Optional[float] = None,
+                 owned_cells: Optional[Iterable[Coord]] = None) -> None:
         self.config = config
         self.sim = Simulator()
+        self.owned_cells = (frozenset(owned_cells)
+                            if owned_cells is not None else None)
+        if self.owned_cells is not None:
+            bad = self.owned_cells - set(config.chip.cells())
+            if bad:
+                raise ValueError(f"owned_cells not on this chip: {sorted(bad)}")
         self.memsys = MemorySystem(self.sim, config,
-                                   record_bin_width=record_bin_width)
+                                   record_bin_width=record_bin_width,
+                                   owned_cells=self.owned_cells)
         self.cells: Dict[Coord, Cell] = {
             xy: Cell(self, xy) for xy in config.chip.cells()
         }
         self.cores: Dict[Coord, TileCore] = {}
-        for node, kind in config.chip.all_nodes():
+        chip = config.chip
+        for node, kind in chip.all_nodes():
             if kind is NodeKind.TILE:
+                if (self.owned_cells is not None
+                        and chip.to_local(node)[0] not in self.owned_cells):
+                    continue
                 self.cores[node] = TileCore(
                     self.sim, node, config.timings, config.features,
                     self.memsys, name=f"tile{node}",
                 )
+
+    def owns(self, cell_xy: Coord) -> bool:
+        """Whether this machine simulates ``cell_xy`` (always true when
+        unsharded)."""
+        return self.owned_cells is None or cell_xy in self.owned_cells
 
     def cell(self, x: int, y: int = 0) -> Cell:
         """Look up a Cell by its Cell-array coordinate (paper Fig 6)."""

@@ -12,7 +12,7 @@ that amoadd-based work distribution is ordered exactly as timed.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Optional, Tuple, Union
 
 from ..arch.config import MachineConfig
 from ..arch.geometry import Coord, NodeKind
@@ -36,7 +36,8 @@ class MemorySystem:
     """Shared memory/network fabric for one machine."""
 
     def __init__(self, sim: Simulator, config: MachineConfig,
-                 record_bin_width: Optional[float] = None) -> None:
+                 record_bin_width: Optional[float] = None,
+                 owned_cells: Optional[FrozenSet[Coord]] = None) -> None:
         self.sim = sim
         self.config = config
         chip = config.chip
@@ -66,10 +67,21 @@ class MemorySystem:
         #: Race-checker hook (set by :func:`repro.sanitize.attach`):
         #: observes AMO bank serialization and host poke/peek accesses.
         self._san: Optional[Any] = None
+        #: PDES sharding: the Cells whose banks/SPMs this memory system
+        #: actually serves (``None`` = all of them, the monolithic case).
+        self.owned_cells = owned_cells
+        #: Cross-Cell channel hook (set by the PDES shard runtime): when
+        #: installed, remote operations whose destination Cell is not
+        #: owned are handed to the channel instead of the local fabric.
+        #: ``None`` costs one attribute check on the remote-op path.
+        self.xchannel: Optional[Any] = None
         self._build(chip, feats, timings)
 
     def _build(self, chip, feats, timings) -> None:
+        owned = self.owned_cells
         for cell_xy in chip.cells():
+            if owned is not None and cell_xy not in owned:
+                continue  # foreign Cells live in another shard's memsys
             channel = PseudoChannel(
                 timings.hbm, name=f"hbm{cell_xy}",
                 bandwidth_scale=self.config.hbm_scale,
@@ -90,6 +102,8 @@ class MemorySystem:
                 )
         for node, kind in chip.all_nodes():
             if kind is NodeKind.TILE:
+                if owned is not None and chip.to_local(node)[0] not in owned:
+                    continue
                 self.spms[node] = Scratchpad(self.sim, name=f"spm{node}")
 
     # -- fast-path helpers used by the core ------------------------------------
@@ -121,6 +135,10 @@ class MemorySystem:
         else:
             req_flits = 1
             resp_flits = 1
+        if (self.xchannel is not None
+                and dest.cell_xy not in self.owned_cells):
+            return self.xchannel.request(node, dest, is_write, words,
+                                         req_flits, resp_flits, time)
         done = Future(self.sim)
         arrival = self.req_net.send_arrival(node, dest.node, req_flits, time)
         # Engine-internal post: one args tuple instead of a closure.
@@ -161,6 +179,9 @@ class MemorySystem:
             dest = self.translator.translate(addr, node)
         if dest.kind is not TargetKind.CACHE:
             raise ValueError("atomics target DRAM spaces (cache banks) only")
+        if (self.xchannel is not None
+                and dest.cell_xy not in self.owned_cells):
+            return self.xchannel.amo(node, dest, kind, value, time)
         done = Future(self.sim)
         arrival = self.req_net.send_arrival(node, dest.node, 1, time)
         self.sim._post(arrival, self._serve_amo,
@@ -186,6 +207,42 @@ class MemorySystem:
         else:
             self.sim._post(ready, self._respond_args,
                            (dest.node, node, 1, done, old))
+
+    def serve_remote(self, dest: Destination, is_write: bool, time: float,
+                     words: int = 1) -> Union[float, Future]:
+        """Destination-side service of a cross-Cell request (PDES ingress).
+
+        The bank/SPM access timing of :meth:`_serve_request` without the
+        response-network hop -- the caller (the shard's cross-Cell
+        channel) prices the return trip itself.  Returns the ready cycle
+        as a float, or a :class:`Future` on the miss path.
+        """
+        if dest.kind is TargetKind.SPM:
+            return self.spms[dest.node].access_timed(
+                dest.mem_addr, is_write, time, words)
+        bank = self.banks[(dest.cell_xy, dest.bank_index)]
+        return bank.access_timed(dest.mem_addr, is_write, time, words)
+
+    def serve_remote_amo(self, dest: Destination, node: Coord, kind: str,
+                         value: int, time: float) -> Tuple[Union[float, Future], int]:
+        """Destination-side service of a cross-Cell AMO (PDES ingress).
+
+        Executes the functional read-modify-write *now* -- the ingress
+        event order at the owning shard is the architectural
+        serialization order -- then times the bank access.  Returns
+        ``(ready, old_value)``.
+
+        The sanitizer hook is deliberately absent: ``node`` is a tile
+        another shard simulates, and this shard's checker has no vector
+        clock for it.  Cross-Cell AMO happens-before edges are therefore
+        invisible to per-shard sanitizers (a documented PDES limit);
+        every Cell-local edge is still checked.
+        """
+        old = self._amo_execute(dest, kind, value)
+        bank = self.banks[(dest.cell_xy, dest.bank_index)]
+        ready = bank.access_timed(dest.mem_addr, is_write=False,
+                                  time=time, is_amo=True)
+        return ready, old
 
     def _respond(self, src: Coord, dst: Coord, flits: int, done: Future,
                  payload: Any = None) -> None:
@@ -237,13 +294,25 @@ class MemorySystem:
         if self._san is not None:
             self._san.host_write(addr, node)
         dest = self.translator.translate(addr, node)
+        self._check_owned(dest)
         self.atomic_mem[self._canonical(dest)] = value
 
     def peek(self, addr: int, node: Coord) -> int:
         if self._san is not None:
             self._san.host_read(addr, node)
         dest = self.translator.translate(addr, node)
+        self._check_owned(dest)
         return self.atomic_mem.get(self._canonical(dest), 0)
+
+    def _check_owned(self, dest: Destination) -> None:
+        """Reject host functional access to a Cell another shard owns --
+        silently writing the local (never-simulated) copy would fork the
+        functional state between shards."""
+        if self.owned_cells is not None and dest.cell_xy not in self.owned_cells:
+            raise RuntimeError(
+                f"cell {dest.cell_xy} is not owned by this shard "
+                f"(owned: {sorted(self.owned_cells)}); host poke/peek of "
+                "foreign Cells must run in the owning shard")
 
     # -- reporting ----------------------------------------------------------------------
 

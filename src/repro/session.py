@@ -103,15 +103,48 @@ class Session:
       attach the timing-model invariant/differential checker
       (``session.auditor``); ``False`` (default) costs nothing;
     * ``record_bin_width`` -- enable per-link time series on the NoC
-      (the pre-trace recording layer some experiments use).
+      (the pre-trace recording layer some experiments use);
+    * ``cells`` -- ``(X, Y)`` switches the session into PDES mode: the
+      config's Cell grid is set to X x Y and :meth:`run` simulates the
+      Cells as parallel shards (``workers`` processes, conservative
+      windows of ``window`` cycles, default = the inter-Cell lookahead).
+      ``audit``/``sanitize`` attach per shard; ``trace`` is unsupported.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, *,
                  trace: Union[bool, Any] = False,
                  sanitize: Union[bool, Any] = False,
                  audit: Union[bool, Any] = False,
-                 record_bin_width: Optional[float] = None) -> None:
+                 record_bin_width: Optional[float] = None,
+                 cells: Optional[Tuple[int, int]] = None,
+                 workers: int = 1,
+                 window: Optional[float] = None) -> None:
         self.config = HB_16x8 if config is None else config
+        #: PDES state (``cells=(X, Y)`` mode): the plan before run(),
+        #: the :class:`repro.pdes.CellsResult` after.
+        self.pdes: Optional[Any] = None
+        self._plan: Optional[Dict[str, Any]] = None
+        if cells is not None:
+            cx, cy = cells
+            self.config = self.config.with_geometry(cells_x=cx, cells_y=cy)
+            if trace or record_bin_width is not None:
+                raise ValueError(
+                    "trace/record_bin_width are not supported with "
+                    "cells=: PDES shards run in worker processes with "
+                    "no shared timeline (run per-Cell traced sessions "
+                    "instead)")
+            self.machine = None
+            self._plan = {
+                "launches": [], "pokes": [], "cells": {},
+                "workers": workers, "window": window,
+                "audit": bool(audit), "sanitize": bool(sanitize),
+            }
+            self.trace = None
+            self.sanitizer = None
+            self.auditor = None
+            self._pending = []
+            self.results: List[RunResult] = []
+            return
         self.machine = Machine(self.config, record_bin_width=record_bin_width)
         self.trace: Optional[Any] = None
         if trace:
@@ -140,13 +173,34 @@ class Session:
 
     # -- machine access -----------------------------------------------------
 
-    def cell(self, x: int = 0, y: int = 0) -> Cell:
-        """A Cell of the machine (for mallocs, pokes, Group-DRAM pointers)."""
+    def cell(self, x: int = 0, y: int = 0) -> Any:
+        """A Cell of the machine (for mallocs, pokes, Group-DRAM pointers).
+
+        In PDES mode this is a :class:`repro.pdes.shard.PlanCell`: same
+        allocation/pointer arithmetic, pokes recorded for the owning
+        shard, no peek until the run's payload comes back.
+        """
+        if self._plan is not None:
+            from .pdes.shard import PlanCell
+
+            if (x, y) not in set(self.config.chip.cells()):
+                raise KeyError(
+                    f"no cell ({x}, {y}); session has "
+                    f"{self.config.cells_x}x{self.config.cells_y} cells")
+            plan_cells = self._plan["cells"]
+            if (x, y) not in plan_cells:
+                plan_cells[(x, y)] = PlanCell(
+                    (x, y), lambda xy, off, val:
+                    self._plan["pokes"].append((xy, off, val)))
+            return plan_cells[(x, y)]
         return self.machine.cell(x, y)
 
     @property
     def sim(self) -> Any:
         """The underlying simulator (read-only use: ``now``, stats)."""
+        if self.machine is None:
+            raise RuntimeError("no single simulator in PDES mode: each "
+                               "shard owns its own clock")
         return self.machine.sim
 
     # -- launching ----------------------------------------------------------
@@ -154,14 +208,36 @@ class Session:
     def launch(self, kernel: Kernel, args: Any = None, *,
                cell: Tuple[int, int] = (0, 0),
                group_shape: Optional[Tuple[int, int]] = None,
-               setup: Optional[Callable[[Machine], Any]] = None
-               ) -> LaunchHandle:
+               setup: Optional[Callable[[Machine], Any]] = None,
+               remote: bool = True) -> LaunchHandle:
         """Load and start ``kernel`` on every tile of ``cell``.
 
         ``setup(machine)`` runs first (host-side data placement); its
         return value, if not ``None``, replaces ``args``.  Launches from
         several calls run concurrently once :meth:`run` drives the clock.
+
+        In PDES mode the launch is recorded (kernels travel to shard
+        workers by import path) and returns its
+        :class:`repro.pdes.LaunchSpec`; ``setup`` is unsupported there
+        -- there is no monolithic machine to hand it.  ``remote=False``
+        promises the kernel is Cell-local (enforced: the shard raises on
+        any cross-Cell access), which lets the coordinator skip window
+        barriers when every launch on the chip says so; on a monolithic
+        machine there is nothing to synchronize, so it is ignored.
         """
+        if self._plan is not None:
+            from .pdes.shard import LaunchSpec, kernel_ref
+
+            if setup is not None:
+                raise ValueError(
+                    "setup= is not supported with cells=: shard machines "
+                    "are built in worker processes (poke via "
+                    "session.cell(x, y) and pass offsets in args)")
+            spec = LaunchSpec(cell=tuple(cell), kernel=kernel_ref(kernel),
+                              args=args, group_shape=group_shape,
+                              remote=remote)
+            self._plan["launches"].append(spec)
+            return spec
         target = self.machine.cell(*cell)
         if setup is not None:
             prepared = setup(self.machine)
@@ -181,7 +257,24 @@ class Session:
         Returns one :class:`RunResult` per pending launch (in launch
         order) and appends them to :attr:`results`.  With tracing on,
         the trace is finalized (final metrics sample, launch spans).
+
+        In PDES mode this drives the conservative window loop instead
+        and returns the :class:`repro.pdes.CellsResult` (also kept as
+        ``session.pdes``).
         """
+        if self._plan is not None:
+            from .pdes import run_cells
+
+            plan = self._plan
+            if not plan["launches"]:
+                raise RuntimeError("nothing to run; call launch() first")
+            self.pdes = run_cells(
+                self.config, plan["launches"], pokes=plan["pokes"],
+                workers=plan["workers"], window=plan["window"],
+                audit=plan["audit"], sanitize=plan["sanitize"])
+            plan["launches"] = []
+            plan["pokes"] = []
+            return self.pdes
         if not self._pending:
             raise RuntimeError("nothing to run; call launch() first")
         handles = [handle for handle, _name in self._pending]

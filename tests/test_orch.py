@@ -358,3 +358,83 @@ class TestDeterminism:
 
         again = execute(twin)
         assert again["cycles"] == inproc["cycles"]
+
+
+# --- worker-budget composability (PDES jobs inside the pool) ---------------
+
+def budget_probe_job(params, config):
+    return {"budget": os.environ.get("REPRO_WORKER_BUDGET")}
+
+
+def pdes_probe_job(params, config):
+    """A multi-Cell PDES run nested inside a pool worker."""
+    from repro.pdes import fixture as xfix
+    from repro.pdes import run_cells
+
+    res = run_cells(config, xfix.exchange_launches(config, words=8),
+                    workers=params["workers"])
+    return {"workers": res.workers, "cycles": res.cycles,
+            "fingerprint": res.fingerprint()}
+
+
+class TestWorkerBudget:
+    """Job.procs: scheduler slots + REPRO_WORKER_BUDGET, not identity."""
+
+    def test_procs_is_scheduling_metadata_not_identity(self):
+        plain = _add(1, 2)
+        wide = _add(1, 2, procs=4)
+        assert plain.spec() == wide.spec()
+        assert cache_key(plain, "fp") == cache_key(wide, "fp")
+        assert "procs" not in plain.spec()
+
+    def test_budget_exported_to_pool_workers(self):
+        jobs = [Job("t", f"p{n}", f"{HERE}:budget_probe_job", procs=n)
+                for n in (1, 3)]
+        outcomes = run_jobs(jobs, workers=2, use_cache=False)
+        got = {o.job.key: o.payload["budget"] for o in outcomes}
+        assert got == {"p1": "1", "p3": "3"}
+
+    def test_budget_exported_and_restored_inprocess(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_BUDGET", "9")
+        job = Job("t", "probe", f"{HERE}:budget_probe_job", procs=2)
+        (outcome,) = run_jobs([job], workers=0, use_cache=False)
+        assert outcome.payload["budget"] == "2"
+        # the caller's own budget is restored afterwards
+        assert os.environ["REPRO_WORKER_BUDGET"] == "9"
+
+    def test_wide_jobs_serialize_on_narrow_pool(self):
+        """Two procs=2 jobs on a 2-slot pool must not co-run: the slot
+        ledger admits the second only after the first releases."""
+        jobs = [Job("t", f"wide{i}", f"{HERE}:sleep_job",
+                    params={"seconds": 0.25, "i": i}, procs=2)
+                for i in range(2)]
+        t0 = time.perf_counter()
+        outcomes = run_jobs(jobs, workers=2, use_cache=False)
+        wall = time.perf_counter() - t0
+        assert all(o.status == "ok" for o in outcomes)
+        assert wall >= 0.45
+
+    def test_idle_pool_always_admits_oversized_jobs(self):
+        """procs > workers is capped at the pool size, not starved."""
+        job = Job("t", "big", f"{HERE}:add_job",
+                  params={"a": 1, "b": 1}, procs=16)
+        (outcome,) = run_jobs([job], workers=2, use_cache=False)
+        assert outcome.status == "ok"
+
+    def test_nested_pdes_job_fans_out_within_budget(self):
+        """The whole contract end to end: a PDES job under the pool gets
+        procs worth of shard workers (not its larger request), and its
+        result is bit-identical to the serial reference."""
+        from repro.arch.config import small_config
+        from repro.arch.serialize import to_dict
+        from repro.pdes import fixture as xfix
+        from repro.pdes import run_cells
+
+        cfg = small_config(4, 4).with_geometry(cells_x=2, cells_y=1)
+        job = Job("t", "pdes", f"{HERE}:pdes_probe_job",
+                  params={"workers": 4}, config=to_dict(cfg), procs=2)
+        (outcome,) = run_jobs([job], workers=1, use_cache=False)
+        assert outcome.status == "ok"
+        assert outcome.payload["workers"] == 2  # budget clamps 4 -> procs
+        ref = run_cells(cfg, xfix.exchange_launches(cfg, words=8), workers=1)
+        assert outcome.payload["fingerprint"] == ref.fingerprint()
