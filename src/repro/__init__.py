@@ -13,6 +13,10 @@ table from the legacy ``run_on_cell`` entry points):
   PGAS data-race and synchronization checker;
 * :class:`AuditConfig` -- knobs for ``Session(audit=...)``, the
   timing-model invariant and differential-validation checker;
+* :class:`Client` / :class:`ServeConfig` -- the simulation service:
+  talk to (or configure) a ``repro serve`` scheduler daemon that
+  shares one warm worker pool, result cache and journal across
+  clients (see :mod:`repro.serve`);
 * ``KERNELS`` -- the ten-benchmark parallel suite (Table I).
 
 Quickstart::
@@ -51,6 +55,7 @@ from .audit import AuditConfig
 from .kernels.registry import SUITE as KERNELS
 from .runtime.result import RunResult
 from .sanitize import SanitizeConfig
+from .serve import Client, ServeConfig
 from .session import Session, run
 from .trace import Trace, TraceConfig
 
@@ -59,6 +64,8 @@ __all__ = [
     "Session",
     "run",
     "RunResult",
+    "Client",
+    "ServeConfig",
     "MachineConfig",
     "FeatureSet",
     "Trace",

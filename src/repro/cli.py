@@ -6,8 +6,17 @@ reproduced figure.  ``python -m repro list`` shows what is available.
 * ``repro sweep <experiment|all>`` runs the experiment's job grid
   through the orchestrator: worker pool, content-addressed result cache
   (``.repro-cache/``), JSONL run journal, per-job timeout and retry;
+  with ``--server HOST:PORT`` (or ``$REPRO_SERVER``) the same sweep is
+  a thin client of a running scheduler daemon instead -- payloads are
+  bit-identical either way;
 * ``repro all`` is the same sweep over every experiment;
-* ``repro journal <path>`` summarizes a previous sweep's journal;
+* ``repro serve`` starts the scheduler daemon: one warm worker pool,
+  result cache and journal shared by every client (see
+  :mod:`repro.serve`);
+* ``repro submit <experiment|all>`` submits a job plan to a daemon and
+  streams its progress events (``--events PATH`` records them);
+* ``repro journal <path>`` summarizes a previous sweep's (or serve
+  daemon's) journal;
 * ``repro trace <kernel>`` runs one suite kernel with the cycle-timeline
   tracer attached and writes a Chrome-trace JSON (open in Perfetto);
 * ``repro sanitize <kernel|fixture>`` runs one suite kernel (or the
@@ -409,23 +418,13 @@ def _print_progress(outcome, done: int, total: int,
           f"{outcome.status}{wall}{worker}{tail}", flush=True)
 
 
-def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
-    """``repro sweep <experiment|all>``: the orchestrated grid run."""
+def _sweep_targets(args: argparse.Namespace):
+    """Resolve a sweep/submit target into ``(target, names, sweeps)``
+    (``None`` on an unknown target, after printing the complaint)."""
     import dataclasses
-    import os
-    import time
 
     from .experiments import HARNESSES
-    from .orch import (
-        ResultStore,
-        RunJournal,
-        Sweep,
-        build_plan,
-        code_fingerprint,
-        collect_payloads,
-        reduce_all,
-        run_jobs,
-    )
+    from .orch import Sweep
 
     target = (args.target or "all").lower()
     if target == "all":
@@ -435,7 +434,7 @@ def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
     else:
         print(f"unknown sweep target {target!r}; one of: "
               + ", ".join(HARNESSES) + ", all", file=sys.stderr)
-        return 2
+        return None
 
     sweeps = []
     for name in names:
@@ -445,35 +444,96 @@ def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
             jobs = [dataclasses.replace(job, retries=args.retries)
                     for job in jobs]
         sweeps.append(Sweep(name, jobs, mod.reduce))
+    return target, names, sweeps
+
+
+def _server_outcomes(server: str, plan, *, use_cache: bool,
+                     priority: int, name: str) -> list:
+    """Run a plan through a serve daemon; outcomes align with
+    ``plan.unique_jobs`` and carry the server's payloads verbatim (the
+    bit-identity tests pin this against the in-process pool)."""
+    from .orch._pool import JobOutcome
+    from .serve import Client
+
+    with Client(server, name=name, priority=priority) as client:
+        sub = client.submit([job.to_wire() for job in plan.unique_jobs],
+                            use_cache=use_cache)
+        prov = client.server
+        print(f"server {server}: run {prov.get('run_id')}, submission "
+              f"{sub['sub']}: {sub['queued']} queued, {sub['cached']} "
+              f"cached, {sub['deduped']} deduped", flush=True)
+        envelopes = client.results(sub["sub"], wait=True)
+    outcomes = []
+    for job, env in zip(plan.unique_jobs, envelopes):
+        outcomes.append(JobOutcome(
+            job, plan.key_of[id(job)], env["status"],
+            payload=env["payload"], error=env["error"],
+            wall_s=env.get("wall_s") or 0.0))
+    return outcomes
+
+
+def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
+    """``repro sweep <experiment|all>``: the orchestrated grid run."""
+    import os
+    import time
+
+    from .experiments import HARNESSES
+    from .orch import (
+        ResultStore,
+        RunJournal,
+        build_plan,
+        code_fingerprint,
+        collect_payloads,
+        reduce_all,
+        run_jobs,
+    )
+
+    resolved = _sweep_targets(args)
+    if resolved is None:
+        return 2
+    target, names, sweeps = resolved
 
     fingerprint = code_fingerprint()
     plan = build_plan(sweeps, fingerprint)
     workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     store = None if args.no_cache else ResultStore(args.cache_dir)
     deduped = plan.total_jobs - len(plan.unique_jobs)
+    server = args.server or os.environ.get("REPRO_SERVER")
     print(f"sweep {target}: {len(plan.unique_jobs)} job(s)"
           + (f" ({deduped} shared)" if deduped else "")
-          + f" on {workers} worker(s), fingerprint {fingerprint}",
+          + (f" via server {server}" if server
+             else f" on {workers} worker(s)")
+          + f", fingerprint {fingerprint}",
           flush=True)
 
     t0 = time.perf_counter()
-    with RunJournal(args.journal) as journal:
-        journal.write_header(
-            version=__version__, fingerprint=fingerprint,
-            argv=["repro"] + argv, sweeps=names, size=args.size,
-            jobs=len(plan.unique_jobs), workers=workers,
-            cache=not args.no_cache)
-        keys = [plan.key_of[id(job)] for job in plan.unique_jobs]
-        outcomes = run_jobs(
-            plan.unique_jobs, workers=workers, store=store,
-            fingerprint=fingerprint, keys=keys, journal=journal,
-            default_timeout=args.timeout, use_cache=not args.no_cache,
-            progress=_print_progress)
+    if server:
+        # Thin-client mode: the daemon owns pool, cache and journal.
+        outcomes = _server_outcomes(
+            server, plan, use_cache=not args.no_cache,
+            priority=args.priority, name=f"sweep:{target}")
         wall = time.perf_counter() - t0
         counts: Dict[str, int] = {}
         for outcome in outcomes:
             counts[outcome.status] = counts.get(outcome.status, 0) + 1
-        journal.write_footer(wall_s=round(wall, 3), **counts)
+    else:
+        with RunJournal(args.journal) as journal:
+            journal.write_header(
+                version=__version__, fingerprint=fingerprint,
+                argv=["repro"] + argv, sweeps=names, size=args.size,
+                jobs=len(plan.unique_jobs), workers=workers,
+                cache=not args.no_cache)
+            keys = [plan.key_of[id(job)] for job in plan.unique_jobs]
+            outcomes = run_jobs(
+                plan.unique_jobs, workers=workers, store=store,
+                fingerprint=fingerprint, keys=keys, journal=journal,
+                default_timeout=args.timeout, use_cache=not args.no_cache,
+                progress=_print_progress)
+            wall = time.perf_counter() - t0
+            counts = {}
+            for outcome in outcomes:
+                counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            journal.write_footer(wall_s=round(wall, 3), **counts)
 
     broken = []
 
@@ -490,9 +550,87 @@ def _sweep(args: argparse.Namespace, argv: List[str]) -> int:
     summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
     print(f"\nsweep {target}: {summary} in {wall:.2f}s", flush=True)
     if args.journal:
-        print(f"journal: {args.journal}")
+        if server:
+            print("note: --journal is server-side in --server mode "
+                  "(the daemon journals; use 'repro submit --events' "
+                  "to record the stream locally)", file=sys.stderr)
+        else:
+            print(f"journal: {args.journal}")
     bad = sum(v for k, v in counts.items() if k not in ("ok", "cached"))
     return 1 if (bad or broken) else 0
+
+
+def _serve_cmd(args: argparse.Namespace) -> int:
+    """``repro serve``: run the scheduler daemon until interrupted."""
+    import os
+
+    from .serve import ServeConfig, run_daemon
+
+    workers = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=workers,
+        cache_dir=args.cache_dir, journal=args.journal,
+        use_cache=not args.no_cache, default_timeout=args.timeout,
+        quota=args.quota, stats_interval=args.stats_interval)
+    return run_daemon(config)
+
+
+def _submit_cmd(args: argparse.Namespace) -> int:
+    """``repro submit <experiment|all>``: send a plan to a daemon and
+    stream its progress events (no local reduce -- use ``repro sweep
+    --server`` for the full figure)."""
+    import json
+    import os
+
+    from .orch import build_plan, code_fingerprint
+    from .serve import Client, validate_event
+
+    server = args.server or os.environ.get("REPRO_SERVER")
+    if not server:
+        print("submit: no server (use --server HOST:PORT or set "
+              "REPRO_SERVER)", file=sys.stderr)
+        return 2
+    resolved = _sweep_targets(args)
+    if resolved is None:
+        return 2
+    target, _names, sweeps = resolved
+    plan = build_plan(sweeps, code_fingerprint())
+
+    events: List[dict] = []
+    with Client(server, name=f"submit:{target}",
+                priority=args.priority) as client:
+        client.watch()  # before submit: no event of ours can be missed
+        sub = client.submit([job.to_wire() for job in plan.unique_jobs],
+                            use_cache=not args.no_cache)
+        print(f"server {server}: run {client.server.get('run_id')}, "
+              f"submission {sub['sub']}: {sub['queued']} queued, "
+              f"{sub['cached']} cached, {sub['deduped']} deduped",
+              flush=True)
+        for event in client.stream(sub["sub"], timeout=args.timeout):
+            events.append(event)
+            problems = validate_event(event)
+            if problems:
+                print(f"submit: malformed event: {problems}",
+                      file=sys.stderr)
+            if event.get("event") == "job":
+                print(f"  {event.get('experiment')}/{event.get('key')}: "
+                      f"{event.get('outcome')} "
+                      f"{event.get('wall_s', 0) or 0:.2f}s", flush=True)
+        envelopes = client.results(sub["sub"], wait=True)
+    if args.events:
+        with open(args.events, "w") as fh:
+            for event in events:
+                json.dump(event, fh, sort_keys=True)
+                fh.write("\n")
+        print(f"events: {args.events} ({len(events)} records)")
+    counts: Dict[str, int] = {}
+    for env in envelopes:
+        counts[env["status"]] = counts.get(env["status"], 0) + 1
+    print("submit " + target + ": "
+          + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())),
+          flush=True)
+    bad = sum(v for k, v in counts.items() if k not in ("ok", "cached"))
+    return 1 if bad else 0
 
 
 def main(argv=None) -> int:
@@ -506,13 +644,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
-             + ", sweep, journal, trace, sanitize, audit, cells, "
-               "kernels, bench-speed, list, all",
+             + ", sweep, serve, submit, journal, trace, sanitize, audit, "
+               "cells, kernels, bench-speed, list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="sweep: experiment name or 'all'; journal: path to a JSONL "
-             "run journal; trace/sanitize/audit: suite kernel name "
+        help="sweep/submit: experiment name or 'all'; journal: path to a "
+             "JSONL run journal; trace/sanitize/audit: suite kernel name "
              "(sanitize also accepts 'fixture'; audit also accepts 'all')",
     )
     parser.add_argument(
@@ -569,16 +707,44 @@ def main(argv=None) -> int:
                         help="sweep: per-job timeout in seconds")
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="sweep: retry budget per job (overrides specs)")
-    parser.add_argument("--cache-dir", default=".repro-cache", metavar="PATH",
-                        help="sweep: result store location "
-                             "(default: .repro-cache)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="sweep/serve: result store location (default: "
+                             "$REPRO_CACHE_DIR, else .repro-cache)")
+    parser.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="sweep/submit: talk to a running 'repro "
+                             "serve' daemon instead of a local pool "
+                             "(default: $REPRO_SERVER)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="sweep/submit --server: client priority "
+                             "(higher runs first; default 0)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9178,
+                        help="serve: listen port (default 9178; 0 = "
+                             "ephemeral)")
+    parser.add_argument("--quota", type=int, default=None, metavar="N",
+                        help="serve: max in-flight jobs per client "
+                             "(default: unlimited)")
+    parser.add_argument("--stats-interval", type=float, default=5.0,
+                        metavar="S",
+                        help="serve: seconds between streamed stats "
+                             "events (0 disables; default 5)")
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="submit: record the streamed events as "
+                             "JSONL at PATH")
     args = parser.parse_args(argv)
     name = args.experiment.lower()
     if name == "list":
         for key in EXPERIMENTS:
             print(f"{key:8s} ({COST_HINT[key]})")
-        print("sweep <experiment|all> (orchestrated: pool + result cache)")
-        print("journal <path> (summarize a sweep's run journal)")
+        print("sweep <experiment|all> (orchestrated: pool + result cache; "
+              "--server HOST:PORT for thin-client mode)")
+        print("serve (scheduler daemon: shared pool/cache/journal; "
+              "--host/--port/--quota)")
+        print("submit <experiment|all> (send a plan to a serve daemon "
+              "and stream events)")
+        print("journal <path> (summarize a sweep's or serve daemon's "
+              "run journal)")
         print("trace <kernel> (traced run -> Chrome-trace JSON)")
         print("sanitize <kernel|fixture> (race/sync check; exit 1 on "
               "findings)")
@@ -610,6 +776,10 @@ def main(argv=None) -> int:
         return _trace_cmd(args)
     if name == "sweep":
         return _sweep(args, argv)
+    if name == "serve":
+        return _serve_cmd(args)
+    if name == "submit":
+        return _submit_cmd(args)
     if name == "all":
         # The full set runs through the orchestrator: shared jobs are
         # deduplicated across figures and cached results are reused.

@@ -15,16 +15,18 @@ grid into a first-class subsystem:
   worker id, retries, outcome);
 * :mod:`graph` -- sweeps (jobs + a pure reduce step) and the deduplicated
   execution plan across several sweeps;
-* :mod:`pool` -- the multiprocessing scheduler: worker pool, per-job
-  timeout, bounded retry, Ctrl-C cancellation, progress/ETA.
+* :mod:`_pool` -- the multiprocessing scheduler: worker pool, per-job
+  timeout, bounded retry, Ctrl-C cancellation, progress/ETA
+  (``repro.orch.pool`` remains as a deprecated import shim; the
+  long-lived service front end over this pool is :mod:`repro.serve`).
 """
 
-from .cache import ResultStore, cache_key
+from .cache import ResultStore, cache_key, default_cache_dir
 from .fingerprint import code_fingerprint
 from .graph import Plan, Sweep, build_plan, reduce_all
 from .job import Job, execute, jsonable
 from .journal import RunJournal, read_journal
-from .pool import (
+from ._pool import (
     WORKER_BUDGET_ENV,
     JobOutcome,
     collect_payloads,
@@ -44,6 +46,7 @@ __all__ = [
     "cache_key",
     "code_fingerprint",
     "collect_payloads",
+    "default_cache_dir",
     "execute",
     "execute_serial",
     "jsonable",

@@ -6,6 +6,12 @@ code fingerprint.  Identical sweeps are therefore pure cache hits, a
 changed arch config invalidates exactly the jobs that use it, and a
 changed simulator invalidates everything -- the three rules
 ``docs/MODEL.md`` documents.
+
+The store location is resolved in exactly one place,
+:func:`default_cache_dir`: the ``REPRO_CACHE_DIR`` environment variable
+when set, else ``.repro-cache``.  Every consumer (the sweep CLI, the
+serve daemon, ad-hoc :class:`ResultStore` construction) goes through it,
+so a client and the server it talks to agree on one store.
 """
 
 from __future__ import annotations
@@ -20,8 +26,17 @@ from .job import Job, canonical_json
 
 DEFAULT_ROOT = ".repro-cache"
 
+#: Environment override for the store location, honored by every
+#: ``--cache-dir`` default and by the serve daemon.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
 #: Bumped when the artifact layout changes incompatibly.
 STORE_FORMAT = 1
+
+
+def default_cache_dir() -> str:
+    """The store root: ``$REPRO_CACHE_DIR`` when set, else ``.repro-cache``."""
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_ROOT
 
 
 def cache_key(job: Job, fingerprint: str) -> str:
@@ -34,8 +49,8 @@ def cache_key(job: Job, fingerprint: str) -> str:
 class ResultStore:
     """A directory of ``<aa>/<rest-of-key>.json`` result artifacts."""
 
-    def __init__(self, root: str = DEFAULT_ROOT) -> None:
-        self.root = root
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key[2:] + ".json")

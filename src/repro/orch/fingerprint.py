@@ -20,7 +20,7 @@ from typing import Iterator, Tuple
 
 #: Top-level repro submodules whose source does not affect simulated
 #: results. Everything else under ``repro`` is fingerprinted.
-_EXCLUDED = ("orch", "cli.py", "__main__.py", "profile")
+_EXCLUDED = ("orch", "cli.py", "__main__.py", "profile", "serve")
 
 _DIGEST_CHARS = 16  # 64 bits: ample for "did the code change" detection
 

@@ -108,6 +108,50 @@ class Job:
     def name(self) -> str:
         return f"{self.experiment}/{self.key}"
 
+    def to_wire(self) -> Dict[str, Any]:
+        """The JSON form a :class:`repro.Client` submits to the daemon.
+
+        Everything, not just :meth:`spec`: the server journals
+        ``experiment``/``key`` for humans and honors ``timeout_s``/
+        ``retries``/``procs`` as scheduling hints.
+        """
+        return {
+            "experiment": self.experiment,
+            "key": self.key,
+            "fn": self.fn,
+            "params": self.params,
+            "config": self.config,
+            "seed": self.seed,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "procs": self.procs,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Job":
+        """Rebuild a job from :meth:`to_wire` output (unknown keys are
+        rejected: a typo'd field silently dropped would corrupt cache
+        identity)."""
+        known = {"experiment", "key", "fn", "params", "config", "seed",
+                 "timeout_s", "retries", "procs"}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown job fields: {sorted(extra)}")
+        missing = {"experiment", "key", "fn"} - set(data)
+        if missing:
+            raise ValueError(f"job missing fields: {sorted(missing)}")
+        return cls(
+            experiment=str(data["experiment"]),
+            key=str(data["key"]),
+            fn=str(data["fn"]),
+            params=dict(data.get("params") or {}),
+            config=data.get("config"),
+            seed=int(data.get("seed", 0)),
+            timeout_s=data.get("timeout_s"),
+            retries=int(data.get("retries", 1)),
+            procs=int(data.get("procs", 1)),
+        )
+
 
 def resolve(path: str) -> Callable[..., Any]:
     """Import the run function named by a ``module:function`` path."""

@@ -18,11 +18,17 @@ from typing import Any, Dict, IO, Iterator, List, Optional
 
 
 class RunJournal:
-    """Append-only JSONL writer; ``path=None`` journals nowhere."""
+    """Append-only JSONL writer; ``path=None`` journals nowhere.
 
-    def __init__(self, path: Optional[str]) -> None:
+    ``append=True`` keeps whatever the file already holds -- the serve
+    daemon uses it so a journal survives daemon restarts and the
+    recovery pass can read what the previous run left behind.
+    """
+
+    def __init__(self, path: Optional[str], *, append: bool = False) -> None:
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "w") if path else None
+        mode = "a" if append else "w"
+        self._fh: Optional[IO[str]] = open(path, mode) if path else None
 
     def write_header(self, **fields: Any) -> None:
         self._write({
@@ -33,6 +39,11 @@ class RunJournal:
 
     def write_job(self, **fields: Any) -> None:
         self._write({"event": "job", **fields})
+
+    def write_event(self, event: str, **fields: Any) -> None:
+        """One record of any event type (the serve daemon's intake:
+        client registrations, submissions, dedup hits, quota denials)."""
+        self._write({"event": event, **fields})
 
     def write_footer(self, **fields: Any) -> None:
         self._write({"event": "footer", "finished": _utcnow(), **fields})

@@ -184,7 +184,7 @@ class _PipeTransport:
     """Shards round-robined over forked worker processes."""
 
     def __init__(self, specs: Sequence[ShardSpec], workers: int) -> None:
-        from ..orch.pool import _context
+        from ..orch._pool import _context
 
         ctx = _context()
         self.n = len(specs)

@@ -1,8 +1,11 @@
-"""Post-hoc summary of a sweep's JSONL run journal.
+"""Post-hoc summary of a sweep's (or serve daemon's) JSONL run journal.
 
 ``repro journal <path>`` renders what a finished (or killed) sweep did:
 outcome counts, cache-hit rate, wall-time totals, per-experiment
-aggregates and the slowest computed jobs.
+aggregates and the slowest computed jobs.  A journal written by the
+``repro serve`` scheduler daemon additionally gets a server section:
+per-client quota usage (submitted / in-flight denials), the
+dedup-hit ratio across clients, and any restart recoveries.
 """
 
 from __future__ import annotations
@@ -56,6 +59,68 @@ def summarize(path: str) -> Dict[str, Any]:
         "retried": retried,
         "experiments": experiments,
         "slowest": slowest,
+        "server": _summarize_server(records),
+    }
+
+
+def _summarize_server(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The serve-daemon view of a journal (empty dict for plain sweeps).
+
+    Aggregates the daemon's intake events: per-client submissions and
+    quota denials, the cross-client dedup-hit ratio, restart
+    recoveries.  Keyed by client *name* (ids restart at c1 after every
+    daemon restart; names are the stable identity).
+    """
+    clients: Dict[str, Dict[str, Any]] = {}
+    dedup_hits = quota_denials = recoveries = submitted = 0
+    interrupted = 0
+    seen_serve_event = False
+
+    def client_row(cid: str) -> Dict[str, Any]:
+        return clients.setdefault(cid, {
+            "priority": 0, "submitted": 0, "queued": 0, "cached": 0,
+            "deduped": 0, "denied": 0})
+
+    names: Dict[str, str] = {}
+    for rec in records:
+        event = rec.get("event")
+        if event == "client":
+            seen_serve_event = True
+            names[rec.get("client")] = rec.get("name") or rec.get("client")
+            row = client_row(names[rec.get("client")])
+            row["priority"] = rec.get("priority", 0)
+        elif event == "submit":
+            seen_serve_event = True
+            row = client_row(names.get(rec.get("client"),
+                                       rec.get("client")))
+            row["submitted"] += rec.get("jobs") or 0
+            row["queued"] += rec.get("queued") or 0
+            row["cached"] += rec.get("cached") or 0
+            row["deduped"] += rec.get("deduped") or 0
+            submitted += rec.get("jobs") or 0
+        elif event == "dedup":
+            seen_serve_event = True
+            dedup_hits += 1
+        elif event == "quota":
+            seen_serve_event = True
+            row = client_row(names.get(rec.get("client"),
+                                       rec.get("client")))
+            row["denied"] += rec.get("denied") or 0
+            quota_denials += rec.get("denied") or 0
+        elif event == "recover":
+            seen_serve_event = True
+            recoveries += 1
+            interrupted += rec.get("interrupted") or 0
+    if not seen_serve_event:
+        return {}
+    return {
+        "clients": clients,
+        "submitted": submitted,
+        "dedup_hits": dedup_hits,
+        "dedup_hit_ratio": (dedup_hits / submitted) if submitted else 0.0,
+        "quota_denials": quota_denials,
+        "recoveries": recoveries,
+        "interrupted": interrupted,
     }
 
 
@@ -91,6 +156,22 @@ def render(summary: Dict[str, Any]) -> str:
         lines.append("slowest computed jobs:")
         lines.append(format_table(
             ["experiment", "key", "wall s", "worker", "cycles"], rows))
+    server = summary.get("server") or {}
+    if server:
+        lines.append(
+            f"server: {server['submitted']} job(s) submitted across "
+            f"{len(server['clients'])} client(s); dedup hits "
+            f"{server['dedup_hits']} ({server['dedup_hit_ratio']:.0%} of "
+            f"submissions); quota denials {server['quota_denials']}; "
+            f"restarts recovered {server['recoveries']} "
+            f"({server['interrupted']} interrupted job(s))")
+        if server["clients"]:
+            rows = [[name, c["priority"], c["submitted"], c["queued"],
+                     c["cached"], c["deduped"], c["denied"]]
+                    for name, c in sorted(server["clients"].items())]
+            lines.append(format_table(
+                ["client", "prio", "submitted", "queued", "cached",
+                 "deduped", "denied"], rows))
     footer = summary["footer"]
     if footer:
         lines.append(f"finished {footer.get('finished', '?')} in "

@@ -1,10 +1,19 @@
 """The result of one kernel execution, with a versioned wire format.
 
 ``RunResult.to_dict()`` is the payload the orchestrator caches and the
-run journal records; it carries ``"schema": 1`` so cached payloads are
+run journal records; it carries ``"schema": 2`` so cached payloads are
 self-describing, and :meth:`RunResult.from_dict` round-trips them back
 into typed results (rejecting unknown schema versions with a clear
 error instead of silently misreading fields).
+
+Schema history:
+
+* **1** -- the PR 3 format: metrics only.
+* **2** -- adds ``"provenance"``: where the payload came from when it
+  was served by the :mod:`repro.serve` scheduler daemon (job id, cache
+  hit/miss/dedup, code fingerprint, server run id).  Locally-built
+  results carry an empty provenance dict; schema-1 payloads are read
+  and upgraded in place (the metric fields are identical).
 """
 
 from __future__ import annotations
@@ -14,7 +23,11 @@ from typing import Any, Dict, Optional
 
 #: Version of the ``to_dict`` wire format.  Bump when fields change
 #: incompatibly; ``from_dict`` refuses payloads from other versions.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: The provenance keys the serve scheduler stamps on delivered results
+#: (``provenance`` is free-form; these are the documented ones).
+PROVENANCE_FIELDS = ("job", "cache_key", "cache", "fingerprint", "run_id")
 
 
 @dataclass
@@ -35,6 +48,9 @@ class RunResult:
     network: Dict[str, float]  # request-network counters
     machine: Optional[Any] = None  # kept when the caller asks for it
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Where this payload came from when it was served by the scheduler
+    #: daemon (see :data:`PROVENANCE_FIELDS`); empty for local runs.
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -60,7 +76,8 @@ class RunResult:
         """A JSON-able snapshot of the result (the sweep-job payload).
 
         ``machine`` and ``extra`` are deliberately dropped: the former
-        is live simulator state, the latter is caller-private.
+        is live simulator state, the latter caller-private.
+        ``provenance`` round-trips (empty for locally-built results).
         """
         return {
             "schema": SCHEMA_VERSION,
@@ -78,6 +95,7 @@ class RunResult:
             "cache_hit_rate": (None if self.cache_hit_rate is None
                                else float(self.cache_hit_rate)),
             "network": {k: float(v) for k, v in self.network.items()},
+            "provenance": dict(self.provenance),
         }
 
     @classmethod
@@ -85,15 +103,18 @@ class RunResult:
         """Rebuild a result from a :meth:`to_dict` payload.
 
         Payloads written before versioning carry no ``schema`` key and
-        are read as version 1 (the format is identical).
+        are read as version 1 (the format is identical); schema-1
+        payloads upgrade to 2 with empty provenance.  Anything newer
+        (or unrecognized) is rejected.
         """
         schema = data.get("schema", 1)
-        if schema != SCHEMA_VERSION:
+        if schema not in (1, SCHEMA_VERSION):
             raise ValueError(
                 f"unsupported RunResult schema {schema!r}: this build reads "
-                f"schema {SCHEMA_VERSION}; re-run the sweep (or clear the "
+                f"schema 1..{SCHEMA_VERSION}; re-run the sweep (or clear the "
                 "result cache) to regenerate payloads"
             )
+        provenance = dict(data.get("provenance") or {}) if schema >= 2 else {}
         return cls(
             config_name=data["config"],
             kernel_name=data["kernel"],
@@ -108,4 +129,5 @@ class RunResult:
             cache_hit_rate=(None if data.get("cache_hit_rate") is None
                             else float(data["cache_hit_rate"])),
             network=dict(data.get("network", {})),
+            provenance=provenance,
         )

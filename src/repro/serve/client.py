@@ -1,0 +1,280 @@
+"""Client API of the serve daemon.
+
+:class:`AsyncClient` is the transport: one connection, a reader task
+that pairs responses to requests by ``id`` and queues pushed events.
+:class:`Client` is the public face -- synchronous wrappers driving a
+private event loop, so callers (the ``repro sweep`` thin client,
+notebooks, scripts) never touch asyncio:
+
+>>> with Client(address="127.0.0.1:9178") as client:
+...     sub = client.submit(jobs)
+...     for event in client.stream(sub["sub"]):
+...         print(event)
+...     results = client.results(sub["sub"])
+
+Results come back as envelopes: the *payload* is byte-identical to
+what the in-process pool computes (that is pinned by tests), and the
+*provenance* (cache hit/miss/dedup, code fingerprint, server run id)
+rides alongside it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..orch.job import Job
+from .protocol import PROTOCOL_VERSION, decode, encode, parse_address
+
+#: Default seconds a synchronous call waits for the daemon before
+#: giving up (results(wait=True) uses its own, per-call timeout).
+DEFAULT_TIMEOUT = 30.0
+
+_DEFAULT = object()  # "use self.timeout" sentinel
+
+
+class ServerError(RuntimeError):
+    """The daemon answered ``ok: false`` (quota, unknown sub, bad op)."""
+
+
+class ConnectionLost(ConnectionError):
+    """The daemon hung up while requests or streams were outstanding."""
+
+
+class AsyncClient:
+    """The asyncio transport; prefer :class:`Client` unless you already
+    live on an event loop."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._events: "asyncio.Queue[Optional[Dict[str, Any]]]" = \
+            asyncio.Queue()
+        self._ids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    async def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        if self._writer is None or self._closed:
+            raise ConnectionLost("not connected")
+        rid = next(self._ids)
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        record = {"id": rid, "op": op}
+        record.update(params)
+        self._writer.write(encode(record))
+        await self._writer.drain()
+        try:
+            response = await fut
+        finally:
+            self._pending.pop(rid, None)
+        if not response.get("ok"):
+            raise ServerError(response.get("error", "request failed"))
+        return response
+
+    async def next_event(self) -> Dict[str, Any]:
+        """The next pushed event (``watch`` first); raises
+        :class:`ConnectionLost` when the daemon hangs up."""
+        event = await self._events.get()
+        if event is None:
+            raise ConnectionLost("server closed the connection")
+        return event
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    record = decode(line)
+                except ValueError:
+                    continue  # tolerate garbage rather than killing all
+                # Responses always carry "id"; pushed events never do
+                # (a response may still contain an "event" field, e.g.
+                # cancel echoes its journal record).
+                if "id" in record:
+                    fut = self._pending.get(record["id"])
+                    if fut is not None and not fut.done():
+                        fut.set_result(record)
+                elif "event" in record:
+                    self._events.put_nowait(record)
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(
+                    ConnectionLost("server closed the connection"))
+        self._pending.clear()
+        self._events.put_nowait(None)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+AddressLike = Union[str, Tuple[str, int]]
+
+
+class Client:
+    """Synchronous client of a ``repro serve`` daemon.
+
+    ``address`` is ``"host:port"`` (or a tuple); ``name``/``priority``
+    are this client's identity at the server.  Construction connects
+    and performs the ``hello`` handshake; use as a context manager (or
+    call :meth:`close`) to hang up.
+    """
+
+    def __init__(self, address: AddressLike, name: Optional[str] = None,
+                 priority: int = 0,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        if isinstance(address, str):
+            host, port = parse_address(address)
+        else:
+            host, port = address[0], int(address[1])
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._async = AsyncClient(host, port)
+        self._call(self._async.connect())
+        self.server = self._call(self._async.request(
+            "hello", name=name, priority=priority))
+        if self.server.get("protocol") != PROTOCOL_VERSION:
+            self.close()
+            raise ServerError(
+                f"protocol mismatch: server speaks "
+                f"{self.server.get('protocol')}, client {PROTOCOL_VERSION}")
+        self.client_id = self.server["client"]
+        self._watching = False
+        self._closed = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, coro, timeout: Any = _DEFAULT) -> Any:
+        if timeout is _DEFAULT:
+            timeout = self.timeout
+        if timeout is not None:
+            coro = asyncio.wait_for(coro, timeout)
+        return self._loop.run_until_complete(coro)
+
+    def _request(self, op: str, timeout: Any = _DEFAULT,
+                 **params: Any) -> Dict[str, Any]:
+        return self._call(self._async.request(op, **params), timeout)
+
+    # -- the API ------------------------------------------------------------
+
+    def submit(self, jobs: List[Union[Job, Dict[str, Any]]],
+               use_cache: bool = True) -> Dict[str, Any]:
+        """Submit a plan; returns the admission record (``sub`` id plus
+        per-job cache keys/statuses, aligned with ``jobs``)."""
+        wire = [job.to_wire() if isinstance(job, Job) else dict(job)
+                for job in jobs]
+        return self._request("submit", jobs=wire, use_cache=use_cache)
+
+    def status(self, sub: str) -> Dict[str, Any]:
+        return self._request("status", sub=sub)
+
+    def results(self, sub: str, wait: bool = True,
+                timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Result envelopes aligned with the submitted jobs; with
+        ``wait`` (default) blocks until the submission completes
+        (``timeout=None`` = forever)."""
+        params: Dict[str, Any] = {"sub": sub, "wait": wait}
+        if timeout is not None:
+            params["timeout"] = timeout
+        if not wait:
+            call_timeout: Any = _DEFAULT
+        elif timeout is not None:
+            call_timeout = timeout + self.timeout  # server enforces first
+        else:
+            call_timeout = None
+        response = self._request("results", timeout=call_timeout, **params)
+        return response["results"]
+
+    def result(self, cache_key: str) -> Dict[str, Any]:
+        return self._request("result", cache_key=cache_key)
+
+    def cancel(self, sub: str) -> Dict[str, Any]:
+        return self._request("cancel", sub=sub)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("stats")
+
+    def ping(self) -> bool:
+        return bool(self._request("ping").get("pong"))
+
+    def watch(self) -> None:
+        """Start the pushed event stream on this connection."""
+        if not self._watching:
+            self._request("watch")
+            self._watching = True
+
+    def next_event(self, timeout: Any = _DEFAULT) -> Dict[str, Any]:
+        """One pushed event (implies :meth:`watch`)."""
+        self.watch()
+        return self._call(self._async.next_event(), timeout)
+
+    def stream(self, sub: Optional[str] = None,
+               timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield events as they arrive; with ``sub``, stops after that
+        submission's ``sub-done`` (else iterate until you break)."""
+        self.watch()
+        while True:
+            event = self._call(self._async.next_event(), timeout)
+            yield event
+            if (sub is not None and event.get("event") == "sub-done"
+                    and event.get("sub") == sub):
+                return
+
+    def shutdown_server(self) -> None:
+        self._request("shutdown")
+
+    def close(self) -> None:
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        try:
+            self._call(self._async.close(), timeout=5.0)
+        except Exception:  # noqa: BLE001 -- closing is best-effort
+            pass
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover -- gc-order dependent
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass

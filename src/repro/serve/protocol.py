@@ -1,0 +1,114 @@
+"""Wire protocol of the serve daemon: newline-delimited JSON.
+
+One TCP connection carries two interleaved record streams, told apart
+by one key:
+
+* **requests/responses** -- the client sends ``{"id": n, "op": ...,
+  ...params}``; the daemon answers with ``{"id": n, "ok": true, ...}``
+  or ``{"id": n, "ok": false, "error": "..."}``.  Responses may arrive
+  out of order; ``id`` pairs them up.
+* **events** -- after a ``watch`` request the daemon pushes
+  ``{"event": ...}`` records: the live feed of everything the
+  scheduler writes to its run journal (job starts/completions, dedup
+  hits, quota denials, submission completions, periodic stats).
+
+Both directions are UTF-8 JSON, one record per ``\\n``-terminated line,
+no length prefixes -- trivially debuggable with ``nc``.
+
+The event stream *is* the journal format: :data:`EVENT_SCHEMA` below
+names every record type and its required fields, and
+:func:`validate_event` is the machine-checkable contract (used by the
+tests and the ``serve-smoke`` CI job).  The prose version lives in the
+"Simulation service" section of ``docs/MODEL.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+#: Bumped when requests/responses change incompatibly; the daemon
+#: reports its version in the ``hello`` response so clients can bail
+#: out early instead of misparsing.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one encoded record (sanity guard against a confused
+#: client streaming a giant artifact down the control channel).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Request operations the daemon understands.
+OPS = ("hello", "submit", "status", "result", "results", "watch",
+       "unwatch", "cancel", "stats", "ping", "shutdown")
+
+#: Every event record type and its required fields.  Records may carry
+#: extra fields; these must be present.  ``header``/``footer``/``job``
+#: are the classic sweep-journal records (shared with ``repro sweep``),
+#: the rest are serve-daemon intake events.
+EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "header": ("started",),
+    "recover": ("run_id", "prior_records", "interrupted"),
+    "client": ("client", "name", "priority"),
+    "submit": ("client", "sub", "jobs", "queued", "cached", "deduped"),
+    "start": ("cache_key", "experiment", "key", "client", "attempt"),
+    "job": ("cache_key", "experiment", "key", "outcome", "wall_s",
+            "attempts"),
+    "dedup": ("cache_key", "client", "source"),
+    "quota": ("client", "limit", "inflight", "denied"),
+    "cancel": ("client", "sub", "dropped"),
+    "stats": ("queued", "running", "done", "dedup_hits", "cache_hits"),
+    "sub-done": ("sub", "client", "counts"),
+    "footer": ("finished",),
+}
+
+
+def encode(record: Dict[str, Any]) -> bytes:
+    """One wire line (compact JSON + newline)."""
+    return (json.dumps(record, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises ``ValueError`` on garbage."""
+    record = json.loads(line.decode("utf-8"))
+    if not isinstance(record, dict):
+        raise ValueError(f"wire record must be a JSON object, got "
+                         f"{type(record).__name__}")
+    return record
+
+
+def validate_event(record: Dict[str, Any]) -> List[str]:
+    """Problems with one event record against :data:`EVENT_SCHEMA`.
+
+    Empty list means valid.  Used by tests and the CI smoke job to hold
+    the streamed events to the documented contract.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"not an object: {type(record).__name__}"]
+    kind = record.get("event")
+    if not isinstance(kind, str):
+        return [f"missing/non-string 'event' field: {kind!r}"]
+    required = EVENT_SCHEMA.get(kind)
+    if required is None:
+        return [f"unknown event type {kind!r}"]
+    for fname in required:
+        if fname not in record:
+            problems.append(f"{kind}: missing required field {fname!r}")
+    return problems
+
+
+def validate_events(records: List[Dict[str, Any]]) -> List[str]:
+    """Flattened problems across a whole stream (prefixed by index)."""
+    problems = []
+    for i, record in enumerate(records):
+        for p in validate_event(record):
+            problems.append(f"[{i}] {p}")
+    return problems
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (bare ``":port"`` = loopback)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad server address {address!r}: want HOST:PORT")
+    return host or "127.0.0.1", int(port)

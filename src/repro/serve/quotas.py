@@ -1,0 +1,79 @@
+"""Per-client accounting: identity, priority, in-flight quota.
+
+The scheduler is multi-tenant in the small: several clients share one
+warm backend, so two fairness levers exist.  **Priority** orders the
+ready queue -- a client registers with ``hello(priority=p)`` (clamped
+to the server's ``max_priority``) and its jobs sort ahead of
+lower-priority work; ties run in submission order.  **Quota** bounds
+how many *originated* jobs (queued or running, not yet terminal) one
+client may hold at once; a submission that would exceed it is rejected
+whole (atomic: no partial plans) and journaled as a ``quota`` event.
+Dedup attachments are free -- riding on another client's identical job
+costs nothing, which is the whole point of the shared backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class QuotaError(Exception):
+    """A submission was rejected by the per-client in-flight quota."""
+
+
+@dataclass
+class ClientState:
+    """One registered client of the daemon."""
+
+    client_id: str
+    name: str
+    priority: int
+    #: Originated jobs currently queued or running (terminal jobs and
+    #: dedup attachments excluded).
+    inflight: int = 0
+    #: Lifetime counters (reported by ``stats`` and ``repro journal``).
+    submitted: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
+    denied: int = 0
+
+
+class QuotaPolicy:
+    """Registry of clients plus the admission rule."""
+
+    def __init__(self, quota: Optional[int] = None,
+                 max_priority: int = 9) -> None:
+        self.quota = quota
+        self.max_priority = max_priority
+        self.clients: Dict[str, ClientState] = {}
+        self._ids = itertools.count(1)
+
+    def register(self, name: Optional[str], priority: int) -> ClientState:
+        client_id = f"c{next(self._ids)}"
+        state = ClientState(
+            client_id=client_id,
+            name=name or client_id,
+            priority=max(0, min(int(priority), self.max_priority)))
+        self.clients[client_id] = state
+        return state
+
+    def get(self, client_id: str) -> ClientState:
+        try:
+            return self.clients[client_id]
+        except KeyError:
+            raise QuotaError(f"unknown client {client_id!r}; "
+                             "send hello first") from None
+
+    def admit(self, client_id: str, new_jobs: int) -> None:
+        """Raise :class:`QuotaError` if the submission would exceed the
+        client's in-flight budget (whole-submission admission)."""
+        state = self.get(client_id)
+        if self.quota is None or new_jobs == 0:
+            return
+        if state.inflight + new_jobs > self.quota:
+            state.denied += new_jobs
+            raise QuotaError(
+                f"quota exceeded for {state.name}: {state.inflight} "
+                f"in flight + {new_jobs} new > limit {self.quota}")

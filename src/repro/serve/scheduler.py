@@ -1,0 +1,744 @@
+"""The asyncio scheduler: orch pool + cache + journal behind one object.
+
+This is the long-lived heart of ``repro serve``.  It owns exactly the
+three pieces :mod:`repro.orch` already had -- the content-addressed
+:class:`~repro.orch.cache.ResultStore`, the JSONL
+:class:`~repro.orch.journal.RunJournal`, and the multiprocessing worker
+machinery of :mod:`repro.orch._pool` -- and turns the fire-and-forget
+per-sweep pool into a service:
+
+* **streaming intake** -- clients submit job plans at any time; jobs
+  enter one priority queue (client priority, then submission order);
+* **cross-client dedup** -- jobs are identified by the same cache key
+  the sweep orchestrator uses (spec + arch config + code fingerprint).
+  A job identical to a cached artifact is served from the store; one
+  identical to an in-flight or completed job of *any* client attaches
+  as a waiter and shares the single execution's result bit-for-bit;
+* **quotas** -- per-client in-flight budgets (:mod:`.quotas`);
+* **events** -- every journal record is also fanned out live to
+  ``watch``-ing connections (the stream *is* the journal format; see
+  :mod:`.protocol`);
+* **recovery** -- the journal is opened in append mode; on restart the
+  prior run's records are scanned, interrupted jobs are counted into a
+  ``recover`` record, and their completed siblings keep being served
+  from the store (artifact writes are atomic, so a killed daemon never
+  leaves a torn cache).
+
+Execution backends: ``workers >= 1`` drives the orch pool's own worker
+processes (job assignment over pipes, per-job timeout, bounded retry,
+crash replacement) through ``loop.add_reader``; ``workers <= 0`` runs
+jobs on a single in-daemon thread (no timeout enforcement -- same
+contract as the pool's in-process mode), which is what tests and 1-CPU
+hosts use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..orch._pool import (
+    CANCELLED,
+    FAILED,
+    OK,
+    TIMEOUT,
+    WORKER_BUDGET_ENV,
+    _context,
+    _cycles_of,
+    _Worker,
+)
+from ..orch.cache import ResultStore, cache_key, default_cache_dir
+from ..orch.fingerprint import code_fingerprint
+from ..orch.job import Job, execute
+from ..orch.journal import RunJournal, _utcnow, read_journal
+from .quotas import ClientState, QuotaError, QuotaPolicy
+
+#: Additional entry states next to the orch pool's terminal ones.
+QUEUED, RUNNING, CACHED = "queued", "running", "cached"
+
+_TERMINAL = (OK, CACHED, FAILED, TIMEOUT, CANCELLED)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the scheduler daemon (``repro serve``).
+
+    ``cache_dir=None`` resolves through
+    :func:`repro.orch.default_cache_dir` (``$REPRO_CACHE_DIR`` or
+    ``.repro-cache``) so daemon and clients agree on one store.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is printed/returned)
+    workers: int = 0  # >=1: orch pool worker processes; <=0: one thread
+    cache_dir: Optional[str] = None
+    journal: Optional[str] = None
+    use_cache: bool = True
+    default_timeout: Optional[float] = None  # per-job, process backend only
+    quota: Optional[int] = None  # max in-flight originated jobs per client
+    max_priority: int = 9
+    stats_interval: float = 0.0  # seconds between stats events (0 = off)
+    fingerprint: Optional[str] = None  # override for tests
+
+    def resolved_cache_dir(self) -> str:
+        return self.cache_dir if self.cache_dir is not None \
+            else default_cache_dir()
+
+
+class _Entry:
+    """One unique job spec known to the scheduler (any number of
+    submissions may wait on it)."""
+
+    __slots__ = ("key", "job", "priority", "seq", "status", "payload",
+                 "error", "wall_s", "attempts", "worker", "origin",
+                 "waiters", "done", "counted")
+
+    def __init__(self, key: str, job: Job, priority: int, seq: int,
+                 origin: str) -> None:
+        self.key = key
+        self.job = job
+        self.priority = priority
+        self.seq = seq
+        self.status = QUEUED
+        self.payload: Any = None
+        self.error: Optional[str] = None
+        self.wall_s = 0.0
+        self.attempts = 0
+        self.worker: Optional[int] = None
+        self.origin = origin
+        self.waiters: List[Tuple[str, str]] = []  # (client_id, sub_id)
+        self.done = asyncio.Event()
+        self.counted = False  # charged against origin's in-flight quota
+
+
+@dataclass
+class _Submission:
+    """One client's submitted plan: its view onto shared entries."""
+
+    sub_id: str
+    client: str
+    keys: List[str]  # cache keys aligned with the submitted jobs
+    modes: List[str]  # per-job cache mode: "miss" | "hit" | "dedup"
+    remaining: set = field(default_factory=set)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class Scheduler:
+    """See the module docstring.  All methods must run on the event
+    loop's thread (the daemon guarantees this); ``start`` first."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.run_id = os.urandom(6).hex()
+        self.fingerprint = self.config.fingerprint or code_fingerprint()
+        self.cache_dir = self.config.resolved_cache_dir()
+        self.store: Optional[ResultStore] = (
+            ResultStore(self.cache_dir) if self.config.use_cache else None)
+        self.journal: Optional[RunJournal] = None
+        self.quotas = QuotaPolicy(self.config.quota,
+                                  self.config.max_priority)
+        self._entries: Dict[str, _Entry] = {}
+        self._queue: List[Tuple[int, int, str]] = []  # (-prio, seq, key)
+        self._subs: Dict[str, _Submission] = {}
+        self._listeners: Dict[int, Callable[[Dict[str, Any]], None]] = {}
+        self._seq = itertools.count()
+        self._sub_ids = itertools.count(1)
+        self._listener_ids = itertools.count(1)
+        self.dedup_hits = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self._stopping = False
+        self._tasks: List[asyncio.Task] = []
+        self._kick: Optional[asyncio.Event] = None
+        self._backend: Optional[Any] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._kick = asyncio.Event()
+        recovery = self._scan_prior_journal()
+        self.journal = RunJournal(self.config.journal, append=True)
+        if recovery is not None:
+            self._emit("recover", run_id=self.run_id, **recovery)
+        self._emit(
+            "header", started=_utcnow(), server=True, run_id=self.run_id,
+            fingerprint=self.fingerprint, version=_package_version(),
+            workers=self.config.workers, cache_dir=self.cache_dir,
+            cache=self.config.use_cache, quota=self.config.quota)
+        if self.config.workers >= 1:
+            self._backend = _ProcessBackend(self, self.config.workers,
+                                            self.config.default_timeout)
+        else:
+            self._backend = _ThreadBackend(self)
+        self._tasks.append(self._loop.create_task(self._dispatch()))
+        if self.config.stats_interval > 0:
+            self._tasks.append(
+                self._loop.create_task(self._stats_loop()))
+
+    async def shutdown(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        self._kick.set()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if self._backend is not None:
+            await self._backend.stop()
+        counts: Dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        self._emit("footer", finished=_utcnow(), run_id=self.run_id,
+                   **counts)
+        if self.journal is not None:
+            self.journal.close()
+
+    def _scan_prior_journal(self) -> Optional[Dict[str, Any]]:
+        """What an earlier daemon run left in the journal, if anything."""
+        path = self.config.journal
+        if not path or not os.path.exists(path):
+            return None
+        try:
+            if os.path.getsize(path) == 0:
+                return None
+            records = read_journal(path)
+        except OSError:
+            return None
+        if not records:
+            return None
+        submitted: set = set()
+        completed: set = set()
+        for rec in records:
+            event = rec.get("event")
+            if event == "submit":
+                submitted.update(rec.get("keys") or [])
+            elif event == "job":
+                completed.add(rec.get("cache_key"))
+        return {"prior_records": len(records),
+                "interrupted": len(submitted - completed)}
+
+    # -- event fan-out ------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[Dict[str, Any]], None]
+                     ) -> int:
+        token = next(self._listener_ids)
+        self._listeners[token] = callback
+        return token
+
+    def remove_listener(self, token: int) -> None:
+        self._listeners.pop(token, None)
+
+    def _emit(self, event: str, *, journal: bool = True,
+              **fields: Any) -> Dict[str, Any]:
+        """Journal one record and push it to every live listener."""
+        record = {"event": event, **fields}
+        if journal and self.journal is not None:
+            self.journal.write_event(event, **fields)
+        for callback in list(self._listeners.values()):
+            try:
+                callback(record)
+            except Exception:  # noqa: BLE001 -- one dead client, not all
+                pass
+        return record
+
+    # -- intake -------------------------------------------------------------
+
+    def register_client(self, name: Optional[str] = None,
+                        priority: int = 0) -> ClientState:
+        state = self.quotas.register(name, priority)
+        self._emit("client", client=state.client_id, name=state.name,
+                   priority=state.priority)
+        return state
+
+    def submit(self, client_id: str, wire_jobs: List[Dict[str, Any]],
+               use_cache: bool = True) -> Dict[str, Any]:
+        """Admit one plan; returns per-job keys/statuses (atomic: a
+        quota rejection admits nothing)."""
+        state = self.quotas.get(client_id)
+        jobs = [Job.from_wire(w) for w in wire_jobs]
+        keys = [cache_key(job, self.fingerprint) for job in jobs]
+        use_cache = use_cache and self.config.use_cache
+
+        # Classification pass -- no state mutated yet.
+        planned: List[Tuple[Job, str, str, Optional[Dict[str, Any]]]] = []
+        seen_new: set = set()
+        new_jobs = 0
+        for job, key in zip(jobs, keys):
+            entry = self._entries.get(key)
+            if key in seen_new:
+                action, record = "dedup-sub", None
+            elif entry is not None and entry.status in (OK, CACHED):
+                action, record = "dedup-done", None
+            elif entry is not None and entry.status in (QUEUED, RUNNING):
+                action, record = "dedup-inflight", None
+            else:
+                # No live entry (or a failed/cancelled one): (re)compute.
+                record = self.store.get(key) if (use_cache and
+                                                 self.store) else None
+                if record is not None:
+                    action = "cache-hit"
+                else:
+                    action = "new"
+                    seen_new.add(key)
+                    new_jobs += 1
+            planned.append((job, key, action, record))
+
+        try:
+            self.quotas.admit(client_id, new_jobs)
+        except QuotaError:
+            self._emit("quota", client=client_id,
+                       limit=self.quotas.quota, inflight=state.inflight,
+                       denied=new_jobs)
+            raise
+
+        sub = _Submission(sub_id=f"s{next(self._sub_ids)}",
+                          client=client_id, keys=keys, modes=[])
+        counts = {"queued": 0, "cached": 0, "deduped": 0}
+        for job, key, action, record in planned:
+            if action == "new":
+                entry = _Entry(key, job, state.priority,
+                               next(self._seq), client_id)
+                entry.counted = True
+                state.inflight += 1
+                self._entries[key] = entry
+                heapq.heappush(self._queue,
+                               (-entry.priority, entry.seq, key))
+                sub.modes.append("miss")
+                sub.remaining.add(key)
+                counts["queued"] += 1
+            elif action == "cache-hit":
+                entry = _Entry(key, job, state.priority,
+                               next(self._seq), client_id)
+                self._entries[key] = entry
+                entry.status = CACHED
+                entry.payload = record["payload"]
+                entry.done.set()
+                state.cache_hits += 1
+                self.cache_hits += 1
+                self._emit("job", cache_key=key,
+                           experiment=job.experiment, key=job.key,
+                           outcome=CACHED, wall_s=0.0, attempts=0,
+                           worker=None, error=None,
+                           cycles=_cycles_of(entry.payload),
+                           client=client_id)
+                sub.modes.append("hit")
+                counts["cached"] += 1
+            else:  # dedup-sub / dedup-done / dedup-inflight
+                entry = self._entries[key]
+                source = {"dedup-sub": "submission",
+                          "dedup-done": "done",
+                          "dedup-inflight": "inflight"}[action]
+                state.dedup_hits += 1
+                self.dedup_hits += 1
+                self._emit("dedup", cache_key=key, client=client_id,
+                           source=source)
+                sub.modes.append("dedup")
+                if entry.status not in _TERMINAL:
+                    sub.remaining.add(key)
+                counts["deduped"] += 1
+            if entry.status not in _TERMINAL:
+                entry.waiters.append((client_id, sub.sub_id))
+        state.submitted += len(jobs)
+        self._subs[sub.sub_id] = sub
+        self._emit("submit", client=client_id, sub=sub.sub_id,
+                   jobs=len(jobs), keys=keys, **counts)
+        if not sub.remaining:
+            self._finish_submission(sub)
+        self._kick.set()
+        return {
+            "sub": sub.sub_id,
+            "jobs": [{"key": job.key, "cache_key": key,
+                      "status": self._entries[key].status, "cache": mode}
+                     for (job, key, _a, _r), mode
+                     in zip(planned, sub.modes)],
+            **counts,
+        }
+
+    # -- progress and results ----------------------------------------------
+
+    def status(self, sub_id: str) -> Dict[str, Any]:
+        sub = self._require_sub(sub_id)
+        statuses = [self._entries[k].status for k in sub.keys]
+        counts: Dict[str, int] = {}
+        for status in statuses:
+            counts[status] = counts.get(status, 0) + 1
+        return {"sub": sub.sub_id, "done": sub.done.is_set(),
+                "statuses": statuses, "counts": counts}
+
+    def results(self, sub_id: str) -> List[Dict[str, Any]]:
+        """Per-job result envelopes, aligned with the submitted order.
+
+        Payloads are delivered verbatim (bit-identical to what the
+        in-process pool computes); provenance rides in the envelope.
+        """
+        sub = self._require_sub(sub_id)
+        out = []
+        for key, mode in zip(sub.keys, sub.modes):
+            entry = self._entries[key]
+            out.append(self._envelope(entry, mode))
+        return out
+
+    def result_of(self, key: str) -> Dict[str, Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"unknown job {key!r}")
+        mode = "hit" if entry.status == CACHED else "miss"
+        return self._envelope(entry, mode)
+
+    def _envelope(self, entry: _Entry, mode: str) -> Dict[str, Any]:
+        return {
+            "key": entry.job.key,
+            "experiment": entry.job.experiment,
+            "cache_key": entry.key,
+            "status": entry.status,
+            "payload": entry.payload,
+            "error": entry.error,
+            "wall_s": entry.wall_s,
+            "provenance": {
+                "job": entry.job.name,
+                "cache_key": entry.key,
+                "cache": mode,
+                "fingerprint": self.fingerprint,
+                "run_id": self.run_id,
+            },
+        }
+
+    async def wait_submission(self, sub_id: str,
+                              timeout: Optional[float] = None) -> None:
+        sub = self._require_sub(sub_id)
+        await asyncio.wait_for(sub.done.wait(), timeout)
+
+    def cancel(self, client_id: str, sub_id: str) -> Dict[str, Any]:
+        """Withdraw a client from a submission; queued jobs nobody else
+        waits on are cancelled (running jobs finish and warm the cache)."""
+        sub = self._require_sub(sub_id)
+        if sub.client != client_id:
+            raise QuotaError(f"submission {sub_id} belongs to another "
+                             "client")
+        dropped = 0
+        for key in sorted(sub.remaining):
+            entry = self._entries[key]
+            entry.waiters = [w for w in entry.waiters
+                             if w != (client_id, sub_id)]
+            if not entry.waiters and entry.status == QUEUED:
+                dropped += 1
+                self._settle(entry, CANCELLED, None, "cancelled", 0.0,
+                             None)
+        sub.remaining.clear()
+        record = self._emit("cancel", client=client_id, sub=sub_id,
+                            dropped=dropped)
+        sub.done.set()
+        return record
+
+    def stats(self) -> Dict[str, Any]:
+        queued = sum(1 for e in self._entries.values()
+                     if e.status == QUEUED)
+        running = sum(1 for e in self._entries.values()
+                      if e.status == RUNNING)
+        done = sum(1 for e in self._entries.values()
+                   if e.status in _TERMINAL)
+        return {
+            "run_id": self.run_id, "fingerprint": self.fingerprint,
+            "cache_dir": self.cache_dir, "queued": queued,
+            "running": running, "done": done, "executed": self.executed,
+            "dedup_hits": self.dedup_hits, "cache_hits": self.cache_hits,
+            "clients": {
+                c.client_id: {"name": c.name, "priority": c.priority,
+                              "inflight": c.inflight,
+                              "submitted": c.submitted,
+                              "dedup_hits": c.dedup_hits,
+                              "cache_hits": c.cache_hits,
+                              "denied": c.denied}
+                for c in self.quotas.clients.values()},
+        }
+
+    def queue_snapshot(self) -> List[str]:
+        """Cache keys in dispatch order (tests pin priority ordering)."""
+        return [key for _p, _s, key in sorted(self._queue)
+                if self._entries[key].status == QUEUED]
+
+    def _require_sub(self, sub_id: str) -> _Submission:
+        try:
+            return self._subs[sub_id]
+        except KeyError:
+            raise KeyError(f"unknown submission {sub_id!r}") from None
+
+    # -- execution ----------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        while not self._stopping:
+            await self._kick.wait()
+            self._kick.clear()
+            while self._queue and self._backend.free() > 0:
+                _prio, _seq, key = heapq.heappop(self._queue)
+                entry = self._entries.get(key)
+                if entry is None or entry.status != QUEUED:
+                    continue  # cancelled or re-keyed meanwhile
+                self._backend.launch(entry)
+
+    async def _stats_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.stats_interval)
+            snap = self.stats()
+            # Listener-only: periodic gauges would drown the journal.
+            self._emit("stats", journal=False, queued=snap["queued"],
+                       running=snap["running"], done=snap["done"],
+                       dedup_hits=snap["dedup_hits"],
+                       cache_hits=snap["cache_hits"],
+                       clients=len(snap["clients"]))
+
+    def _emit_start(self, entry: _Entry, worker: Optional[int]) -> None:
+        entry.status = RUNNING
+        self._emit("start", cache_key=entry.key,
+                   experiment=entry.job.experiment, key=entry.job.key,
+                   client=entry.origin, attempt=entry.attempts,
+                   worker=worker)
+
+    def _settle(self, entry: _Entry, status: str, payload: Any,
+                error: Optional[str], wall: float,
+                worker: Optional[int]) -> None:
+        entry.status = status
+        entry.payload = payload
+        entry.error = error
+        entry.wall_s = wall
+        entry.worker = worker
+        entry.done.set()
+        if entry.counted:
+            entry.counted = False
+            origin = self.quotas.clients.get(entry.origin)
+            if origin is not None:
+                origin.inflight = max(0, origin.inflight - 1)
+        if status == OK:
+            self.executed += 1
+            if self.store is not None:
+                self.store.put(entry.key, entry.job, payload,
+                               meta={"wall_s": wall,
+                                     "fingerprint": self.fingerprint,
+                                     "attempts": entry.attempts,
+                                     "run_id": self.run_id})
+        self._emit("job", cache_key=entry.key,
+                   experiment=entry.job.experiment, key=entry.job.key,
+                   outcome=status, wall_s=round(wall, 6), worker=worker,
+                   attempts=entry.attempts, error=error,
+                   cycles=_cycles_of(payload), client=entry.origin)
+        for client_id, sub_id in entry.waiters:
+            sub = self._subs.get(sub_id)
+            if sub is None or entry.key not in sub.remaining:
+                continue
+            sub.remaining.discard(entry.key)
+            if not sub.remaining:
+                self._finish_submission(sub)
+        entry.waiters = []
+        if self._kick is not None:
+            self._kick.set()
+
+    def _finish_submission(self, sub: _Submission) -> None:
+        if sub.done.is_set():
+            return
+        sub.done.set()
+        counts: Dict[str, int] = {}
+        for key in sub.keys:
+            status = self._entries[key].status
+            counts[status] = counts.get(status, 0) + 1
+        self._emit("sub-done", sub=sub.sub_id, client=sub.client,
+                   counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# Execution backends.
+
+def _execute_budgeted(job: Job) -> Any:
+    """In-thread execution with the worker-budget contract of the
+    pool's in-process mode (save/restore around the job)."""
+    previous = os.environ.get(WORKER_BUDGET_ENV)
+    os.environ[WORKER_BUDGET_ENV] = str(max(job.procs, 1))
+    try:
+        return execute(job)
+    finally:
+        if previous is None:
+            os.environ.pop(WORKER_BUDGET_ENV, None)
+        else:
+            os.environ[WORKER_BUDGET_ENV] = previous
+
+
+class _ThreadBackend:
+    """One in-daemon execution thread (``workers <= 0``): no process
+    boundary, so no timeout enforcement -- the test/1-CPU mode."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-job")
+        self._busy = 0
+
+    def free(self) -> int:
+        return 1 - self._busy
+
+    def launch(self, entry: _Entry) -> None:
+        self._busy += 1
+        task = asyncio.get_running_loop().create_task(self._run(entry))
+        self._scheduler._tasks.append(task)
+
+    async def _run(self, entry: _Entry) -> None:
+        sched = self._scheduler
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                entry.attempts += 1
+                sched._emit_start(entry, worker=None)
+                t0 = time.perf_counter()
+                try:
+                    payload = await loop.run_in_executor(
+                        self._executor, _execute_budgeted, entry.job)
+                except Exception as exc:  # noqa: BLE001 -- retried
+                    wall = time.perf_counter() - t0
+                    if entry.attempts <= entry.job.retries:
+                        continue
+                    sched._settle(entry, FAILED, None,
+                                  f"{type(exc).__name__}: {exc}", wall,
+                                  None)
+                    return
+                else:
+                    sched._settle(entry, OK, payload, None,
+                                  time.perf_counter() - t0, None)
+                    return
+        finally:
+            self._busy -= 1
+            sched._kick.set()
+
+    async def stop(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class _ProcessBackend:
+    """The orch pool's worker processes driven by the event loop
+    (``loop.add_reader`` on each worker's result pipe)."""
+
+    def __init__(self, scheduler: Scheduler, workers: int,
+                 default_timeout: Optional[float]) -> None:
+        self._scheduler = scheduler
+        self._max = max(1, workers)
+        self._default_timeout = default_timeout
+        self._ctx = _context()
+        self._idle: List[_Worker] = []
+        self._all: List[_Worker] = []
+        self._busy = 0
+        self._next_wid = 0
+
+    def free(self) -> int:
+        return self._max - self._busy
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._ctx, self._next_wid)
+        self._next_wid += 1
+        self._all.append(worker)
+        return worker
+
+    def launch(self, entry: _Entry) -> None:
+        self._busy += 1
+        worker = self._idle.pop() if self._idle else self._spawn()
+        task = asyncio.get_running_loop().create_task(
+            self._run(entry, worker))
+        self._scheduler._tasks.append(task)
+
+    async def _run(self, entry: _Entry, worker: _Worker) -> None:
+        sched = self._scheduler
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                entry.attempts += 1
+                sched._emit_start(entry, worker=worker.wid)
+                fut: asyncio.Future = loop.create_future()
+                fd = worker.conn.fileno()
+                loop.add_reader(fd, self._on_ready, worker, fut)
+                worker.assign(0, entry.job, self._default_timeout)
+                handle = None
+                if worker.deadline is not None:
+                    handle = loop.call_later(
+                        max(0.0, worker.deadline - time.monotonic()),
+                        self._on_timeout, fut)
+                try:
+                    kind, status, result, wall, wid = await fut
+                finally:
+                    loop.remove_reader(fd)
+                    if handle is not None:
+                        handle.cancel()
+                worker.task = worker.deadline = None
+                if kind == "msg":
+                    if status == OK:
+                        self._idle.append(worker)
+                        sched._settle(entry, OK, result, None, wall, wid)
+                        return
+                    if entry.attempts <= entry.job.retries:
+                        continue  # same worker retries the job
+                    self._idle.append(worker)
+                    sched._settle(entry, FAILED, None, result, wall, wid)
+                    return
+                # The worker died or timed out: replace it either way.
+                wid = worker.wid
+                worker.kill()
+                self._all.remove(worker)
+                if kind == "died":
+                    if entry.attempts <= entry.job.retries:
+                        worker = self._spawn()
+                        continue
+                    sched._settle(entry, FAILED, None,
+                                  "worker process died", 0.0, wid)
+                    return
+                limit = (entry.job.timeout_s
+                         if entry.job.timeout_s is not None
+                         else self._default_timeout)
+                if entry.attempts <= entry.job.retries:
+                    worker = self._spawn()
+                    continue
+                sched._settle(entry, TIMEOUT, None,
+                              f"timed out after {limit:g}s",
+                              limit or 0.0, wid)
+                return
+        finally:
+            self._busy -= 1
+            sched._kick.set()
+
+    @staticmethod
+    def _on_ready(worker: _Worker, fut: asyncio.Future) -> None:
+        if fut.done():
+            return
+        try:
+            _idx, status, result, wall, wid = worker.conn.recv()
+        except (EOFError, OSError):
+            fut.set_result(("died", None, None, 0.0, worker.wid))
+            return
+        fut.set_result(("msg", status, result, wall, wid))
+
+    @staticmethod
+    def _on_timeout(fut: asyncio.Future) -> None:
+        if not fut.done():
+            fut.set_result(("timeout", None, None, 0.0, None))
+
+    async def stop(self) -> None:
+        for worker in self._all:
+            if worker.task is None:
+                try:
+                    worker.conn.send(None)  # polite shutdown
+                except (OSError, BrokenPipeError):
+                    pass
+            worker.kill()
+        self._all = []
+        self._idle = []
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__

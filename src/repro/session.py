@@ -32,6 +32,12 @@ invariant checker and its differential reference shadows; after
 :meth:`Session.run`, ``session.auditor`` holds any violations
 (``session.auditor.clean`` / ``.summary()``).  All three hooks are
 purely observational -- cycle counts are identical either way.
+
+For *grids* of sessions -- sweeping kernels against machine configs --
+use :mod:`repro.orch` (``repro sweep``), or point the sweep at a
+``repro serve`` scheduler daemon via :class:`repro.Client` to share
+one warm worker pool and result cache across many callers; payloads
+are bit-identical to in-process :class:`Session` runs.
 """
 
 from __future__ import annotations

@@ -94,9 +94,36 @@ class TestRunResultWireFormat:
         del payload["schema"]
         assert RunResult.from_dict(payload).cycles == payload["cycles"]
 
+    def test_schema_1_upgrades_with_empty_provenance(self):
+        """A PR-3-era payload (schema 1, no provenance key) reads back
+        as schema 2 with empty provenance; metrics are untouched."""
+        from repro.kernels.registry import fast_args
+
+        payload = repro.run(repro.small_config(2, 2),
+                            repro.KERNELS["AES"].kernel,
+                            fast_args("AES")).to_dict()
+        payload["schema"] = 1
+        del payload["provenance"]
+        back = RunResult.from_dict(payload)
+        assert back.provenance == {}
+        assert back.cycles == payload["cycles"]
+        assert back.to_dict()["schema"] == SCHEMA_VERSION
+
+    def test_provenance_round_trips(self):
+        from repro.kernels.registry import fast_args
+        from repro.runtime.result import PROVENANCE_FIELDS
+
+        result = repro.run(repro.small_config(2, 2),
+                           repro.KERNELS["AES"].kernel, fast_args("AES"))
+        assert result.provenance == {}  # local runs carry none
+        stamped = {name: f"x-{name}" for name in PROVENANCE_FIELDS}
+        result.provenance.update(stamped)
+        back = RunResult.from_dict(result.to_dict())
+        assert back.provenance == stamped
+
     def test_unknown_schema_rejected(self):
         with pytest.raises(ValueError, match="schema"):
-            RunResult.from_dict({"schema": 2})
+            RunResult.from_dict({"schema": SCHEMA_VERSION + 1})
 
     def test_machine_and_extra_do_not_serialize(self):
         from repro.kernels.registry import fast_args
