@@ -40,6 +40,51 @@ DEFAULT_HISTORY = "BENCH_engine_history.jsonl"
 _CALIBRATION_OPS = 200_000
 
 
+def measure_pim(size: str, repeats: int) -> dict:
+    """Wall-clock the memory-side GEMV offload (the PIM command path).
+
+    Mirrors the sample shape of ``repro.profile.speed.measure_kernel``
+    so the entry rides the same history/regression plumbing under the
+    name ``GEMV/pim``.
+    """
+    from repro.experiments.pim_offload import _base_config, _offload_args
+    from repro.pim.kernels import OFFLOADS
+    from repro.session import run as run_kernel
+
+    off = OFFLOADS["GEMV"]
+    config = _base_config(size).with_pim()
+    cell = (0, 0)
+    best_wall = float("inf")
+    events = 0
+    result = None
+    for _ in range(repeats):
+        args = _offload_args(off, config, size)
+
+        def preload(machine, args=args):
+            off.preload(machine.memsys.pim_engines[cell], args)
+
+        t0 = time.perf_counter()
+        result = run_kernel(config, off.pim, args, cell=cell,
+                            setup=preload, keep_machine=True)
+        wall = time.perf_counter() - t0
+        best_wall = min(best_wall, wall)
+        events = result.machine.sim.events_executed
+    return {
+        "kernel": "GEMV/pim",
+        "size": size,
+        "config": result.config_name,
+        "repeats": repeats,
+        "wall_seconds": best_wall,
+        "events": events,
+        "events_per_sec": events / best_wall if best_wall > 0 else 0.0,
+        "cycles": result.cycles,
+        "sim_cycles_per_sec": (result.cycles / best_wall
+                               if best_wall > 0 else 0.0),
+        "instructions": result.instructions,
+        "num_tiles": result.num_tiles,
+    }
+
+
 def calibrate(loops: int = 3) -> float:
     """Host-speed yardstick: ops/sec of a fixed pure-Python workload.
 
@@ -98,6 +143,8 @@ def main(argv=None) -> int:
                              f"(default: ./{DEFAULT_HISTORY})")
     parser.add_argument("--no-history", action="store_true",
                         help="do not append to the history file")
+    parser.add_argument("--no-pim", action="store_true",
+                        help="skip the GEMV/pim offload entry")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -118,6 +165,16 @@ def main(argv=None) -> int:
                                repeats=repeats)[name]
         samples[name] = sample
         print(f"{name:8s} wall={sample['wall_seconds']:.3f}s "
+              f"events={sample['events']:>9d} "
+              f"events/sec={sample['events_per_sec']:>12,.0f} "
+              f"cycles={sample['cycles']:g}")
+
+    # One memory-side entry rides along unless the kernel list was
+    # overridden (regression baselines predate the PIM subsystem).
+    if not args.no_pim and args.kernels is None:
+        sample = measure_pim(size, repeats)
+        samples["GEMV/pim"] = sample
+        print(f"{'GEMV/pim':8s} wall={sample['wall_seconds']:.3f}s "
               f"events={sample['events']:>9d} "
               f"events/sec={sample['events_per_sec']:>12,.0f} "
               f"cycles={sample['cycles']:g}")

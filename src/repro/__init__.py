@@ -53,6 +53,7 @@ from .arch.config import (
 )
 from .audit import AuditConfig
 from .kernels.registry import SUITE as KERNELS
+from .pim import PimConfig
 from .runtime.result import RunResult
 from .sanitize import SanitizeConfig
 from .serve import Client, ServeConfig
@@ -72,6 +73,7 @@ __all__ = [
     "TraceConfig",
     "SanitizeConfig",
     "AuditConfig",
+    "PimConfig",
     "KERNELS",
     "HB_16x8",
     "HB_16x16",

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from .geometry import CellGeometry, ChipGeometry
-from .params import DEFAULT_TIMINGS, CacheTiming, Timings
+from .params import DEFAULT_TIMINGS, CacheTiming, HBMTiming, Timings
+from ..pim.config import PimConfig
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,10 @@ class MachineConfig:
     # across the whole chip.  Meant for very large Cell arrays where
     # all-to-all interleaving stops scaling.
     global_grid: "Tuple[int, int]" = (0, 0)
+    # Processing-in-memory backend embedded in the HBM pseudo-channels;
+    # ``None`` keeps the memory system entirely PIM-free (bit-identical
+    # timing to configs that predate the subsystem).
+    pim: Optional[PimConfig] = None
     published: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -157,6 +162,16 @@ class MachineConfig:
                  **fields: object) -> "MachineConfig":
         """Adjust the memory system: HBM timing (dataclass or field
         overrides), per-Cell bandwidth ``scale``, and/or channel count."""
+        if hbm is not None and fields:
+            raise TypeError("pass an HBMTiming or field overrides, not both")
+        if fields:
+            known = {f.name for f in dataclasses.fields(HBMTiming)}
+            unknown = sorted(set(fields) - known)
+            if unknown:
+                raise TypeError(
+                    "unknown HBM timing field(s): "
+                    + ", ".join(unknown)
+                    + "; valid fields: " + ", ".join(sorted(known)))
         cfg = self
         if hbm is not None or fields:
             cfg = cfg.with_timings(hbm=hbm if hbm is not None else fields)
@@ -166,6 +181,21 @@ class MachineConfig:
             cfg = replace(cfg,
                           pseudo_channels_per_cell=pseudo_channels_per_cell)
         return cfg
+
+    def with_pim(self, pim: Optional[PimConfig] = None,
+                 **fields: object) -> "MachineConfig":
+        """Enable (or adjust) the processing-in-memory backend.
+
+        ``with_pim()`` enables it with defaults; ``with_pim(t_mac=8)``
+        overrides fields on the current (or default) :class:`PimConfig`;
+        ``with_pim(PimConfig(...))`` swaps the whole block.
+        """
+        if pim is not None and fields:
+            raise TypeError("pass a PimConfig or field overrides, not both")
+        if pim is None:
+            pim = replace(self.pim, **fields) if self.pim is not None \
+                else PimConfig(**fields)
+        return replace(self, pim=pim)
 
     def with_geometry(self, *, tiles_x: Optional[int] = None,
                       tiles_y: Optional[int] = None,
@@ -195,6 +225,8 @@ class MachineConfig:
                  f"{self.pseudo_channels_per_cell} pc/cell"]
         if self.hbm_scale != 1.0:
             parts.append(f"hbm x{self.hbm_scale:g}")
+        if self.pim is not None:
+            parts.append("pim")
         parts.append(f"features: {self.features.describe()}")
         return " | ".join(parts)
 

@@ -12,6 +12,7 @@ import json
 from typing import Any, Dict
 
 from .config import FeatureSet, MachineConfig
+from ..pim.config import PimConfig
 from .geometry import CellGeometry
 from .params import (
     BarrierTiming,
@@ -47,6 +48,8 @@ def to_dict(config: MachineConfig) -> Dict[str, Any]:
         "pseudo_channels_per_cell": config.pseudo_channels_per_cell,
         "hbm_scale": config.hbm_scale,
         "global_grid": list(config.global_grid),
+        "pim": (dataclasses.asdict(config.pim)
+                if config.pim is not None else None),
         "published": dict(config.published),
     }
 
@@ -68,6 +71,9 @@ def from_dict(data: Dict[str, Any]) -> MachineConfig:
             pseudo_channels_per_cell=data["pseudo_channels_per_cell"],
             hbm_scale=data["hbm_scale"],
             global_grid=tuple(data["global_grid"]),
+            # Absent in manifests that predate the PIM subsystem.
+            pim=(PimConfig(**data["pim"])
+                 if data.get("pim") is not None else None),
             published=dict(data.get("published", {})),
         )
     except (KeyError, TypeError) as exc:

@@ -100,6 +100,19 @@ class _ChannelShadow:
         self.bank_ready: Dict[int, float] = {}
 
 
+class _PimShadow:
+    """Reference state mirrored per audited PIM engine."""
+
+    __slots__ = ("grf_entries", "written")
+
+    def __init__(self, grf_entries: int) -> None:
+        self.grf_entries = grf_entries
+        #: (bank, grf index) pairs initialized by WR_BIAS or a
+        #: destination-writing micro-op; MAC accumulation and RD_MAC
+        #: reads of anything else hit stale silicon.
+        self.written: set = set()
+
+
 class Auditor:
     """Collects violations from every instrumented component of one run."""
 
@@ -114,6 +127,7 @@ class Auditor:
         self._last_event_time: float = 0.0
         self._banks: Dict[int, _BankShadow] = {}
         self._channels: Dict[int, _ChannelShadow] = {}
+        self._pims: Dict[int, _PimShadow] = {}
         self._strip_free: Dict[Tuple[int, int], float] = {}
         self.finalized = False
 
@@ -146,6 +160,9 @@ class Auditor:
 
     def watch_channel(self, channel: Any) -> None:
         self._channels[id(channel)] = _ChannelShadow(channel.REORDER_WINDOW)
+
+    def watch_pim(self, engine: Any) -> None:
+        self._pims[id(engine)] = _PimShadow(engine.config.grf_entries)
 
     def watch_strip(self, strip: Any) -> None:
         for idx in range(strip.num_channels):
@@ -339,6 +356,99 @@ class Auditor:
                     f"'{expected}'")
             shadow.rowstate.update(bank_idx, row,
                                    burst_start + burst_cycles)
+
+    # -- PIM engines --------------------------------------------------------
+
+    def pim_bus(self, engine: Any, cmd: str, start: float,
+                cycles: float) -> None:
+        """A PIM command's bus claim -- shares the channel's bus shadow,
+        so PIM bursts and ordinary read/write bursts must mutually
+        serialize (a separate shadow would miss mixed-traffic overlap)."""
+        shadow = self._channels.get(id(engine.channel))
+        if shadow is None:
+            return
+        self.checks += 1
+        tol = self.config.tolerance
+        if start < shadow.bus_free - tol:
+            self._record(
+                "pim-bus-overlap", engine.name, start,
+                f"{cmd} bus claim at {start:g} overlaps previous burst "
+                f"ending {shadow.bus_free:g}: PIM commands share the data "
+                f"bus with ordinary traffic")
+        shadow.bus_free = max(shadow.bus_free, start + cycles)
+
+    def pim_bank_op(self, engine: Any, cmd: str, bank_idx: int, time: float,
+                    start: float, ready_before: float, ready_after: float,
+                    row: Optional[int] = None,
+                    row_state: Optional[str] = None,
+                    completion: Optional[float] = None) -> None:
+        """One bank's share of a PIM command.
+
+        Invariants: the op starts no earlier than the bank's ready time,
+        occupies the bank at least one cycle, and never moves
+        ``ready_at`` backwards.  Row-touching commands (``WR_SBK``,
+        ``MAC_ABK``) pass ``row``/``row_state``/``completion`` and are
+        additionally checked against the channel's reference opened-row
+        tracker -- the same shadow ``hbm_access`` uses, so a PIM op can
+        never overlap a row cycle an ordinary access already claimed.
+        """
+        if id(engine) not in self._pims:
+            return
+        self.checks += 1
+        tol = self.config.tolerance
+        name = engine.name
+        if start < ready_before - tol:
+            self._record(
+                "pim-bank-overlap", name, time,
+                f"{cmd} starts on bank {bank_idx} at {start:g}, before the "
+                f"bank's ready time {ready_before:g}")
+        if ready_after < start + 1 - tol:
+            self._record(
+                "pim-bank-underoccupied", name, time,
+                f"{cmd} holds bank {bank_idx} until {ready_after:g}, less "
+                f"than one cycle past its start {start:g}")
+        if ready_after < ready_before - tol:
+            self._record(
+                "pim-ready-regression", name, time,
+                f"bank {bank_idx} ready_at moved backwards "
+                f"({ready_before:g} -> {ready_after:g})")
+        if row is not None and self.config.shadow_hbm:
+            shadow = self._channels.get(id(engine.channel))
+            if shadow is not None:
+                expected = shadow.rowstate.classify(bank_idx, row, start)
+                if expected != row_state:
+                    self._record(
+                        "row-state-divergence", name, time,
+                        f"{cmd} bank {bank_idx} row {row} classified "
+                        f"'{row_state}', reference opened-row tracker says "
+                        f"'{expected}'")
+                shadow.rowstate.update(bank_idx, row, completion)
+
+    def pim_grf(self, engine: Any, cmd: str, bank_idx: int,
+                reads: Tuple[int, ...] = (),
+                writes: Tuple[int, ...] = ()) -> None:
+        """GRF discipline: indices in range, accumulators written before
+        read (``reads`` are checked before ``writes`` are recorded, so a
+        MAC accumulating into a never-initialized entry is flagged)."""
+        shadow = self._pims.get(id(engine))
+        if shadow is None:
+            return
+        self.checks += 1
+        name = engine.name
+        for idx in reads + writes:
+            if not 0 <= idx < shadow.grf_entries:
+                self._record(
+                    "pim-grf-bounds", name, 0.0,
+                    f"{cmd} touches GRF entry {idx} of bank {bank_idx}, "
+                    f"outside [0, {shadow.grf_entries})")
+        for idx in reads:
+            if (bank_idx, idx) not in shadow.written:
+                self._record(
+                    "pim-acc-uninit", name, 0.0,
+                    f"{cmd} reads GRF entry {idx} of bank {bank_idx} "
+                    f"before any WR_BIAS or micro-op wrote it")
+        for idx in writes:
+            shadow.written.add((bank_idx, idx))
 
     # -- wormhole strips ----------------------------------------------------
 

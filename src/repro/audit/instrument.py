@@ -31,6 +31,9 @@ def attach(machine: Any, auditor: Any) -> Any:
     for channel in memsys.hbm.values():
         channel._audit = auditor
         auditor.watch_channel(channel)
+    for engine in getattr(memsys, "pim_engines", {}).values():
+        engine._audit = auditor
+        auditor.watch_pim(engine)
     for strip in memsys.strips.values():
         strip._audit = auditor
         auditor.watch_strip(strip)

@@ -181,17 +181,79 @@ def _bench_compare(old_path: str, samples: dict) -> None:
 
 
 def _kernels_cmd() -> int:
-    """``repro kernels``: the Table-I registry, one line per kernel."""
+    """``repro kernels``: the Table-I registry plus the PIM offloads."""
     from .experiments.common import SIZES
     from .kernels.registry import SUITE
+    from .pim.kernels import OFFLOADS
 
-    print(f"{'name':8s} {'dwarf':22s} {'category':18s} sizes")
+    print(f"{'name':8s} {'side':5s} {'dwarf':22s} {'category':18s} sizes")
     for name, bench in SUITE.items():
-        print(f"{name:8s} {bench.dwarf:22s} {bench.category:18s} "
-              + ", ".join(SIZES))
-    print("fixture  diagnostic             fixture            "
+        print(f"{name:8s} {'tile':5s} {bench.dwarf:22s} "
+              f"{bench.category:18s} " + ", ".join(SIZES))
+    for name in OFFLOADS:
+        print(f"{name:8s} {'pim':5s} {'Dense Linear Algebra':22s} "
+              f"{'pim-offload':18s} " + ", ".join(SIZES)
+              + "  (repro pim " + name.lower() + ")")
+    print("fixture  tile  diagnostic             fixture            "
           "(seeded races; repro sanitize fixture)")
     return 0
+
+
+def _pim_cmd(args: argparse.Namespace) -> int:
+    """``repro pim <kernel|all>``: offload comparison, tile vs memory side.
+
+    Exit 1 when any comparison's functional results mismatch (the PIM
+    datapath diverged from the tile-side reference), 2 on bad usage.
+    """
+    import json
+
+    from .experiments import pim_offload
+    from .pim.kernels import OFFLOADS
+
+    if not args.target:
+        print("pim: missing kernel (repro pim <kernel|all>); one of: "
+              + ", ".join(OFFLOADS) + ", all", file=sys.stderr)
+        return 2
+    size = args.size or "small"
+    target = args.target.lower()
+    if target == "all":
+        names = list(OFFLOADS)
+    else:
+        by_lower = {k.lower(): k for k in OFFLOADS}
+        name = by_lower.get(target)
+        if name is None:
+            print(f"unknown offload kernel {args.target!r}; one of: "
+                  + ", ".join(OFFLOADS) + ", all", file=sys.stderr)
+            return 2
+        names = [name]
+    reports = [
+        pim_offload.run_offload(name, size=size,
+                                audit=args.audit_cells,
+                                sanitize=args.sanitize_cells)
+        for name in names
+    ]
+    payload = reports[0] if len(reports) == 1 else {
+        "size": size,
+        "match": all(r["match"] for r in reports),
+        "kernels": {r["kernel"]: r for r in reports},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for rep in reports:
+            verdict = "match" if rep["match"] else "MISMATCH"
+            print(f"{rep['kernel']} ({size}) on {rep['config']}: "
+                  f"tile {rep['tile']['cycles']:g} cyc / "
+                  f"{rep['tile']['energy_pj']:g} pJ vs pim "
+                  f"{rep['pim']['cycles']:g} cyc / "
+                  f"{rep['pim']['energy_pj']:g} pJ "
+                  f"(speedup {rep['speedup']:.2f}x) -- {verdict}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.json:
+            print(f"wrote {args.out}")
+    return 0 if all(r["match"] for r in reports) else 1
 
 
 def _sanitize_cmd(args: argparse.Namespace) -> int:
@@ -645,13 +707,14 @@ def main(argv=None) -> int:
         "experiment",
         help="one of: " + ", ".join(EXPERIMENTS)
              + ", sweep, serve, submit, journal, trace, sanitize, audit, "
-               "cells, kernels, bench-speed, list, all",
+               "cells, kernels, pim, bench-speed, list, all",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="sweep/submit: experiment name or 'all'; journal: path to a "
              "JSONL run journal; trace/sanitize/audit: suite kernel name "
-             "(sanitize also accepts 'fixture'; audit also accepts 'all')",
+             "(sanitize also accepts 'fixture'; audit also accepts 'all'); "
+             "pim: offload kernel name or 'all'",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -752,12 +815,17 @@ def main(argv=None) -> int:
               "on violations)")
         print("cells <kernel|exchange|pipeline> (parallel multi-Cell "
               "PDES run; --cells CXxCY --cell-workers N)")
-        print("kernels (list the Table-I benchmark registry)")
+        print("kernels (list the Table-I benchmark registry and PIM "
+              "offloads)")
+        print("pim <kernel|all> (tile-side vs memory-side offload "
+              "comparison; exit 1 on functional mismatch)")
         print("bench-speed (engine host-throughput benchmark; --cells "
               "CXxCY for the PDES scaling bench)")
         return 0
     if name == "kernels":
         return _kernels_cmd()
+    if name == "pim":
+        return _pim_cmd(args)
     if name == "sanitize":
         return _sanitize_cmd(args)
     if name == "audit":

@@ -39,6 +39,9 @@ from ..isa.ops import (
     FpOp,
     IntOp,
     LoadOp,
+    PimFenceOp,
+    PimIssueOp,
+    PimReadOp,
     SleepOp,
     StoreOp,
     VecLoadOp,
@@ -85,6 +88,8 @@ class TileCore:
         self.reg_ready: Dict[int, RegReady] = {}
         self.reg_kind: Dict[int, str] = {}
         self._fdiv_free: float = 0
+        #: Futures of issued-but-unfenced PIM commands (see PimFenceOp).
+        self._pim_pending: list = []
         self.start_time: float = 0
         self.finish_time: float = 0
         self.process: Optional[Process] = None
@@ -178,7 +183,12 @@ class TileCore:
         _IntOp, _FpOp, _BranchOp = IntOp, FpOp, BranchOp
         _LoadOp, _VecLoadOp, _StoreOp = LoadOp, VecLoadOp, StoreOp
         _AmoOp, _FenceOp, _BarrierOp, _SleepOp = AmoOp, FenceOp, BarrierOp, SleepOp
+        _PimIssueOp, _PimReadOp, _PimFenceOp = PimIssueOp, PimReadOp, PimFenceOp
         _BlockOp = BlockOp
+        # In-flight PIM commands; drained only by an explicit PimFenceOp
+        # (ordinary fences and the end-of-kernel drain do not cover the
+        # PIM window -- the sanitizer's completion rule).
+        pim_pending = self._pim_pending = []
         _Future = Future
         # Tracing hook: ``temit`` is None in untraced runs, so each stall
         # charge point pays one pointer comparison and nothing else.
@@ -474,6 +484,60 @@ class TileCore:
                 cv[st.STALL_IDLE] += op.cycles
                 if temit is not None:
                     temit(ttrack, st.STALL_IDLE, t - op.cycles, op.cycles)
+            elif cls is _PimIssueOp:
+                # Fire-and-forget, like a store -- but tracked in the
+                # PIM-pending list instead of the scoreboard so ordinary
+                # fences stay PIM-oblivious.
+                if san is not None:
+                    san.pim_issue(node, op, t)
+                if t > sim._now:
+                    yield t - sim._now
+                fut = memsys.pim_request(node, op.addr, op.command, t)
+                pim_pending.append(fut)
+                t += 1
+                cv[EXEC_INT] += 1
+            elif cls is _PimReadOp:
+                # Blocking: the kernel generator needs the payload (the
+                # AMO discipline -- serialized at the channel).
+                if t > sim._now:
+                    yield t - sim._now
+                fut = memsys.pim_request(node, op.addr, op.command, t)
+                t += 1
+                cv[EXEC_INT] += 1
+                self.last_stall = S_AMO
+                yield fut
+                arrival, payload = fut._value
+                if arrival > t:
+                    cv[S_AMO] += arrival - t
+                    if temit is not None:
+                        temit(ttrack, S_AMO, t, arrival - t)
+                    t = arrival
+                send_val = payload
+            elif cls is _PimFenceOp:
+                t += 1
+                cv[EXEC_INT] += 1
+                if san is not None:
+                    san.pim_fence(node, t)
+                if pim_pending:
+                    self.last_stall = st.STALL_FENCE
+                    # Completion is the max arrival over pending commands
+                    # (read off the futures, not the global clock: the
+                    # tile's clock may lag other components).
+                    drained = t
+                    for fut in pim_pending:
+                        if not fut._done:
+                            if t > sim._now:
+                                yield t - sim._now
+                            yield fut
+                        v = fut._value
+                        arrival = v[0] if type(v) is tuple else v
+                        if arrival > drained:
+                            drained = arrival
+                    cv[st.STALL_FENCE] += drained - t
+                    if temit is not None and drained > t:
+                        temit(ttrack, st.STALL_FENCE, t, drained - t)
+                    t = drained
+                    del pim_pending[:]
             else:
                 raise TypeError(f"core cannot execute {op!r}")
 

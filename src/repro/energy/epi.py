@@ -104,6 +104,51 @@ def efficiency_ratios() -> Dict[str, float]:
     return {c: piton_epi_scaled(c) / hb_epi(c) for c in INSTRUCTION_CLASSES}
 
 
+#: Per-event energies for the in-bank PIM units, pJ at the same corner.
+#: Keys match the :class:`repro.pim.PimEngine` counter names, so a
+#: counter snapshot feeds :func:`pim_energy` directly.  Values follow
+#: the GDDR6-AiM breakdown shape: data-carrying channel commands pay
+#: the bus drivers, ``mac_bank_ops`` amortizes one row access plus a
+#: 16-lane near-sense MAC, readout pays per word driven off-chip.
+PIM_OP_PJ: Dict[str, float] = {
+    "wr_gb": 25.0,        # 16-word global-buffer broadcast incl. bus burst
+    "wr_sbk": 45.0,       # single-bank row write: activate + write drivers
+    "wr_bias": 4.0,       # all-bank GRF preset (control broadcast)
+    "wr_crf": 1.5,        # CRF slot program
+    "mac_abk": 3.0,       # command decode/broadcast overhead
+    "mac_bank_ops": 38.0,  # per bank: row access + 16-lane MAC + GRF update
+    "rd_mac": 3.0,        # readout command overhead
+    "rd_words": 2.2,      # per accumulator word driven over the channel bus
+}
+
+
+def pim_op_epi(op: str) -> float:
+    """Energy of one PIM event class, pJ."""
+    try:
+        return PIM_OP_PJ[op]
+    except KeyError as exc:
+        raise ValueError(f"unknown PIM op class {op!r}; one of "
+                         f"{sorted(PIM_OP_PJ)}") from exc
+
+
+def pim_energy(op_counts: Mapping[str, float]) -> "EnergyReport":
+    """Estimate memory-side compute energy from PIM engine counters.
+
+    ``op_counts`` is (a snapshot of) ``PimEngine.counters``: command
+    counts by name plus the ``mac_bank_ops`` / ``rd_words`` event
+    counters.  Unknown keys raise, so counter renames cannot silently
+    drop energy.
+    """
+    by_class = {}
+    total = 0.0
+    for op, count in op_counts.items():
+        if count < 0:
+            raise ValueError("PIM op counts must be non-negative")
+        total += pim_op_epi(op) * count
+        by_class[op] = count
+    return EnergyReport(total_pj=total, by_class=by_class)
+
+
 @dataclass
 class EnergyReport:
     """Kernel-level energy estimate from executed-instruction counts."""

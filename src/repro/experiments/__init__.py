@@ -26,6 +26,7 @@ from . import (
     fig14_noc_bisection,
     fig15_doubling,
     fig16_vs_hierarchical,
+    pim_offload,
     tables,
 )
 
@@ -60,5 +61,6 @@ __all__ = [
     "fig14_noc_bisection",
     "fig15_doubling",
     "fig16_vs_hierarchical",
+    "pim_offload",
     "tables",
 ]

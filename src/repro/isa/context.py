@@ -29,6 +29,9 @@ from .ops import (
     FpOp,
     IntOp,
     LoadOp,
+    PimFenceOp,
+    PimIssueOp,
+    PimReadOp,
     SleepOp,
     StoreOp,
     VecLoadOp,
@@ -225,6 +228,26 @@ class KernelContext:
     def sleep(self, cycles: int) -> SleepOp:
         return SleepOp(cycles, pc=self._pc_next())
 
+    # -- processing-in-memory ops --------------------------------------------
+
+    def pim_issue(self, command: object,
+                  addr: Optional[int] = None) -> PimIssueOp:
+        """Fire-and-forget PIM command to this Cell's channel (or ``addr``)."""
+        if addr is None:
+            addr = self.pim()
+        return PimIssueOp(addr, command, pc=self._pc_next())
+
+    def pim_read(self, command: object,
+                 addr: Optional[int] = None) -> PimReadOp:
+        """Blocking PIM command; ``yield`` returns its payload tuple."""
+        if addr is None:
+            addr = self.pim()
+        return PimReadOp(addr, command, pc=self._pc_next())
+
+    def pim_fence(self) -> PimFenceOp:
+        """Wait for every PIM command this tile has issued."""
+        return PimFenceOp(pc=self._pc_next())
+
     # -- PGAS address helpers -------------------------------------------------
 
     def spm(self, offset: int) -> int:
@@ -248,3 +271,7 @@ class KernelContext:
 
     def global_dram(self, offset: int) -> int:
         return spaces.global_dram(offset)
+
+    def pim(self, channel: int = 0) -> int:
+        """This Cell's PIM command window (one per pseudo-channel)."""
+        return spaces.pim_window(self.cell_xy[0], self.cell_xy[1], channel)

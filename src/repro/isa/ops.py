@@ -176,6 +176,52 @@ class SleepOp(Op):
         self.cycles = cycles
 
 
+class PimIssueOp(Op):
+    """Fire-and-forget PIM command write to a Cell's PIM window.
+
+    Non-blocking like a store: the core tracks the in-flight command
+    until a :class:`PimFenceOp` drains it.  ``addr`` is a
+    ``Space.PIM`` address; ``command`` a :class:`repro.pim.PimCommand`.
+    """
+
+    __slots__ = ("addr", "command", "srcs")
+
+    def __init__(self, addr: int, command: object,
+                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+        self.pc = pc
+        self.addr = addr
+        self.command = command
+        self.srcs = tuple(srcs)
+
+
+class PimReadOp(Op):
+    """Blocking PIM command whose payload returns to the kernel.
+
+    Used for ``RD_MAC``: the generator receives the tuple of read
+    values, the way an :class:`AmoOp` receives the old word.
+    """
+
+    __slots__ = ("addr", "command", "srcs")
+
+    def __init__(self, addr: int, command: object,
+                 srcs: Sequence[int] = (), pc: int = 0) -> None:
+        self.pc = pc
+        self.addr = addr
+        self.command = command
+        self.srcs = tuple(srcs)
+
+
+class PimFenceOp(Op):
+    """Wait until every PIM command this tile issued has completed.
+
+    PIM completion is *only* observable through this fence (or a
+    ``pim_read`` ordered behind the commands at the channel): ordinary
+    fences do not cover the PIM window.
+    """
+
+    __slots__ = ()
+
+
 #: Decoded-entry kinds for :class:`BlockOp` bodies.  Every entry is a
 #: uniform 6-tuple ``(kind, pc, dst, srcs, a, b)``:
 #:

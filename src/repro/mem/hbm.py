@@ -86,11 +86,16 @@ class PseudoChannel:
     #: sequential workload conflict-bound, which real controllers avoid.
     REORDER_WINDOW = 150.0
 
-    def access(self, addr: int, is_write: bool, time: float) -> float:
-        """A 64 B line access; returns the completion cycle."""
+    def _row_machine(self, bank: _Bank, row: int, time: float,
+                     extra_busy: float = 0.0) -> (float, float, float, str):
+        """Advance one bank's row state for a command arriving at ``time``.
+
+        Returns ``(start, latency, bank_busy, row_state)`` and commits the
+        bank's readiness (``extra_busy`` extends the occupancy, e.g. the
+        ``t_mac`` of a PIM MAC_ABK).  Shared by :meth:`access` and the PIM
+        engine so both traffic classes pay the same tRP/tRCD/tCL rules.
+        """
         t = self.timing
-        bank_idx, row = self._bank_and_row(addr)
-        bank = self._banks[bank_idx]
         ready_at = bank.ready_at
         start = ready_at if ready_at > time else time
         last = bank.rows.get(row)
@@ -114,8 +119,17 @@ class PseudoChannel:
             bank_busy = t.t_rp + t.t_rcd + self.T_CCD
             row_state = "conflict"
             self.counters.add("row_conflicts")
-        bank.ready_at = start + bank_busy
+        bank.ready_at = start + bank_busy + extra_busy
         bank.opened = True
+        return start, latency, bank_busy, row_state
+
+    def access(self, addr: int, is_write: bool, time: float) -> float:
+        """A 64 B line access; returns the completion cycle."""
+        bank_idx, row = self._bank_and_row(addr)
+        bank = self._banks[bank_idx]
+        ready_at = bank.ready_at
+        start, latency, _bank_busy, row_state = self._row_machine(
+            bank, row, time)
         burst_start = self._bus.reserve(start + latency, self.burst_cycles)
         bank.rows[row] = burst_start + self.burst_cycles
         if len(bank.rows) > 64:

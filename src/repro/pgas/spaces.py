@@ -43,6 +43,10 @@ class Space(IntEnum):
     LOCAL_DRAM = 2
     GROUP_DRAM = 3
     GLOBAL_DRAM = 4
+    # PIM command window: field_a = cell x, field_b = cell y, offset =
+    # pseudo-channel index.  Commands written through this window are
+    # served by the PIM engine embedded in that Cell's channel.
+    PIM = 5
 
 
 class DecodedAddress(NamedTuple):
@@ -123,6 +127,11 @@ def group_dram(cell_x: int, cell_y: int, offset: int) -> int:
 def global_dram(offset: int) -> int:
     """Address in the chip-wide interleaved DRAM space."""
     return encode(Space.GLOBAL_DRAM, offset)
+
+
+def pim_window(cell_x: int, cell_y: int, channel: int = 0) -> int:
+    """Address of a Cell's PIM command window (one per pseudo-channel)."""
+    return encode(Space.PIM, channel, cell_x, cell_y)
 
 
 def is_dram(addr: int) -> bool:

@@ -25,6 +25,7 @@ from .spaces import DecodedAddress, Space, decode
 class TargetKind(Enum):
     SPM = "spm"
     CACHE = "cache"
+    PIM = "pim"
 
 
 # Keeps the chip-wide interleaved space's backing-DRAM addresses disjoint
@@ -111,6 +112,18 @@ class Translator:
             return self._cell_dram(cell_xy, dec.offset)
         if dec.space is Space.GLOBAL_DRAM:
             return self._global_dram(dec.offset)
+        if dec.space is Space.PIM:
+            cell_xy = (dec.field_a, dec.field_b)
+            self.chip.cell_origin(cell_xy)  # validates the coordinate
+            # Commands enter through the Cell's first cache node; the
+            # offset names the pseudo-channel behind it.
+            return Destination(
+                node=self.chip.to_global(cell_xy, self._bank_local[0]),
+                kind=TargetKind.PIM,
+                cell_xy=cell_xy,
+                bank_index=dec.offset,
+                mem_addr=0,
+            )
         raise ValueError(f"unhandled space {dec.space}")
 
     def _group_spm(self, dec: DecodedAddress) -> Destination:

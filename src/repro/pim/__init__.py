@@ -1,0 +1,20 @@
+"""Processing-in-memory backend for the HBM model (AiM-style).
+
+Import-light on purpose: :mod:`repro.arch.config` imports
+:class:`PimConfig` from here, so this package must not pull in the
+kernel/ISA machinery.  The offload kernel registry lives in
+:mod:`repro.pim.kernels` and is imported explicitly by its users.
+"""
+
+from .commands import (MacAbk, MicroOp, PimCommand, RdMac, WrBias, WrCrf,
+                       WrGb, WrSbk)
+from .config import PimConfig
+from .engine import PimEngine
+from .reference import RefPimBank
+from .unit import PimUnit
+
+__all__ = [
+    "PimConfig", "PimEngine", "PimUnit", "RefPimBank",
+    "PimCommand", "MicroOp",
+    "WrGb", "WrSbk", "WrBias", "WrCrf", "MacAbk", "RdMac",
+]

@@ -1,0 +1,146 @@
+"""The AiM-style PIM command set and the per-bank micro-op encoding.
+
+Commands are what tiles issue through the memory system (via the
+``pim_issue`` / ``pim_read`` ISA ops); micro-ops are what the CRF holds
+and ``MAC_ABK`` executes on every enabled bank.  Timing lives in
+:mod:`repro.pim.engine`; these classes are pure data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class MicroOp:
+    """One CRF slot: a per-bank ALU operation over a DRAM row chunk.
+
+    ``row_data`` below is the ``simd_width``-lane chunk of the DRAM row
+    named by the executing ``MAC_ABK``; ``gb`` is the channel's global
+    buffer.
+
+    ========  =================================================
+    kind      effect (lane-wise, per enabled bank)
+    ========  =================================================
+    ``mac``   ``grf[dst] += row_data * gb``
+    ``add``   ``grf[dst] = grf[src] + row_data``
+    ``mul``   ``grf[dst] = grf[src] * row_data``
+    ``mov``   ``grf[dst] = row_data``
+    ``fill``  ``grf[dst] = imm`` (row_data ignored)
+    ========  =================================================
+    """
+
+    __slots__ = ("kind", "dst", "src", "imm")
+
+    KINDS = ("mac", "add", "mul", "mov", "fill")
+
+    def __init__(self, kind: str, dst: int, src: int = 0,
+                 imm: float = 0.0) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown micro-op kind {kind!r}")
+        self.kind = kind
+        self.dst = dst
+        self.src = src
+        self.imm = imm
+
+    def __repr__(self) -> str:
+        return (f"MicroOp({self.kind!r}, dst={self.dst}, src={self.src}, "
+                f"imm={self.imm})")
+
+
+class PimCommand:
+    """Base of the AiM-style command set (timing in docs/MODEL.md)."""
+
+    __slots__ = ()
+    name = "pim"
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{s}={getattr(self, s)!r}" for s in self.__slots__)
+        return f"{type(self).__name__}({fields})"
+
+
+class WrGb(PimCommand):
+    """WR_GB: broadcast a ``simd_width`` vector into the global buffer."""
+
+    __slots__ = ("values",)
+    name = "wr_gb"
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self.values = tuple(float(v) for v in values)
+
+
+class WrSbk(PimCommand):
+    """WR_SBK: write one row chunk into a single bank's row store."""
+
+    __slots__ = ("bank", "row", "values")
+    name = "wr_sbk"
+
+    def __init__(self, bank: int, row: int,
+                 values: Iterable[float]) -> None:
+        self.bank = bank
+        self.row = row
+        self.values = tuple(float(v) for v in values)
+
+
+class WrBias(PimCommand):
+    """WR_BIAS: preset GRF entry ``grf`` of every bank to a scalar."""
+
+    __slots__ = ("grf", "value")
+    name = "wr_bias"
+
+    def __init__(self, grf: int, value: float = 0.0) -> None:
+        self.grf = grf
+        self.value = float(value)
+
+
+class WrCrf(PimCommand):
+    """WR_CRF: program micro-op ``mop`` into CRF slot ``slot``."""
+
+    __slots__ = ("slot", "mop")
+    name = "wr_crf"
+
+    def __init__(self, slot: int, mop: MicroOp) -> None:
+        self.slot = slot
+        self.mop = mop
+
+
+class MacAbk(PimCommand):
+    """MAC_ABK: execute CRF slot ``slot`` on row ``row`` of every bank.
+
+    ``banks`` restricts execution to a subset (a bank mask); ``None``
+    means all banks -- the bank-parallel fast path.
+    """
+
+    __slots__ = ("row", "slot", "banks")
+    name = "mac_abk"
+
+    def __init__(self, row: int, slot: int,
+                 banks: Optional[Sequence[int]] = None) -> None:
+        self.row = row
+        self.slot = slot
+        self.banks = None if banks is None else tuple(banks)
+
+
+class RdMac(PimCommand):
+    """RD_MAC: read ``count`` GRF entries starting at ``grf0`` from one bank.
+
+    With ``reduce`` each entry is lane-summed to a scalar (the MAC
+    readout of a dot product); without it the raw lanes stream out.
+    """
+
+    __slots__ = ("bank", "grf0", "count", "reduce")
+    name = "rd_mac"
+
+    def __init__(self, bank: int, grf0: int = 0, count: int = 1,
+                 reduce: bool = True) -> None:
+        self.bank = bank
+        self.grf0 = grf0
+        self.count = count
+        self.reduce = reduce
+
+    def payload_words(self, simd_width: int) -> int:
+        """Words the response data occupies on bus and NoC."""
+        return self.count if self.reduce else self.count * simd_width
+
+
+#: Commands that carry a full row chunk of data to the channel.
+DataCommands: Tuple[type, ...] = (WrGb, WrSbk)

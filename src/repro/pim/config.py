@@ -1,0 +1,33 @@
+"""Configuration of the processing-in-memory (PIM) backend.
+
+This module is imported by :mod:`repro.arch.config` (the ``pim=`` block
+of a :class:`~repro.arch.config.MachineConfig`), so it must stay free of
+heavy imports -- a plain frozen dataclass, like the timing bundles in
+:mod:`repro.arch.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """Per-bank compute resources of the AiM-style PIM units.
+
+    One :class:`~repro.pim.engine.PimEngine` is embedded per HBM
+    pseudo-channel.  Every DRAM bank hosts one execution unit with a
+    GRF (accumulator vector register file); the channel shares a CRF
+    (micro-op program slots) and a global buffer of ``simd_width``
+    f32 lanes that broadcast one operand to all banks.
+    """
+
+    grf_entries: int = 8  #: accumulator vector registers per bank
+    crf_entries: int = 32  #: micro-op program slots per channel
+    simd_width: int = 16  #: f32 lanes per GRF entry / DRAM row chunk
+    t_mac: int = 4  #: extra bank-busy cycles charged by one MAC_ABK
+
+    def __post_init__(self) -> None:
+        for name in ("grf_entries", "crf_entries", "simd_width", "t_mac"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"PimConfig.{name} must be >= 1")

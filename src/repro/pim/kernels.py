@@ -1,0 +1,375 @@
+"""Offload kernel pairs: the same computation tile-side and memory-side.
+
+Each :class:`Offload` carries two :class:`~repro.isa.program.Kernel`
+implementations of one primitive (GEMV, dot product, AXPY):
+
+* the **tile** side streams operands from Local DRAM through the NoC
+  and computes on the tile array (the suite idiom: vload compression,
+  fma chains, write-validate stores);
+* the **pim** side drives the Cell's :class:`~repro.pim.PimEngine`
+  from one control tile with AiM-style commands (``WR_GB`` broadcasts,
+  bank-parallel ``MAC_ABK``, ``RD_MAC`` readout), paying NoC command
+  delivery plus the channel's own bank/bus timing.
+
+Both sides compute *functionally*: the tile kernels in plain Python
+while yielding timed ops, the PIM kernels through the engine's per-bank
+units -- so comparing ``args["out"]`` is a real end-to-end check of the
+memory-side datapath.  Inputs are integer-valued floats (small ints
+from an LCG), making every partial sum exact in binary floating point;
+the two sides therefore match *bitwise* regardless of summation order.
+
+These kernels are registered in :data:`OFFLOADS`, deliberately separate
+from the Table-I ``SUITE`` (they exist to compare execution sides, not
+to characterize the tile array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from ..isa.program import Kernel, kernel
+from ..kernels.base import Layout, num_tiles, range_split, sync, tile_id
+from .commands import MacAbk, MicroOp, RdMac, WrBias, WrCrf, WrGb
+
+
+def lcg_values(n: int, seed: int = 1) -> List[float]:
+    """``n`` deterministic integer-valued floats in [-3, 3].
+
+    Small integers keep every product and partial sum exactly
+    representable, so tile-side and PIM-side results are bit-identical
+    whatever order the adds happen in.
+    """
+    out = []
+    x = (seed * 2654435761 + 1) & 0x7FFFFFFF
+    for _ in range(n):
+        x = (1103515245 * x + 12345) & 0x7FFFFFFF
+        out.append(float(x % 7) - 3.0)
+    return out
+
+
+def _chunks(values: List[float], w: int) -> List[List[float]]:
+    """Split into ``w``-wide chunks, zero-padding the tail."""
+    out = []
+    for c0 in range(0, len(values), w):
+        chunk = values[c0:c0 + w]
+        chunk.extend(0.0 for _ in range(w - len(chunk)))
+        out.append(chunk)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# GEMV: y = A @ x, matrix rows interleaved across banks.
+
+def gemv_args(m: int = 64, n: int = 64, seed: int = 0,
+              nbanks: int = 16, simd_width: int = 16,
+              grf_entries: int = 8) -> Dict[str, Any]:
+    """A is row-major m x n; ``m`` must divide evenly over the banks.
+
+    The PIM layout places matrix row ``i`` in bank ``i % nbanks`` as
+    local row index ``li = i // nbanks``; chunk ``c`` of that row lives
+    at DRAM row ``li * nchunks + c``.
+    """
+    if m % nbanks:
+        raise ValueError(f"m={m} must be a multiple of nbanks={nbanks}")
+    layout = Layout()
+    return {
+        "m": m, "n": n,
+        "nbanks": nbanks, "w": simd_width, "grf": grf_entries,
+        "a": layout.array("a", 4 * m * n),
+        "x": layout.array("x", 4 * n),
+        "y": layout.array("y", 4 * m),
+        "a_data": lcg_values(m * n, seed=seed + 1),
+        "x_data": lcg_values(n, seed=seed + 2),
+        "out": [0.0] * m,
+    }
+
+
+def gemv_preload(engine: Any, args: Dict[str, Any]) -> None:
+    """Host-side placement of A into the per-bank row stores."""
+    m, n, w = args["m"], args["n"], args["w"]
+    nbanks = engine.nbanks
+    nchunks = (n + w - 1) // w
+    a = args["a_data"]
+    for i in range(m):
+        bank, li = i % nbanks, i // nbanks
+        row_chunks = _chunks(a[i * n:(i + 1) * n], w)
+        engine.load_bank_rows(
+            bank, {li * nchunks + c: row_chunks[c] for c in range(nchunks)})
+
+
+@kernel("pim-gemv/tile", category="pim-offload")
+def gemv_tile(t, args):
+    """Tile-side GEMV: rows split across tiles, streamed from DRAM."""
+    m, n = args["m"], args["n"]
+    a, x, out = args["a_data"], args["x_data"], args["out"]
+    lo, hi = range_split(m, num_tiles(t), tile_id(t))
+    xregs: Dict[int, int] = {}
+    # Stage x into the scratchpad once (every row reuses it).
+    top = t.loop_top()
+    for c in range(0, n, 4):
+        vl = t.vload(t.local_dram(args["x"] + 4 * c))
+        yield vl
+        for i, reg in enumerate(vl.dsts):
+            xregs[c + i] = reg
+            yield t.store(t.spm(4 * (c + i)), srcs=[reg])
+        yield t.branch_back(top, taken=(c + 4 < n))
+    row_top = t.loop_top()
+    for i in range(lo, hi):
+        acc = t.reg()
+        yield t.alu(acc)
+        for c in range(0, n, 4):
+            vl = t.vload(t.local_dram(args["a"] + 4 * (i * n + c)))
+            yield vl
+            for j, reg in enumerate(vl.dsts):
+                yield t.fma(acc, [acc, reg, xregs[c + j]])
+        out[i] = sum(a[i * n + j] * x[j] for j in range(n))
+        yield t.store(t.local_dram(args["y"] + 4 * i), srcs=[acc])
+        yield t.branch_back(row_top, taken=(i < hi - 1))
+    yield from sync(t)
+
+
+@kernel("pim-gemv/pim", category="pim-offload")
+def gemv_pim(t, args):
+    """Memory-side GEMV: bank-parallel MAC_ABK sweeps, one control tile.
+
+    The PIM engine is a per-Cell resource, so a single control tile
+    owns the command stream; the rest of the launch idles at the final
+    barrier (PIM kernels measure the memory side, not the array).
+    """
+    if tile_id(t) == 0:
+        m, n, w = args["m"], args["n"], args["w"]
+        nbanks, ge = args["nbanks"], args["grf"]
+        x, out = args["x_data"], args["out"]
+        nchunks = (n + w - 1) // w
+        rows_per_bank = m // nbanks
+        xchunks = _chunks(list(x), w)
+        # Program one MAC slot per in-flight local row.
+        for k in range(min(ge, rows_per_bank)):
+            yield t.pim_issue(WrCrf(k, MicroOp("mac", dst=k)))
+        # Passes of up to grf_entries local rows per bank.
+        for p0 in range(0, rows_per_bank, ge):
+            nli = min(ge, rows_per_bank - p0)
+            for k in range(nli):
+                yield t.pim_issue(WrBias(k, 0.0))
+            for c in range(nchunks):
+                yield t.pim_issue(WrGb(xchunks[c]))
+                for k in range(nli):
+                    yield t.pim_issue(
+                        MacAbk(row=(p0 + k) * nchunks + c, slot=k))
+            yield t.pim_fence()
+            for b in range(nbanks):
+                vals = yield t.pim_read(RdMac(bank=b, grf0=0, count=nli))
+                for k in range(nli):
+                    i = (p0 + k) * nbanks + b
+                    out[i] = vals[k]
+                    yield t.store(t.local_dram(args["y"] + 4 * i))
+    yield from sync(t)
+
+
+# ---------------------------------------------------------------------------
+# DOT: out = x . y, chunks interleaved across banks.
+
+def dot_args(n: int = 1024, seed: int = 0, nbanks: int = 16,
+             simd_width: int = 16, grf_entries: int = 8) -> Dict[str, Any]:
+    """Chunk ``c`` of y lives in bank ``c % nbanks`` at row ``c // nbanks``."""
+    layout = Layout()
+    return {
+        "n": n,
+        "nbanks": nbanks, "w": simd_width, "grf": grf_entries,
+        "x": layout.array("x", 4 * n),
+        "y": layout.array("y", 4 * n),
+        "r": layout.words("r", 1),
+        "x_data": lcg_values(n, seed=seed + 1),
+        "y_data": lcg_values(n, seed=seed + 2),
+        "out": [0.0],
+    }
+
+
+def dot_preload(engine: Any, args: Dict[str, Any]) -> None:
+    nbanks = engine.nbanks
+    ychunks = _chunks(list(args["y_data"]), args["w"])
+    for c, chunk in enumerate(ychunks):
+        engine.load_bank_rows(c % nbanks, {c // nbanks: chunk})
+
+
+@kernel("pim-dot/tile", category="pim-offload")
+def dot_tile(t, args):
+    """Tile-side dot product: per-tile partials merged with amoadd."""
+    n = args["n"]
+    x, y, out = args["x_data"], args["y_data"], args["out"]
+    lo, hi = range_split(n // 4, num_tiles(t), tile_id(t))
+    acc = t.reg()
+    yield t.alu(acc)
+    top = t.loop_top()
+    for c in range(lo, hi):
+        vx = t.vload(t.local_dram(args["x"] + 16 * c))
+        vy = t.vload(t.local_dram(args["y"] + 16 * c))
+        yield vx
+        yield vy
+        for rx, ry in zip(vx.dsts, vy.dsts):
+            yield t.fma(acc, [acc, rx, ry])
+        yield t.branch_back(top, taken=(c < hi - 1))
+    # Integer-valued data: the float amoadd merge order cannot change
+    # the sum, so the functional total is computed host-side exactly.
+    if tile_id(t) == 0:
+        out[0] = sum(a * b for a, b in zip(x, y))
+    yield t.amoadd(t.local_dram(args["r"]))
+    yield from sync(t)
+
+
+@kernel("pim-dot/pim", category="pim-offload")
+def dot_pim(t, args):
+    """Memory-side dot product: masked MAC_ABK per chunk, one readout."""
+    if tile_id(t) == 0:
+        n, w, nbanks = args["n"], args["w"], args["nbanks"]
+        x, out = args["x_data"], args["out"]
+        xchunks = _chunks(list(x), w)
+        yield t.pim_issue(WrCrf(0, MicroOp("mac", dst=0)))
+        yield t.pim_issue(WrBias(0, 0.0))
+        for c in range(len(xchunks)):
+            yield t.pim_issue(WrGb(xchunks[c]))
+            yield t.pim_issue(MacAbk(row=c // nbanks, slot=0,
+                                     banks=(c % nbanks,)))
+        yield t.pim_fence()
+        total = 0.0
+        nb = min(nbanks, len(xchunks))
+        for b in range(nb):
+            vals = yield t.pim_read(RdMac(bank=b, grf0=0, count=1))
+            total += vals[0]
+        out[0] = total
+        yield t.store(t.local_dram(args["r"]))
+    yield from sync(t)
+
+
+# ---------------------------------------------------------------------------
+# AXPY: y <- a * x + y, x/y row pairs interleaved across banks.
+
+def axpy_args(n: int = 1024, a: float = 3.0, seed: int = 0,
+              nbanks: int = 16, simd_width: int = 16,
+              grf_entries: int = 8) -> Dict[str, Any]:
+    """Chunk ``c`` maps to bank ``c % nbanks``; pair ``p = c // nbanks``
+    stores x at DRAM row ``2p`` and y at ``2p + 1``."""
+    layout = Layout()
+    return {
+        "n": n, "alpha": float(a),
+        "nbanks": nbanks, "w": simd_width, "grf": grf_entries,
+        "x": layout.array("x", 4 * n),
+        "y": layout.array("y", 4 * n),
+        "x_data": lcg_values(n, seed=seed + 1),
+        "y_data": lcg_values(n, seed=seed + 2),
+        "out": [0.0] * n,
+    }
+
+
+def axpy_preload(engine: Any, args: Dict[str, Any]) -> None:
+    nbanks, w = engine.nbanks, args["w"]
+    xchunks = _chunks(list(args["x_data"]), w)
+    ychunks = _chunks(list(args["y_data"]), w)
+    for c in range(len(xchunks)):
+        p = c // nbanks
+        engine.load_bank_rows(c % nbanks,
+                              {2 * p: xchunks[c], 2 * p + 1: ychunks[c]})
+
+
+@kernel("pim-axpy/tile", category="pim-offload")
+def axpy_tile(t, args):
+    """Tile-side AXPY: stream x and y, fma, store back."""
+    n, alpha = args["n"], args["alpha"]
+    x, y, out = args["x_data"], args["y_data"], args["out"]
+    lo, hi = range_split(n // 4, num_tiles(t), tile_id(t))
+    areg = t.reg()
+    yield t.alu(areg)
+    top = t.loop_top()
+    for c in range(lo, hi):
+        vx = t.vload(t.local_dram(args["x"] + 16 * c))
+        vy = t.vload(t.local_dram(args["y"] + 16 * c))
+        yield vx
+        yield vy
+        for j, (rx, ry) in enumerate(zip(vx.dsts, vy.dsts)):
+            i = 4 * c + j
+            out[i] = alpha * x[i] + y[i]
+            yield t.fma(ry, [ry, areg, rx])
+            yield t.store(t.local_dram(args["y"] + 4 * i), srcs=[ry])
+        yield t.branch_back(top, taken=(c < hi - 1))
+    yield from sync(t)
+
+
+@kernel("pim-axpy/pim", category="pim-offload")
+def axpy_pim(t, args):
+    """Memory-side AXPY: mov y into GRF, mac a*x onto it, stream back.
+
+    Chunks are processed in rounds of ``nbanks * grf_entries`` so each
+    bank's accumulators are read out (``reduce=False``) before reuse.
+    """
+    if tile_id(t) == 0:
+        n, w, alpha = args["n"], args["w"], args["alpha"]
+        nbanks, ge = args["nbanks"], args["grf"]
+        out = args["out"]
+        xchunks = _chunks(list(args["x_data"]), w)
+        total_chunks = len(xchunks)
+        yield t.pim_issue(WrGb([alpha] * w))
+        for k in range(ge):
+            yield t.pim_issue(WrCrf(2 * k, MicroOp("mov", dst=k)))
+            yield t.pim_issue(WrCrf(2 * k + 1, MicroOp("mac", dst=k)))
+        per_round = nbanks * ge
+        for r0 in range(0, total_chunks, per_round):
+            round_chunks = list(range(r0, min(r0 + per_round, total_chunks)))
+            for c in round_chunks:
+                b, p = c % nbanks, c // nbanks
+                k = p % ge
+                yield t.pim_issue(
+                    MacAbk(row=2 * p + 1, slot=2 * k, banks=(b,)))
+                yield t.pim_issue(
+                    MacAbk(row=2 * p, slot=2 * k + 1, banks=(b,)))
+            yield t.pim_fence()
+            # Read each touched bank's accumulator block back.
+            by_bank: Dict[int, List[int]] = {}
+            for c in round_chunks:
+                by_bank.setdefault(c % nbanks, []).append(c)
+            for b in sorted(by_bank):
+                cs = by_bank[b]
+                count = len(cs)
+                vals = yield t.pim_read(RdMac(bank=b, grf0=0, count=count,
+                                              reduce=False))
+                for idx, c in enumerate(cs):
+                    chunk = vals[idx * w:(idx + 1) * w]
+                    for j, v in enumerate(chunk):
+                        i = c * w + j
+                        if i < n:
+                            out[i] = v
+                            yield t.store(t.local_dram(args["y"] + 4 * i))
+    yield from sync(t)
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+
+@dataclass(frozen=True)
+class Offload:
+    """One offloadable primitive: tile and PIM implementations plus the
+    shared workload factory and the host-side bank preload."""
+
+    name: str
+    tile: Kernel
+    pim: Kernel
+    make_args: Callable[..., Dict[str, Any]]
+    preload: Callable[[Any, Dict[str, Any]], None]
+    #: ``make_args`` size-knob overrides per harness size name.
+    sizes: Dict[str, Dict[str, int]]
+
+
+OFFLOADS: Dict[str, Offload] = {
+    "GEMV": Offload("GEMV", gemv_tile, gemv_pim, gemv_args, gemv_preload,
+                    sizes={"tiny": {"m": 32, "n": 32},
+                           "small": {"m": 64, "n": 64},
+                           "full": {"m": 128, "n": 256}}),
+    "DOT": Offload("DOT", dot_tile, dot_pim, dot_args, dot_preload,
+                   sizes={"tiny": {"n": 256},
+                          "small": {"n": 1024},
+                          "full": {"n": 4096}}),
+    "AXPY": Offload("AXPY", axpy_tile, axpy_pim, axpy_args, axpy_preload,
+                    sizes={"tiny": {"n": 256},
+                           "small": {"n": 1024},
+                           "full": {"n": 4096}}),
+}

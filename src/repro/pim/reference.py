@@ -1,0 +1,164 @@
+"""Naive reference model of one pseudo-channel with PIM units.
+
+Used by ``tests/test_pim_differential.py``: random interleavings of
+ordinary HBM accesses and PIM commands are replayed against this
+explicit-state model (plain dicts, linear scans, no memoization, no
+pruning) and must agree with the production
+:class:`~repro.mem.hbm.PseudoChannel` + :class:`~repro.pim.engine.PimEngine`
+pair on completion times, bank-ready monotonicity, bus serialization
+and GRF contents.
+
+The production model prunes per-bank row timestamps past 64 entries;
+this reference keeps them all, so differential drivers should stay
+below that row count per bank (the tests do).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..arch.params import HBMTiming
+from .commands import MacAbk, RdMac, WrBias, WrCrf, WrGb, WrSbk
+from .config import PimConfig
+
+
+class RefPimBank:
+    """Reference pseudo-channel + PIM state, computed the slow clear way."""
+
+    T_CCD = 4
+    WINDOW = 150.0
+
+    def __init__(self, timing: Optional[HBMTiming] = None,
+                 config: Optional[PimConfig] = None,
+                 bandwidth_scale: float = 1.0) -> None:
+        self.timing = timing or HBMTiming()
+        self.config = config or PimConfig()
+        self.burst_cycles = max(1, round(self.timing.t_bl / bandwidth_scale))
+        n = self.timing.banks
+        w = self.config.simd_width
+        self.ready: List[float] = [0.0] * n
+        self.opened: List[bool] = [False] * n
+        self.rows: List[Dict[int, float]] = [dict() for _ in range(n)]
+        self.bus_free: float = 0.0
+        self.gb: List[float] = [0.0] * w
+        self.crf: List[Optional[Any]] = [None] * self.config.crf_entries
+        self.grf: List[List[List[float]]] = [
+            [[0.0] * w for _ in range(self.config.grf_entries)]
+            for _ in range(n)]
+        self.store: List[Dict[int, List[float]]] = [dict() for _ in range(n)]
+
+    # -- shared primitives ---------------------------------------------------
+
+    def _bus(self, earliest: float, cycles: int) -> float:
+        start = earliest if earliest > self.bus_free else self.bus_free
+        self.bus_free = start + cycles
+        return start
+
+    def _row_machine(self, b: int, row: int, time: float,
+                     extra: float = 0.0) -> Tuple[float, float, str]:
+        t = self.timing
+        start = max(self.ready[b], time)
+        last = self.rows[b].get(row)
+        if last is not None and start - last <= self.WINDOW:
+            latency, busy, state = t.row_hit_latency, self.T_CCD, "hit"
+        elif not self.opened[b]:
+            latency = t.t_rcd + t.t_cl
+            busy, state = t.t_rcd + self.T_CCD, "open"
+        else:
+            latency = t.row_miss_latency
+            busy, state = t.t_rp + t.t_rcd + self.T_CCD, "conflict"
+        self.ready[b] = start + busy + extra
+        self.opened[b] = True
+        return start, latency, state
+
+    def _chunk(self, values, w: Optional[int] = None) -> List[float]:
+        w = w if w is not None else self.config.simd_width
+        out = [float(v) for v in values][:w]
+        out.extend(0.0 for _ in range(w - len(out)))
+        return out
+
+    # -- ordinary HBM traffic ------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, time: float) -> float:
+        t = self.timing
+        row_unit = addr // t.row_bytes
+        b, row = row_unit % t.banks, row_unit // t.banks
+        start, latency, _state = self._row_machine(b, row, time)
+        burst_start = self._bus(start + latency, self.burst_cycles)
+        done = burst_start + self.burst_cycles
+        self.rows[b][row] = done
+        return done
+
+    # -- PIM commands --------------------------------------------------------
+
+    def execute(self, cmd: Any, time: float) -> Tuple[float, Any]:
+        w = self.config.simd_width
+        payload: Any = None
+        if isinstance(cmd, WrGb):
+            bus = self._bus(time, self.burst_cycles)
+            done = bus + self.burst_cycles
+            self.gb = self._chunk(cmd.values)
+        elif isinstance(cmd, WrCrf):
+            bus = self._bus(time, 1)
+            done = bus + 1
+            self.crf[cmd.slot] = cmd.mop
+        elif isinstance(cmd, WrBias):
+            bus = self._bus(time, 1)
+            done = bus + 1
+            for b in range(self.timing.banks):
+                start = max(self.ready[b], bus + 1)
+                self.ready[b] = start + 1
+                self.grf[b][cmd.grf] = [cmd.value] * w
+                done = max(done, start + 1)
+        elif isinstance(cmd, WrSbk):
+            start, latency, _state = self._row_machine(cmd.bank, cmd.row,
+                                                       time)
+            bus = self._bus(start + latency, self.burst_cycles)
+            done = bus + self.burst_cycles
+            self.rows[cmd.bank][cmd.row] = done
+            self.store[cmd.bank][cmd.row] = self._chunk(cmd.values)
+        elif isinstance(cmd, MacAbk):
+            bus = self._bus(time, 1)
+            cmd_done = bus + 1
+            done = cmd_done
+            mop = self.crf[cmd.slot]
+            banks = cmd.banks if cmd.banks is not None \
+                else tuple(range(self.timing.banks))
+            for b in banks:
+                start, latency, _state = self._row_machine(
+                    b, cmd.row, cmd_done, extra=self.config.t_mac)
+                bank_done = start + latency + self.config.t_mac
+                self.rows[b][cmd.row] = bank_done
+                done = max(done, bank_done)
+                row_data = self.store[b].get(cmd.row) or [0.0] * w
+                grf = self.grf[b]
+                if mop.kind == "mac":
+                    grf[mop.dst] = [grf[mop.dst][i] + row_data[i] * self.gb[i]
+                                    for i in range(w)]
+                elif mop.kind == "add":
+                    grf[mop.dst] = [grf[mop.src][i] + row_data[i]
+                                    for i in range(w)]
+                elif mop.kind == "mul":
+                    grf[mop.dst] = [grf[mop.src][i] * row_data[i]
+                                    for i in range(w)]
+                elif mop.kind == "mov":
+                    grf[mop.dst] = list(row_data)
+                else:  # fill
+                    grf[mop.dst] = [mop.imm] * w
+        elif isinstance(cmd, RdMac):
+            bus = self._bus(time, 1)
+            start = max(self.ready[cmd.bank], bus + 1)
+            self.ready[cmd.bank] = start + self.T_CCD
+            words = cmd.payload_words(w)
+            data_cycles = -(-words // 16) * self.burst_cycles
+            burst = self._bus(start + 1, data_cycles)
+            done = burst + data_cycles
+            grf = self.grf[cmd.bank]
+            entries = range(cmd.grf0, cmd.grf0 + cmd.count)
+            if cmd.reduce:
+                payload = tuple(sum(grf[e]) for e in entries)
+            else:
+                payload = tuple(v for e in entries for v in grf[e])
+        else:
+            raise TypeError(f"unknown PIM command {cmd!r}")
+        return done, payload

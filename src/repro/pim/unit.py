@@ -1,0 +1,71 @@
+"""Functional state of one per-bank PIM execution unit.
+
+Pure functional model: GRF accumulators, the bank-local row store the
+micro-ops read, and a written-bitmap the audit layer uses for the
+MAC-accumulator read-before-write invariant.  All timing lives in
+:mod:`repro.pim.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .commands import MicroOp
+from .config import PimConfig
+
+
+class PimUnit:
+    """One bank's MAC/ADD/MUL unit plus its GRF register file."""
+
+    __slots__ = ("config", "grf", "written", "store")
+
+    def __init__(self, config: PimConfig) -> None:
+        self.config = config
+        w = config.simd_width
+        self.grf: List[List[float]] = [
+            [0.0] * w for _ in range(config.grf_entries)]
+        self.written: List[bool] = [False] * config.grf_entries
+        #: DRAM row id -> row chunk (``simd_width`` floats).
+        self.store: Dict[int, List[float]] = {}
+
+    def row_chunk(self, row: int) -> List[float]:
+        """The chunk a micro-op reads; untouched rows read as zeros."""
+        chunk = self.store.get(row)
+        if chunk is None:
+            return [0.0] * self.config.simd_width
+        return chunk
+
+    def set_row(self, row: int, values) -> None:
+        w = self.config.simd_width
+        chunk = [float(v) for v in values][:w]
+        chunk.extend(0.0 for _ in range(w - len(chunk)))
+        self.store[row] = chunk
+
+    def set_grf(self, idx: int, values) -> None:
+        w = self.config.simd_width
+        chunk = [float(v) for v in values][:w]
+        chunk.extend(0.0 for _ in range(w - len(chunk)))
+        self.grf[idx] = chunk
+        self.written[idx] = True
+
+    def execute(self, mop: MicroOp, row: int, gb: List[float]) -> None:
+        """Apply one micro-op to this bank (bounds pre-checked upstream)."""
+        row_data = self.row_chunk(row)
+        grf = self.grf
+        dst = mop.dst
+        kind = mop.kind
+        if kind == "mac":
+            acc = grf[dst]
+            for i, rv in enumerate(row_data):
+                acc[i] += rv * gb[i]
+        elif kind == "add":
+            src = grf[mop.src]
+            grf[dst] = [src[i] + row_data[i] for i in range(len(row_data))]
+        elif kind == "mul":
+            src = grf[mop.src]
+            grf[dst] = [src[i] * row_data[i] for i in range(len(row_data))]
+        elif kind == "mov":
+            grf[dst] = list(row_data)
+        else:  # fill
+            grf[dst] = [mop.imm] * self.config.simd_width
+        self.written[dst] = True

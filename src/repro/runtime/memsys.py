@@ -30,6 +30,7 @@ from ..pgas.spaces import (
     Space,
 )
 from ..pgas.translate import Destination, TargetKind, Translator
+from ..pim.engine import PimEngine
 
 
 class MemorySystem:
@@ -54,6 +55,9 @@ class MemorySystem:
                                 order="yx", name="resp",
                                 record_bin_width=record_bin_width)
         self.hbm: Dict[Coord, PseudoChannel] = {}
+        #: PIM engines, one per owned Cell's pseudo-channel; empty unless
+        #: the config carries a ``pim`` block (zero state when off).
+        self.pim_engines: Dict[Coord, PimEngine] = {}
         self.banks: Dict[Tuple[Coord, int], CacheBank] = {}
         self.strips: Dict[Tuple[Coord, str], WormholeStrip] = {}
         self.spms: Dict[Coord, Scratchpad] = {}
@@ -87,6 +91,9 @@ class MemorySystem:
                 bandwidth_scale=self.config.hbm_scale,
             )
             self.hbm[cell_xy] = channel
+            if self.config.pim is not None:
+                self.pim_engines[cell_xy] = PimEngine(
+                    self.config.pim, channel, name=f"pim{cell_xy}")
             north = WormholeStrip(num_banks=chip.cell.tiles_x)
             south = WormholeStrip(num_banks=chip.cell.tiles_x)
             self.strips[(cell_xy, "north")] = north
@@ -207,6 +214,60 @@ class MemorySystem:
         else:
             self.sim._post(ready, self._respond_args,
                            (dest.node, node, 1, done, old))
+
+    def pim_request(self, node: Coord, addr: int, command: Any,
+                    time: float) -> Future:
+        """A PIM command delivered through the request network.
+
+        The returned future resolves with the response arrival cycle
+        (command acks) or ``(arrival, payload)`` for ``RD_MAC``.  The
+        functional command executes when the packet reaches the channel,
+        in event order -- the same serialization discipline as AMOs.
+        """
+        dest = self._tmemo.get((addr, node))
+        if dest is None:
+            dest = self.translator.translate(addr, node)
+        if dest.kind is not TargetKind.PIM:
+            raise ValueError("pim_request needs a Space.PIM address")
+        if not self.pim_engines:
+            raise RuntimeError(
+                "the PIM backend is disabled for this machine; enable it "
+                "with MachineConfig.with_pim()")
+        if dest.bank_index != 0:
+            raise ValueError(
+                f"PIM window names pseudo-channel {dest.bank_index}, but "
+                "the model exposes one channel (index 0) per Cell")
+        if (self.xchannel is not None
+                and dest.cell_xy not in self.owned_cells):
+            # PIM commands are Cell-local by contract: a shard cannot
+            # mutate a channel another shard simulates.
+            raise RuntimeError(
+                f"PIM commands are Cell-local: tile {node} targets the "
+                f"PIM window of foreign cell {dest.cell_xy}")
+        words = len(getattr(command, "values", ()))
+        # One header flit; payload words ride the compressed-load framing
+        # (four words per extra request flit).
+        req_flits = 1 + (words + 3) // 4
+        payload_words = 0
+        pw = getattr(command, "payload_words", None)
+        if pw is not None:
+            payload_words = pw(self.config.pim.simd_width)
+        # Responses: a bare ack flit, or RD_MAC data at two flits per
+        # four words (the compressed-response framing).
+        resp_flits = 1 if payload_words == 0 \
+            else 2 * ((payload_words + 3) // 4)
+        done = Future(self.sim)
+        arrival = self.req_net.send_arrival(node, dest.node, req_flits, time)
+        self.sim._post(arrival, self._serve_pim,
+                       (dest, node, command, resp_flits, done))
+        return done
+
+    def _serve_pim(self, args) -> None:
+        dest, node, command, resp_flits, done = args
+        engine = self.pim_engines[dest.cell_xy]
+        completion, payload = engine.execute(command, self.sim._now)
+        self.sim._post(completion, self._respond_args,
+                       (dest.node, node, resp_flits, done, payload))
 
     def serve_remote(self, dest: Destination, is_write: bool, time: float,
                      words: int = 1) -> Union[float, Future]:

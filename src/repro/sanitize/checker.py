@@ -169,6 +169,13 @@ def _site(acc: _Access) -> Tuple:
     return (type(acc.op).__name__, acc.op.pc)
 
 
+def _site_op(op: Any) -> Tuple:
+    """Dedup signature of a bare op (no access record)."""
+    if op is None:
+        return ("host",)
+    return (type(op).__name__, op.pc)
+
+
 class Sanitizer:
     """Dynamic PGAS race and synchronization checker for one machine."""
 
@@ -188,6 +195,7 @@ class Sanitizer:
         self._clocks: List[List[int]] = []
         self._pending_stores: List[List[_Access]] = []
         self._pending_loads: List[List[_Access]] = []
+        self._pending_pim: List[List[Any]] = []
         self._amo_ops: List[Optional[Any]] = []
         self._barrier_pending: Dict[int, Dict[int, List[int]]] = {}
         self._barriers: List[Tuple[Any, str]] = []
@@ -207,6 +215,7 @@ class Sanitizer:
         self._clocks = [[0] * n for _ in range(n)]
         self._pending_stores = [[] for _ in range(n)]
         self._pending_loads = [[] for _ in range(n)]
+        self._pending_pim = [[] for _ in range(n)]
         self._amo_ops = [None] * n
 
     def register_barrier(self, group: Any, label: str) -> None:
@@ -430,7 +439,33 @@ class Sanitizer:
         del self._pending_stores[tid][:]
         del self._pending_loads[tid][:]
 
+    def pim_issue(self, node: Tuple[int, int], op: Any,
+                  time: float) -> None:
+        """A fire-and-forget PIM command left in flight by ``node``."""
+        self.ops_checked += 1
+        self._pending_pim[self._tids[node]].append(op)
+
+    def pim_fence(self, node: Tuple[int, int], time: float) -> None:
+        """A ``pim_fence`` completes every PIM command the tile issued.
+
+        This is the *only* completion edge for PIM commands: ordinary
+        fences and barriers do not cover the PIM window (the command ack
+        returns through the response network like a store ack, but
+        nothing in the memory model waits for it implicitly).
+        """
+        del self._pending_pim[self._tids[node]][:]
+
     def kernel_end(self, node: Tuple[int, int], time: float) -> None:
+        pending = self._pending_pim[self._tids[node]]
+        if pending:
+            op = pending[-1]
+            self._record(
+                "pim-unfenced-commands",
+                f"tile {node} finished with {len(pending)} PIM command(s) "
+                f"never completed by a pim_fence; their bank writes are "
+                f"not ordered before anything that follows the kernel",
+                ("pim-unfenced-commands", _site_op(op)))
+            del pending[:]
         self.fence(node, time)
 
     def barrier_join(self, group: Any, node: Tuple[int, int],

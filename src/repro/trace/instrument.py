@@ -89,6 +89,17 @@ def attach(machine: Any, trace: Any) -> Any:
             "hbm", f"{channel.name}.write_cycles",
             lambda ch=channel: ch.write_cycles, mode="delta")
 
+    # PIM engines (present only when the config enables PIM): one track
+    # per engine with a span per command execution.
+    for cell_xy, engine in sorted(getattr(memsys, "pim_engines", {}).items()):
+        engine._trace = trace
+        engine._trace_track = trace.track(
+            "pim", f"channel {cell_xy[0]},{cell_xy[1]}")
+        trace.metrics.register(
+            "pim", f"{engine.name}.mac_bank_ops",
+            lambda eng=engine: eng.counters.get("mac_bank_ops"),
+            mode="delta")
+
     # Wormhole strips: one track per physical channel (they serialize
     # through per-channel reservation, so spans never overlap).
     for (cell_xy, side), strip in sorted(memsys.strips.items()):

@@ -94,3 +94,72 @@ class TestMachineConfig:
         assert cfg.cell.num_tiles == 16
         cfg2 = small_config(4, 4, features=NO_FEATURES)
         assert cfg2.features is NO_FEATURES
+
+
+class TestWithHbm:
+    def test_field_overrides(self):
+        cfg = HB_16x8.with_hbm(banks=8, t_cl=20)
+        assert cfg.timings.hbm.banks == 8
+        assert cfg.timings.hbm.t_cl == 20
+        assert HB_16x8.timings.hbm.banks == 16  # original untouched
+
+    def test_unknown_field_rejected(self):
+        """Typos must fail loudly, not silently configure nothing."""
+        with pytest.raises(TypeError, match="unknown HBM timing field"):
+            HB_16x8.with_hbm(bank=8)
+        with pytest.raises(TypeError, match="t_cll"):
+            HB_16x8.with_hbm(t_cll=20)
+
+    def test_timing_object_and_fields_exclusive(self):
+        from repro.arch.params import HBMTiming
+        with pytest.raises(TypeError, match="not both"):
+            HB_16x8.with_hbm(HBMTiming(), banks=8)
+
+    def test_scale_and_channels(self):
+        cfg = HB_16x8.with_hbm(scale=0.5, pseudo_channels_per_cell=2)
+        assert cfg.hbm_scale == 0.5
+        assert cfg.pseudo_channels_per_cell == 2
+
+
+class TestWithPim:
+    def test_defaults(self):
+        cfg = HB_16x8.with_pim()
+        assert cfg.pim is not None
+        assert cfg.pim.grf_entries == 8
+        assert HB_16x8.pim is None  # original untouched
+
+    def test_field_overrides_compose(self):
+        cfg = HB_16x8.with_pim(t_mac=8).with_pim(grf_entries=4)
+        assert cfg.pim.t_mac == 8
+        assert cfg.pim.grf_entries == 4
+
+    def test_block_and_fields_exclusive(self):
+        from repro.pim import PimConfig
+        with pytest.raises(TypeError, match="not both"):
+            HB_16x8.with_pim(PimConfig(), t_mac=8)
+
+    def test_describe_flags_pim(self):
+        assert "pim" in HB_16x8.with_pim().describe()
+        assert "pim" not in HB_16x8.describe()
+
+
+class TestSerializeRoundTrip:
+    def test_pim_block_round_trips(self):
+        from repro.arch import serialize
+        cfg = HB_16x8.with_pim(t_mac=8, simd_width=8)
+        back = serialize.from_json(serialize.to_json(cfg))
+        assert back.pim == cfg.pim
+        assert back == cfg
+
+    def test_no_pim_round_trips_as_none(self):
+        from repro.arch import serialize
+        back = serialize.from_json(serialize.to_json(HB_16x8))
+        assert back.pim is None
+        assert back == HB_16x8
+
+    def test_back_compat_payload_without_pim_key(self):
+        """Payloads serialized before the PIM block must still load."""
+        from repro.arch import serialize
+        data = serialize.to_dict(HB_16x8)
+        data.pop("pim")
+        assert serialize.from_dict(data).pim is None

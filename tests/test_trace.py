@@ -132,6 +132,45 @@ class TestTraceConfig:
         assert trace.dropped_events == 3
 
 
+class TestPimTracing:
+    """A traced PIM offload run: valid export, ``pim`` track coverage,
+    and cycle identity with the untraced run."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        from repro.experiments.pim_offload import run_offload
+        plain = run_offload("GEMV", size="tiny")
+        traced = run_offload("GEMV", size="tiny", trace=True)
+        return plain, traced
+
+    def test_cycles_bit_identical(self, reports):
+        plain, traced = reports
+        assert traced["pim"]["cycles"] == plain["pim"]["cycles"]
+        assert traced["tile"]["cycles"] == plain["tile"]["cycles"]
+
+    def test_pim_track_has_command_spans(self, reports):
+        _plain, traced = reports
+        trace = traced["pim_trace"]
+        pim_tracks = {idx for idx, (group, _name)
+                      in enumerate(trace.tracks) if group == "pim"}
+        assert pim_tracks, "no pim track registered"
+        spans = [ev for ev in trace.events
+                 if ev[0] == "X" and ev[1] in pim_tracks]
+        names = {ev[2] for ev in spans}
+        assert names >= {"wr_gb", "mac_abk", "rd_mac"}, names
+
+    def test_chrome_export_valid_with_pim_events(self, reports):
+        _plain, traced = reports
+        doc = to_chrome(traced["pim_trace"])
+        assert validate_chrome(doc) == []
+        parsed = json.loads(json.dumps(doc))
+        pim_pids = {m["pid"] for m in parsed["traceEvents"]
+                    if m["ph"] == "M" and m["name"] == "process_name"
+                    and m["args"]["name"] == "pim"}
+        assert any(ev.get("pid") in pim_pids
+                   for ev in parsed["traceEvents"] if ev["ph"] == "X")
+
+
 def test_report_formatting():
     trace = _run("PR", trace=True).trace
     report = trace_report(trace)
