@@ -33,6 +33,28 @@ class FeatureSet:
         return "+".join(on) if on else "none"
 
 
+def _check_fields(cls: type, kind: str, fields: Dict[str, object]) -> None:
+    """Reject typo'd override names with the valid set in the message.
+
+    ``dataclasses.replace`` raises its own ``TypeError`` on an unknown
+    keyword, but without naming the legal fields; every ``with_*``
+    override funnels through here instead so a misspelled knob fails
+    with its neighbours listed.
+    """
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise TypeError(
+            f"unknown {kind} field(s): " + ", ".join(unknown)
+            + "; valid fields: " + ", ".join(sorted(known)))
+
+
+def _checked_replace(current: object, kind: str,
+                     fields: Dict[str, object]) -> object:
+    _check_fields(type(current), kind, fields)
+    return replace(current, **fields)
+
+
 ALL_FEATURES = FeatureSet()
 NO_FEATURES = FeatureSet(
     nonblocking_loads=False,
@@ -116,7 +138,7 @@ class MachineConfig:
         if features is not None and flags:
             raise TypeError("pass a FeatureSet or flag overrides, not both")
         if features is None:
-            features = replace(self.features, **flags)
+            features = _checked_replace(self.features, "feature", flags)
         return replace(self, features=features)
 
     def with_cache(self, cache: Optional[CacheTiming] = None,
@@ -126,7 +148,8 @@ class MachineConfig:
         if cache is not None and fields:
             raise TypeError("pass a CacheTiming or field overrides, not both")
         if cache is None:
-            cache = replace(self.timings.cache, **fields)
+            cache = _checked_replace(self.timings.cache, "cache timing",
+                                     fields)
         return replace(self, timings=replace(self.timings, cache=cache))
 
     def with_timings(self, timings: Optional[Timings] = None, *,
@@ -152,7 +175,8 @@ class MachineConfig:
             if value is None:
                 continue
             if isinstance(value, dict):
-                value = replace(getattr(new, name), **value)
+                value = _checked_replace(getattr(new, name),
+                                         f"{name} timing", value)
             new = replace(new, **{name: value})
         return replace(self, timings=new)
 
@@ -165,13 +189,7 @@ class MachineConfig:
         if hbm is not None and fields:
             raise TypeError("pass an HBMTiming or field overrides, not both")
         if fields:
-            known = {f.name for f in dataclasses.fields(HBMTiming)}
-            unknown = sorted(set(fields) - known)
-            if unknown:
-                raise TypeError(
-                    "unknown HBM timing field(s): "
-                    + ", ".join(unknown)
-                    + "; valid fields: " + ", ".join(sorted(known)))
+            _check_fields(HBMTiming, "HBM timing", fields)
         cfg = self
         if hbm is not None or fields:
             cfg = cfg.with_timings(hbm=hbm if hbm is not None else fields)
@@ -193,6 +211,7 @@ class MachineConfig:
         if pim is not None and fields:
             raise TypeError("pass a PimConfig or field overrides, not both")
         if pim is None:
+            _check_fields(PimConfig, "PIM config", fields)
             pim = replace(self.pim, **fields) if self.pim is not None \
                 else PimConfig(**fields)
         return replace(self, pim=pim)
@@ -200,8 +219,13 @@ class MachineConfig:
     def with_geometry(self, *, tiles_x: Optional[int] = None,
                       tiles_y: Optional[int] = None,
                       cells_x: Optional[int] = None,
-                      cells_y: Optional[int] = None) -> "MachineConfig":
+                      cells_y: Optional[int] = None,
+                      **extra: object) -> "MachineConfig":
         """Resize the tile array and/or the Cell array."""
+        if extra:
+            raise TypeError(
+                "unknown geometry field(s): " + ", ".join(sorted(extra))
+                + "; valid fields: cells_x, cells_y, tiles_x, tiles_y")
         cfg = self
         if tiles_x is not None or tiles_y is not None:
             cell = replace(

@@ -102,7 +102,7 @@ def _bench_cells(args: argparse.Namespace) -> int:
     cx, cy = _parse_cells(args.cells)
     config = HB_16x8.with_geometry(cells_x=cx, cells_y=cy)
     workers = args.cell_workers or min(cx * cy, 2)
-    kernels = args.kernels or ["AES", "PR"]
+    kernels = args.kernels or ["AES", "PR", "exchange"]
     samples = {}
     for name in kernels:
         s = measure_cells(config, name, size=args.size or "tiny",
@@ -113,6 +113,10 @@ def _bench_cells(args: argparse.Namespace) -> int:
         print(f"{name:10s} serial={s['serial_wall_seconds']:.3f}s "
               f"parallel={s['parallel_wall_seconds']:.3f}s "
               f"scaling={s['scaling']:.2f}x ({det})")
+        if s.get("contention_gap") is not None:
+            print(f"           accuracy vs monolithic: contention-priced "
+                  f"gap {s['contention_gap']:g} cycles "
+                  f"(zero-load: {s['zero_load_gap']:g})")
         if s["host_cpus"] < workers:
             print(f"           note: host has {s['host_cpus']} CPU(s) for "
                   f"{workers} workers -- they time-share, so scaling "
@@ -401,12 +405,14 @@ def _cells_cmd(args: argparse.Namespace) -> int:
     workers = args.cell_workers or min(cx * cy, os.cpu_count() or 1)
     res = run_cells(config, launches, workers=workers,
                     window=args.sync_window, audit=args.audit_cells,
-                    sanitize=args.sanitize_cells)
+                    sanitize=args.sanitize_cells,
+                    contention=args.contention)
     deterministic = None
     if args.check_determinism:
         ref = run_cells(config, launches, workers=1,
                         window=args.sync_window, audit=args.audit_cells,
-                        sanitize=args.sanitize_cells)
+                        sanitize=args.sanitize_cells,
+                        contention=args.contention)
         deterministic = ref.fingerprint() == res.fingerprint()
     report = res.to_dict()
     report["kernel"], report["size"] = name, size
@@ -425,12 +431,21 @@ def _cells_cmd(args: argparse.Namespace) -> int:
         print(f"  sync: window={res.window:g} (lookahead {res.lookahead:g}), "
               f"{res.rounds} rounds, {res.messages} cross-Cell messages, "
               f"{res.wall_seconds:.3f}s wall")
+        if res.contention is not None:
+            c = res.contention
+            print(f"  contention: {c['stalled_packets']}/{c['packets']} "
+                  f"packets stalled at Cell edges, "
+                  f"{c['stall_cycles']:g} stall cycles")
         if deterministic is not None:
             print("  determinism: " + ("1-worker run is bit-identical"
                                        if deterministic else
                                        "MISMATCH vs 1-worker run"))
         if args.audit_cells or args.sanitize_cells:
             print("  checks: " + ("clean" if res.clean else "VIOLATIONS"))
+        if res.xshard is not None and res.xshard["findings"]:
+            for f in res.xshard["findings"][:4]:
+                print(f"    xcell-race @ {f['addr']} "
+                      f"({f['detail']}, x{f['count']})")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -758,7 +773,16 @@ def main(argv=None) -> int:
                              "every shard")
     parser.add_argument("--sanitize", dest="sanitize_cells",
                         action="store_true",
-                        help="cells: attach the race checker to every shard")
+                        help="cells: attach the race checker to every shard "
+                             "(includes the cross-shard stitching pass)")
+    parser.add_argument("--contention", dest="contention",
+                        action="store_true", default=True,
+                        help="cells: price deterministic inter-Cell link "
+                             "contention (default)")
+    parser.add_argument("--no-contention", dest="contention",
+                        action="store_false",
+                        help="cells: price cross-Cell packets at the "
+                             "zero-load floor (the old optimistic model)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="sweep: worker processes (default: CPU count; "
                              "0 runs in-process)")

@@ -101,6 +101,12 @@ class Simulator:
         #: Total events dispatched over this simulator's lifetime
         #: (the numerator of the host events/sec throughput metric).
         self.events_executed = 0
+        #: Clock of the most recently dispatched event.  Unlike ``now``,
+        #: this never moves to a ``run(until=...)`` horizon the queue
+        #: drained short of, so a windowed run and a free run of the same
+        #: workload report the same value -- the PDES coordinator uses it
+        #: as the barrier-invariant final clock.
+        self.last_event_time: float = 0
         #: Observability hook (a :class:`repro.trace.Trace` or ``None``).
         #: When set, ``run()`` leaves the inlined fast path and ticks the
         #: tracer's clock-driven metrics sampler after every event.
@@ -255,6 +261,7 @@ class Simulator:
         if event is None:
             return False
         self._now = event.time
+        self.last_event_time = event.time
         fn = event.fn
         arg = event.arg
         # Detach (and recycle) before the callback runs so the record is
@@ -341,6 +348,8 @@ class Simulator:
                             fn(arg)
                 finally:
                     self.events_executed += executed
+                    if executed:
+                        self.last_event_time = self._now
                 return self._now
             if (max_events is None and self.tracer is None
                     and self.audit is None):
@@ -391,6 +400,11 @@ class Simulator:
                             fn(arg)
                 finally:
                     self.events_executed += executed
+                    if executed:
+                        # ``_now`` sits at the last dispatched event here:
+                        # the horizon clamp below is what must not leak
+                        # into the barrier-invariant clock.
+                        self.last_event_time = self._now
                 if until > self._now:
                     self._now = until
                 return self._now

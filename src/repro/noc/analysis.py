@@ -105,6 +105,34 @@ def zero_load_diameter(cols: int, rows: int, ruche_factor: int) -> int:
     return dx + dy
 
 
+def cell_edge_channels(config, axis: str) -> int:
+    """Directed physical channels crossing one inter-Cell boundary.
+
+    ``axis="x"`` counts the horizontal links crossing the vertical
+    boundary between two column-adjacent Cells, one direction: one mesh
+    channel per grid row of the Cell (tiles plus the two cache strips),
+    plus ``ruche_factor`` ruche channels per row when the Ruche network
+    is on (a hop-``R`` link crosses any plane from ``R`` start columns).
+    ``axis="y"`` counts the vertical links crossing the horizontal
+    boundary between two row-adjacent Cells: one mesh channel per grid
+    column (ruche links are horizontal only).
+
+    This is the serialization capacity of the PDES contention model's
+    per-Cell-edge channel; :meth:`repro.noc.topology.Topology.cell_edge_links`
+    counts the same thing by walking the built link set, and the tests
+    pin the two against each other.
+    """
+    cell = config.chip.cell
+    if axis == "x":
+        per_row = 1
+        if config.features.ruche_network:
+            per_row += config.timings.noc.ruche_factor
+        return cell.rows * per_row
+    if axis == "y":
+        return cell.cols
+    raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+
+
 # ---------------------------------------------------------------------------
 # Inter-Cell latency floor: the PDES lookahead.
 

@@ -16,7 +16,7 @@ way.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.geometry import ChipGeometry, Coord
 from ..arch.params import NocTiming
@@ -162,6 +162,46 @@ class Network:
         cv["hops"] += len(path)
         cv["stall_cycles"] += stall_total
         return head + (flits - 1) + self._eject
+
+    def reserve_leg(self, src: Coord, dst: Coord, flits: int, time: float,
+                    inside: "Callable[[Coord], bool]") -> float:
+        """Reserve only part of the ``src -> dst`` path: the links whose
+        both endpoints satisfy ``inside``.  Returns the total stall
+        accumulated on the reserved links.
+
+        This is the PDES shard's half of a cross-Cell walk: the shard
+        owns (and shares with its Cell-local traffic) exactly the links
+        inside its own Cell, while the boundary crossing itself is
+        priced by the coordinator's edge ledger and foreign Cells' links
+        by the shard that owns them.  The head advances through skipped
+        links at zero-load cost, so reserved-link start times line up
+        with where a full :meth:`send` walk would put them.
+        """
+        path = self._routes.get((src, dst))
+        if path is None:
+            path = tuple(route(self.topology, src, dst, order=self.order))
+            self._routes[(src, dst)] = path
+        hop_cost = self._hop_cost
+        stall_total = 0.0
+        head = time + self._inject
+        for link in path:
+            if not (inside(link.src) and inside(link.dst)):
+                head += hop_cost
+                continue
+            start = link.free_at
+            if start < head:
+                start = head
+            else:
+                stall = start - head
+                stall_total += stall
+                link.stall_cycles += stall
+            link.free_at = start + flits
+            link.busy_cycles += flits
+            link.packets += 1
+            if link.series is not None:
+                link.series.add_range(start, start + flits)
+            head = start + hop_cost
+        return stall_total
 
     def zero_load_latency(self, src: Coord, dst: Coord, flits: int = 1) -> float:
         """Latency with no contention (for tests and analytic checks)."""

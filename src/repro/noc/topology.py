@@ -121,6 +121,50 @@ class Topology:
                 out.append(link)
         return out
 
+    def cell_edge_links(self, chip: ChipGeometry, src_cell: Coord,
+                        dst_cell: Coord) -> List[Link]:
+        """Directed links crossing from Cell ``src_cell`` into the
+        adjacent Cell ``dst_cell``: every link whose endpoints straddle
+        the shared boundary in that direction, restricted to the grid
+        rows (columns) the two Cells span.  This is the built-links
+        ground truth for :func:`repro.noc.analysis.cell_edge_channels`.
+        """
+        sx, sy = src_cell
+        dx, dy = dst_cell
+        if abs(sx - dx) + abs(sy - dy) != 1:
+            raise ValueError(
+                f"cells {src_cell} and {dst_cell} are not adjacent")
+        ox, oy = chip.cell_origin(dst_cell if dx > sx or dy > sy
+                                  else src_cell)
+        out = []
+        if sy == dy:  # vertical boundary, horizontal links
+            plane = ox - 0.5 if dx > sx else \
+                chip.cell_origin(src_cell)[0] - 0.5
+            lo, hi = oy, oy + chip.cell.rows
+            forward = dx > sx
+            for link in self._links.values():
+                if not link.horizontal or not lo <= link.src[1] < hi:
+                    continue
+                a, b = link.src[0], link.dst[0]
+                if (b > a) != forward:
+                    continue
+                if min(a, b) < plane < max(a, b):
+                    out.append(link)
+        else:  # horizontal boundary, vertical links
+            plane = oy - 0.5 if dy > sy else \
+                chip.cell_origin(src_cell)[1] - 0.5
+            lo, hi = ox, ox + chip.cell.cols
+            forward = dy > sy
+            for link in self._links.values():
+                if link.horizontal or not lo <= link.src[0] < hi:
+                    continue
+                a, b = link.src[1], link.dst[1]
+                if (b > a) != forward:
+                    continue
+                if min(a, b) < plane < max(a, b):
+                    out.append(link)
+        return out
+
     def reset_counters(self) -> None:
         for link in self._links.values():
             link.free_at = 0

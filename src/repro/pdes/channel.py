@@ -12,13 +12,19 @@ three picklable message types instead of touching the local fabric:
   point, exactly as in the monolithic machine);
 * :class:`CellResponse` -- the answer routed back to the requester.
 
-Cross-Cell packets are priced at the zero-load latency of the real
-request/response networks (:meth:`Network.conservative_latency` -- pure
-arithmetic, no link-state mutation, so shard histories can never diverge
-through pricing).  Inter-Cell link contention is therefore *not*
-modelled in PDES mode; intra-Cell traffic keeps full contention timing.
-The zero-load floor over all cross-Cell pairs is the conservative
-window's lookahead (:func:`repro.noc.analysis.intercell_lookahead`).
+Cross-Cell packets are priced in two deterministic parts.  The channel
+charges the zero-load latency of the real request/response networks
+(:meth:`Network.conservative_latency` -- pure arithmetic, no link-state
+mutation, so shard histories can never diverge through pricing).  The
+coordinator then adds inter-Cell boundary contention on top: every
+message carries its flit count and endpoint nodes, and
+:class:`repro.pdes.contention.EdgeContention` replays the global message
+stream against per-boundary-lane occupancy ledgers, so a congested Cell
+edge stalls packets exactly as the monolithic link reservations would.
+Contention only ever *adds* latency, which keeps the zero-load floor
+over all cross-Cell pairs -- the conservative window's lookahead
+(:func:`repro.noc.analysis.intercell_lookahead`) -- a valid bound.
+Intra-Cell traffic keeps full per-link contention timing as before.
 
 Determinism: every message carries ``(src_cell, seq)``; the coordinator
 delivers each window's messages sorted by ``(arrival, src_cell, seq)``
@@ -45,11 +51,16 @@ class CellRequest:
     """A remote load/store crossing a Cell boundary."""
 
     __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "src_node",
-                 "dest", "is_write", "words", "resp_flits", "arrival")
+                 "dest", "is_write", "words", "flits", "resp_flits",
+                 "arrival")
+
+    #: Physical plane this packet rides (the chip has separate request
+    #: and response networks, so contention lanes never mix them).
+    plane = "req"
 
     def __init__(self, seq: int, req_id: int, src_cell: Coord,
                  dst_cell: Coord, src_node: Coord, dest: Destination,
-                 is_write: bool, words: int, resp_flits: int,
+                 is_write: bool, words: int, flits: int, resp_flits: int,
                  arrival: float) -> None:
         self.seq = seq
         self.req_id = req_id
@@ -59,8 +70,13 @@ class CellRequest:
         self.dest = dest
         self.is_write = is_write
         self.words = words
+        self.flits = flits
         self.resp_flits = resp_flits
         self.arrival = arrival
+
+    @property
+    def dst_node(self) -> Coord:
+        return self.dest.node
 
     def __getstate__(self):
         return tuple(getattr(self, s) for s in self.__slots__)
@@ -81,6 +97,10 @@ class CellAmo:
     __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "src_node",
                  "dest", "kind", "value", "arrival")
 
+    #: AMO packets are a single flit on the request plane.
+    flits = 1
+    plane = "req"
+
     def __init__(self, seq: int, req_id: int, src_cell: Coord,
                  dst_cell: Coord, src_node: Coord, dest: Destination,
                  kind: str, value: int, arrival: float) -> None:
@@ -93,6 +113,10 @@ class CellAmo:
         self.kind = kind
         self.value = value
         self.arrival = arrival
+
+    @property
+    def dst_node(self) -> Coord:
+        return self.dest.node
 
     def __getstate__(self):
         return tuple(getattr(self, s) for s in self.__slots__)
@@ -115,16 +139,22 @@ class CellResponse:
     ``(arrival, old)``).
     """
 
-    __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "arrival",
-                 "payload")
+    __slots__ = ("seq", "req_id", "src_cell", "dst_cell", "src_node",
+                 "dst_node", "flits", "arrival", "payload")
+
+    plane = "resp"
 
     def __init__(self, seq: int, req_id: int, src_cell: Coord,
-                 dst_cell: Coord, arrival: float,
+                 dst_cell: Coord, src_node: Coord, dst_node: Coord,
+                 flits: int, arrival: float,
                  payload: Optional[int]) -> None:
         self.seq = seq
         self.req_id = req_id
         self.src_cell = src_cell
         self.dst_cell = dst_cell
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.flits = flits
         self.arrival = arrival
         self.payload = payload
 
@@ -170,11 +200,30 @@ class ShardChannel:
         #: initiating a cross-Cell request then raises, which is what
         #: lets the coordinator trust the declaration and free-run.
         self.local_only = False
+        #: Contention pricing for the *intra-Cell legs* of cross-Cell
+        #: paths (set from ``ShardSpec.contention``): the stretch of a
+        #: packet's route inside this Cell is walked on this shard's own
+        #: network planes with real link reservation, so cross-Cell and
+        #: Cell-local traffic stall each other exactly as the monolithic
+        #: machine's shared links do.  Only the queueing component is
+        #: added on top of the zero-load cross-Cell price, so the priced
+        #: arrival never drops below the lookahead floor.
+        self.contention = True
+        chip = machine.config.chip
+        ox, oy = chip.cell_origin(cell_xy)
+        self._box = (ox, oy, chip.cell.cols, chip.cell.rows)
         self._next_req = 0
         self._next_seq = 0
         #: Totals for the sync report.
         self.sent = 0
         self.received = 0
+        #: Cross-shard sanitizer ingress state (only populated when a
+        #: sanitizer is attached): the Cell-DRAM word keys foreign
+        #: shards touched here, and the serialization log of served
+        #: foreign AMOs -- the offline stitcher's ground truth for the
+        #: owner-side AMO order.
+        self.inbound_words: set = set()
+        self.served_amos: List[Tuple[float, Coord, int, str]] = []
         machine.memsys.xchannel = self
 
     # -- source side (called from memsys on the remote-op path) ------------
@@ -196,11 +245,14 @@ class ShardChannel:
         req_id = self._next_req
         self._next_req = req_id + 1
         self.pending[req_id] = done
-        arrival = time + self._req_net.conservative_latency(
-            node, dest.node, req_flits)
+        arrival = (time
+                   + self._leg(self._req_net, node, dest.node, req_flits,
+                               time)
+                   + self._req_net.conservative_latency(
+                       node, dest.node, req_flits))
         self.outbox.append(CellRequest(
             self._bump(), req_id, self.cell_xy, dest.cell_xy, node, dest,
-            is_write, words, resp_flits, arrival))
+            is_write, words, req_flits, resp_flits, arrival))
         return done
 
     def amo(self, node: Coord, dest: Destination, kind: str, value: int,
@@ -214,10 +266,19 @@ class ShardChannel:
         req_id = self._next_req
         self._next_req = req_id + 1
         self.pending[req_id] = done
-        arrival = time + self._req_net.conservative_latency(
-            node, dest.node, 1)
+        arrival = (time
+                   + self._leg(self._req_net, node, dest.node, 1, time)
+                   + self._req_net.conservative_latency(node, dest.node, 1))
+        seq = self._bump()
+        san = self.memsys._san
+        if san is not None:
+            # Issuing-side record for the cross-shard stitcher: the
+            # owner-side serialization hook cannot run here (it has no
+            # vector clock for this tile), so the issuer snapshots its
+            # clock and the coordinator's offline pass does the rest.
+            san.xshard_amo_out(node, dest, kind, seq, time)
         self.outbox.append(CellAmo(
-            self._bump(), req_id, self.cell_xy, dest.cell_xy, node, dest,
+            seq, req_id, self.cell_xy, dest.cell_xy, node, dest,
             kind, value, arrival))
         return done
 
@@ -226,6 +287,32 @@ class ShardChannel:
         self._next_seq = seq + 1
         self.sent += 1
         return seq
+
+    # -- intra-Cell legs of cross-Cell paths ---------------------------------
+
+    def _inside(self, node: Coord) -> bool:
+        ox, oy, cols, rows = self._box
+        return ox <= node[0] < ox + cols and oy <= node[1] < oy + rows
+
+    def _leg(self, net: Any, src: Coord, dst: Coord, flits: int,
+             inject: float) -> float:
+        """Queueing delay of this Cell's leg of a cross-Cell path.
+
+        Walks the *true* dimension-ordered ``src -> dst`` route on this
+        shard's own plane, reserving exactly the links whose endpoints
+        both lie inside this Cell (``Network.reserve_leg``) -- the leg
+        really occupies the local fabric, so cross-Cell and Cell-local
+        traffic stall each other as the monolithic machine's shared
+        links do.  ``inject`` is the cycle the packet (conceptually)
+        entered the network at ``src``; for inbound legs the caller
+        rewinds the arrival by the zero-load floor so reserved-link
+        start times line up with a full monolithic walk.  The returned
+        stall is ``>= 0``, so adding it on top of the zero-load price
+        keeps every cross-Cell arrival at or above the lookahead bound.
+        """
+        if not self.contention:
+            return 0.0
+        return net.reserve_leg(src, dst, flits, inject, self._inside)
 
     # -- destination side (window ingress) ----------------------------------
 
@@ -252,16 +339,38 @@ class ShardChannel:
                 raise PdesError(f"unknown cross-Cell message {msg!r}")
 
     def _on_request(self, msg: CellRequest) -> None:
+        if self.memsys._san is not None:
+            cx, cy = msg.dest.cell_xy
+            base = msg.dest.mem_addr >> 2
+            for w in range(msg.words):
+                self.inbound_words.add((cx, cy, base + w))
+        now = self.sim._now
+        # Rewind by the zero-load floor: the leg walk then replays the
+        # packet from its (conceptual) inject cycle at the source.
+        now += self._leg(
+            self._req_net, msg.src_node, msg.dest.node, msg.flits,
+            now - self._req_net.conservative_latency(
+                msg.src_node, msg.dest.node, msg.flits))
         ready = self.memsys.serve_remote(msg.dest, msg.is_write,
-                                         self.sim._now, msg.words)
+                                         now, msg.words)
         if ready.__class__ is Future:
             ready.add_callback(lambda _v, m=msg: self._reply(m, None))
         else:
             self.sim._post(ready, self._reply_args, (msg, None))
 
     def _on_amo(self, msg: CellAmo) -> None:
+        if self.memsys._san is not None:
+            cx, cy = msg.dest.cell_xy
+            self.inbound_words.add((cx, cy, msg.dest.mem_addr >> 2))
+            self.served_amos.append(
+                (self.sim._now, msg.src_cell, msg.seq, msg.kind))
+        now = self.sim._now
+        now += self._leg(
+            self._req_net, msg.src_node, msg.dest.node, msg.flits,
+            now - self._req_net.conservative_latency(
+                msg.src_node, msg.dest.node, msg.flits))
         ready, old = self.memsys.serve_remote_amo(
-            msg.dest, msg.src_node, msg.kind, msg.value, self.sim._now)
+            msg.dest, msg.src_node, msg.kind, msg.value, now)
         if ready.__class__ is Future:
             ready.add_callback(lambda _v, m=msg, o=old: self._reply(m, o))
         else:
@@ -270,11 +379,15 @@ class ShardChannel:
     def _reply(self, msg: Any, payload: Optional[int]) -> None:
         """Emit the response at the bank's ready cycle (== now)."""
         resp_flits = msg.resp_flits if msg.__class__ is CellRequest else 1
-        arrival = self.sim._now + self._resp_net.conservative_latency(
-            msg.dest.node, msg.src_node, resp_flits)
+        now = self.sim._now
+        arrival = (now
+                   + self._leg(self._resp_net, msg.dest.node, msg.src_node,
+                               resp_flits, now)
+                   + self._resp_net.conservative_latency(
+                       msg.dest.node, msg.src_node, resp_flits))
         self.outbox.append(CellResponse(
-            self._bump(), msg.req_id, self.cell_xy, msg.src_cell, arrival,
-            payload))
+            self._bump(), msg.req_id, self.cell_xy, msg.src_cell,
+            msg.dest.node, msg.src_node, resp_flits, arrival, payload))
 
     def _reply_args(self, args: Tuple[Any, Optional[int]]) -> None:
         self._reply(*args)

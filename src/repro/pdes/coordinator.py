@@ -15,8 +15,20 @@ the Cell fabric):
    ``>= T + L >= T + W`` -- always in a *later* window, which is what
    makes advancing every shard to ``T + W`` with no mid-window
    communication safe;
-4. outboxes are drained, globally sorted by ``(arrival, src_cell,
-   seq)``, and delivered; repeat until every queue is empty.
+4. outboxes are drained into a *release pool*; every pooled message
+   whose zero-load arrival is below ``T + L`` is released -- no future
+   emission (stamped ``>= T``, arriving ``>= T + L``) can sort before
+   it -- globally sorted by ``(arrival, src_cell, seq)``, priced
+   through the :class:`~repro.pdes.contention.EdgeContention` ledger
+   (which only ever *adds* latency, so the lookahead bound survives),
+   and delivered; repeat until every queue is empty.
+
+Because release eligibility depends only on ``T`` -- itself the minimum
+over all shard clocks and pooled arrivals, a pure function of the
+message set -- the concatenation of released batches is the *same*
+globally-sorted stream for every window size and worker count, and the
+contention prices (hence the shard histories) are bit-identical across
+all of them.
 
 One shortcut on top: when every still-live shard carries only launches
 declared ``remote=False`` (a runtime-enforced promise of Cell-locality
@@ -51,6 +63,7 @@ from ..arch.geometry import Coord
 from ..noc.analysis import intercell_lookahead
 from ..orch.job import canonical_json
 from .channel import PdesError, sort_key
+from .contention import EdgeContention
 from .shard import CellShard, LaunchSpec, ShardSpec, StepReport
 from .worker import shard_worker_main
 
@@ -98,6 +111,12 @@ class CellsResult:
     #: One payload dict per shard (``CellShard.collect`` output), in
     #: Cell order.
     shards: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``EdgeContention.summary()`` when inter-Cell contention pricing
+    #: ran, else ``None`` (zero-load pricing).
+    contention: Optional[Dict[str, Any]] = None
+    #: Cross-shard sanitizer stitching report
+    #: (:func:`repro.sanitize.xshard.stitch_shards`) when sanitizing.
+    xshard: Optional[Dict[str, Any]] = None
 
     @property
     def cycles(self) -> List[float]:
@@ -120,18 +139,24 @@ class CellsResult:
 
     @property
     def clean(self) -> bool:
-        """True when every attached audit/sanitize pass found nothing."""
+        """True when every attached audit/sanitize pass found nothing --
+        including the cross-shard stitching pass, when it ran."""
         return all(s.get("audit_clean", True) and s.get("sanitize_clean", True)
-                   for s in self.shards)
+                   for s in self.shards) and \
+            (self.xshard is None or bool(self.xshard["clean"]))
 
     def fingerprint(self) -> str:
-        """Hash of everything deterministic: shard payloads + sync stats.
+        """Hash of everything deterministic: shard payloads, message and
+        contention totals.
 
         Two runs of the same workload fingerprint identically regardless
-        of worker count -- the bit-identity contract in one string.
+        of worker count *and* window size -- the bit-identity contract
+        in one string.  (``rounds`` is deliberately excluded: it is sync
+        bookkeeping that legitimately varies with the window.)
         """
-        body = canonical_json({"shards": self.shards, "rounds": self.rounds,
-                               "messages": self.messages})
+        body = canonical_json({"shards": self.shards,
+                               "messages": self.messages,
+                               "contention": self.contention})
         return hashlib.sha256(body.encode()).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
@@ -148,6 +173,8 @@ class CellsResult:
             "total_events": self.total_events,
             "max_cycles": self.max_cycles,
             "fingerprint": self.fingerprint(),
+            "contention": self.contention,
+            "xshard": self.xshard,
             "shards": self.shards,
         }
 
@@ -274,6 +301,7 @@ def run_cells(config: MachineConfig,
               window: Optional[float] = None,
               audit: bool = False,
               sanitize: bool = False,
+              contention: bool = True,
               _jitter_seed: Optional[int] = None) -> CellsResult:
     """Simulate every Cell of ``config`` as a PDES shard.
 
@@ -284,6 +312,14 @@ def run_cells(config: MachineConfig,
     reference for any worker count.  ``window`` defaults to the
     lookahead (the largest safe value); smaller windows are valid and
     must not change results.
+
+    ``contention=True`` (the default) prices cross-Cell messages through
+    the deterministic :class:`~repro.pdes.contention.EdgeContention`
+    boundary-lane ledger instead of the bare zero-load floor;
+    ``contention=False`` restores the optimistic pricing (useful for
+    measuring the gap).  ``sanitize=True`` additionally runs the offline
+    cross-shard happens-before pass (:mod:`repro.sanitize.xshard`) over
+    the per-shard exports, so races *between* Cells are reported too.
 
     ``_jitter_seed`` shuffles each round's message batch before the
     canonical sort -- a test hook proving delivery order is a function
@@ -317,7 +353,8 @@ def run_cells(config: MachineConfig,
     specs = [ShardSpec(config=config_dict, cell=xy,
                        launches=tuple(by_cell[xy]),
                        pokes=tuple(pokes_by[xy]),
-                       audit=audit, sanitize=sanitize)
+                       audit=audit, sanitize=sanitize,
+                       contention=contention)
              for xy in cells]
     workers = resolve_workers(workers, len(cells))
     # Shards whose launches all declared remote=False can never send
@@ -329,16 +366,23 @@ def run_cells(config: MachineConfig,
                  else _PipeTransport(specs, workers))
     rng = random.Random(_jitter_seed) if _jitter_seed is not None else None
     index_of = {xy: i for i, xy in enumerate(cells)}
+    pricer = EdgeContention(config) if contention else None
     t0 = time.perf_counter()
     try:
         reports = transport.init()
         inflight: List[Any] = []
+        # With contention, fresh emissions park in the release pool at
+        # their zero-load arrival until no future emission could sort
+        # before them; only then are they priced (in the one global
+        # order) and promoted to ``inflight`` for delivery.
+        pool: List[Any] = []
+        fresh = pool if pricer is not None else inflight
         for report in reports:
-            inflight.extend(report.outbox)
+            fresh.extend(report.outbox)
         rounds = 0
         messages = 0
         while True:
-            if not inflight and all(
+            if not inflight and not pool and all(
                     quiet or report.done
                     for quiet, report in zip(silent, reports)):
                 # No live shard can initiate cross-Cell traffic and
@@ -350,17 +394,34 @@ def run_cells(config: MachineConfig,
                     break
                 for idx, report in transport.advance(assignments):
                     reports[idx] = report
-                    inflight.extend(report.outbox)
+                    fresh.extend(report.outbox)
                 rounds += 1
                 continue
             candidates = [r.next_time for r in reports
                           if r.next_time is not None]
             candidates.extend(m.arrival for m in inflight)
+            candidates.extend(m.arrival for m in pool)
             if not candidates:
                 break
-            t_end = min(candidates) + window
-            deliver = inflight
-            inflight = []
+            base = min(candidates)
+            t_end = base + window
+            if pricer is not None and pool:
+                # Release every pooled message no future emission can
+                # pre-empt: emissions from this round on are stamped
+                # >= base, arriving >= base + lookahead, strictly after
+                # everything released here -- so the released batches
+                # concatenate into one window-independent global stream.
+                horizon = base + lookahead
+                release = [m for m in pool if m.arrival < horizon]
+                if release:
+                    pool[:] = [m for m in pool if m.arrival >= horizon]
+                    if rng is not None:
+                        rng.shuffle(release)
+                    release.sort(key=sort_key)
+                    pricer.price(release)
+                    inflight.extend(release)
+            deliver = list(inflight)
+            inflight.clear()
             if rng is not None:
                 rng.shuffle(deliver)  # the sort must undo any order
             deliver.sort(key=sort_key)
@@ -380,7 +441,7 @@ def run_cells(config: MachineConfig,
                     f"messages addressed to unknown cells {sorted(inbox)}")
             for idx, report in transport.advance(assignments):
                 reports[idx] = report
-                inflight.extend(report.outbox)
+                fresh.extend(report.outbox)
             rounds += 1
         stuck = [r.cell for r in reports if not r.done]
         if stuck:
@@ -391,9 +452,16 @@ def run_cells(config: MachineConfig,
         payloads = transport.collect()
     finally:
         transport.close()
+    xshard_report = None
+    if sanitize:
+        from ..sanitize.xshard import stitch_shards
+
+        xshard_report = stitch_shards(payloads)
     wall = time.perf_counter() - t0
     return CellsResult(
         config_name=config.name, cells=cells, workers=workers,
         window=window, lookahead=lookahead, rounds=rounds,
         messages=messages, wall_seconds=wall, shards=payloads,
+        contention=pricer.summary() if pricer is not None else None,
+        xshard=xshard_report,
     )

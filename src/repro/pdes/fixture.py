@@ -108,9 +108,29 @@ def consume_kernel(t, args):
     yield from sync(t)
 
 
+@kernel("xcell-race", dwarf="MapReduce", category="memory-irregular")
+def race_kernel(t, args):
+    """Deliberately broken consumer: streams the inbound block without
+    ever polling the ready flag.  Its loads conflict with the foreign
+    producer's stores with no release/acquire path between them -- the
+    seeded cross-Cell race the sanitizer stitcher must flag."""
+    words = args["words"]
+    lo, hi = range_split(words, num_tiles(t), tile_id(t))
+    acc = t.reg()
+    top = t.loop_top()
+    for i in range(lo, hi, 4):
+        vl = t.vload(t.local_dram(BUF_OFFSET + 4 * i))
+        yield vl
+        for r in vl.dsts:
+            yield t.fma(acc, [acc, r])
+        yield t.branch_back(top, taken=(i + 4 < hi))
+    yield from sync(t)
+
+
 EXCHANGE = exchange_kernel
 PRODUCE = produce_kernel
 CONSUME = consume_kernel
+RACE = race_kernel
 
 
 def exchange_launches(config: MachineConfig, words: int = 64
@@ -129,6 +149,29 @@ def exchange_launches(config: MachineConfig, words: int = 64
         launches.append(LaunchSpec(cell=xy, kernel="repro.pdes.fixture:EXCHANGE",
                                    args=args))
     return launches
+
+
+def race_launches(config: MachineConfig, words: int = 64
+                  ) -> List[LaunchSpec]:
+    """A correct producer paired with a consumer that skips the flag:
+    Cell 0 pushes into Cell 1, Cell 1 reads immediately.  Per-shard
+    sanitizers see nothing (each side is internally disciplined); only
+    the cross-shard stitching pass can catch it."""
+    cells = list(config.chip.cells())
+    if len(cells) < 2:
+        raise ValueError("race fixture wants at least 2 Cells")
+    src, dst = cells[0], cells[1]
+    return [
+        LaunchSpec(
+            cell=src, kernel="repro.pdes.fixture:PRODUCE",
+            args={"words": words,
+                  "out_ptr": spaces.group_dram(dst[0], dst[1], BUF_OFFSET),
+                  "flag_out": spaces.group_dram(dst[0], dst[1],
+                                                FLAG_OFFSET)}),
+        LaunchSpec(
+            cell=dst, kernel="repro.pdes.fixture:RACE",
+            args={"words": words}),
+    ]
 
 
 def pipeline_launches(config: MachineConfig, words: int = 64

@@ -143,6 +143,9 @@ class ShardSpec:
     pokes: Tuple[Tuple[int, int], ...] = ()  # (offset, value) on this Cell
     audit: bool = False
     sanitize: bool = False
+    #: Price the intra-Cell legs of cross-Cell paths on this shard's own
+    #: network planes (see ``ShardChannel.contention``).
+    contention: bool = True
 
 
 class StepReport:
@@ -180,6 +183,7 @@ class CellShard:
         config = serialize.from_dict(spec.config)
         self.machine = Machine(config, owned_cells=[self.cell_xy])
         self.channel = ShardChannel(self.machine, self.cell_xy)
+        self.channel.contention = spec.contention
         # remote=False on *every* launch turns the promise into a trap:
         # initiating any cross-Cell request from this shard raises.
         # (Replies to inbound requests are still allowed -- they are the
@@ -198,6 +202,9 @@ class CellShard:
             from ..sanitize import attach as san_attach
 
             self.sanitizer = san_attach(self.machine, Sanitizer())
+            # Record what the offline cross-shard stitching pass needs:
+            # per-access clocks on Cell-DRAM words and the AMO sync log.
+            self.sanitizer.enable_xshard(self.cell_xy)
         cell = self.machine.cells[self.cell_xy]
         for offset, value in spec.pokes:
             cell.poke(offset, value)
@@ -267,9 +274,15 @@ class CellShard:
         for core in self.machine.cores.values():
             for cat, val in core.counters.as_dict().items():
                 counters[cat] = counters.get(cat, 0.0) + val
+        # last_event_time, not now: run(until=barrier) parks the clock at
+        # the barrier even when the queue drained earlier, and barrier
+        # placement varies with the window size.  The last *event* clock
+        # is a pure function of the workload, so the payload (and hence
+        # CellsResult.fingerprint) is identical across window sizes and
+        # the free-run shortcut.
         payload: Dict[str, Any] = {
             "cell": list(self.cell_xy),
-            "now": sim.now,
+            "now": sim.last_event_time,
             "events": sim.events_executed,
             "results": results,
             "cycles": [r["cycles"] for r in results],
@@ -285,6 +298,8 @@ class CellShard:
         if self.sanitizer is not None:
             payload["sanitize_clean"] = self.sanitizer.clean
             payload["sanitize"] = self.sanitizer.summary()
+            payload["xshard"] = self.sanitizer.export_xshard(
+                self.channel.inbound_words, self.channel.served_amos)
         return payload
 
     def peek_mem(self, offset: int) -> int:

@@ -293,11 +293,14 @@ class MemorySystem:
         serialization order -- then times the bank access.  Returns
         ``(ready, old_value)``.
 
-        The sanitizer hook is deliberately absent: ``node`` is a tile
-        another shard simulates, and this shard's checker has no vector
-        clock for it.  Cross-Cell AMO happens-before edges are therefore
-        invisible to per-shard sanitizers (a documented PDES limit);
-        every Cell-local edge is still checked.
+        The *inline* sanitizer hook is absent on purpose: ``node`` is a
+        tile another shard simulates, and this shard's checker has no
+        vector clock for it.  Cross-Cell happens-before edges are
+        instead recovered offline -- the issuing shard snapshots its
+        clock (``Sanitizer.xshard_amo_out``), the owning shard's channel
+        logs the serve order, and the coordinator's stitching pass
+        (:func:`repro.sanitize.xshard.stitch_shards`) joins the two to
+        check cross-Cell conflicts after the run.
         """
         old = self._amo_execute(dest, kind, value)
         bank = self.banks[(dest.cell_xy, dest.bank_index)]

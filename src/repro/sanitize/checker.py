@@ -82,10 +82,17 @@ class SanitizeConfig:
 
 
 class _Access:
-    """One observed memory access (the shadow state's unit)."""
+    """One observed memory access (the shadow state's unit).
+
+    ``clock`` and ``released_at`` are only populated in cross-shard
+    (xshard) mode: the offline stitcher needs a point-in-time vector
+    clock per exported access, and the *time* a fence released it (the
+    live checker only needs the boolean).
+    """
 
     __slots__ = ("tid", "epoch", "released", "node", "op", "addr",
-                 "write", "atomic", "racy", "time")
+                 "write", "atomic", "racy", "time", "clock",
+                 "released_at")
 
     def __init__(self, tid: int, epoch: int, released: bool, node, op,
                  addr: int, write: bool, atomic: bool, racy: bool,
@@ -100,6 +107,8 @@ class _Access:
         self.atomic = atomic
         self.racy = racy
         self.time = time
+        self.clock: Optional[List[int]] = None
+        self.released_at: Optional[float] = time if released else None
 
 
 class _Word:
@@ -202,6 +211,14 @@ class Sanitizer:
         #: Host-side bulk ranges: (cell_xy, lo_word, hi_word, write, _Access).
         self._host_ranges: List[Tuple[Tuple[int, int], int, int, bool, _Access]] = []
         self.ops_checked = 0
+        #: Cross-shard (xshard) mode: set by :meth:`enable_xshard` on
+        #: PDES shards.  Accesses to Cell-DRAM words then snapshot the
+        #: issuing thread's vector clock, fences stamp release times,
+        #: and AMO serializations are logged -- everything the offline
+        #: cross-shard stitcher (:mod:`repro.sanitize.xshard`) needs.
+        self._xshard_cell: Optional[Tuple[int, int]] = None
+        self._out_amos: List[Dict[str, Any]] = []
+        self._sync_log: List[Dict[str, Any]] = []
 
     # -- wiring (see sanitize/instrument.py) --------------------------------
 
@@ -350,6 +367,11 @@ class Sanitizer:
         else:
             self._on_read(word, acc, key, remote_spm=(key[0] == "S"
                                                       and not local))
+        if self._xshard_cell is not None and key[0] == "D":
+            # Snapshot *after* the handlers: an atomic-word read just
+            # joined the word's release clock, and the exported clock
+            # must include that acquisition.
+            acc.clock = list(self._clocks[tid])
 
     def _on_write(self, word: _Word, acc: _Access, key: Tuple) -> None:
         tid, clock = acc.tid, self._clocks[acc.tid]
@@ -426,6 +448,39 @@ class Sanitizer:
             word.amo_clock = release
         else:
             self._join(word.amo_clock, release)
+        if self._xshard_cell is not None:
+            acc.clock = list(clock)
+            self._sync_log.append(
+                {"time": time, "key": [key[1], key[2], key[3]],
+                 "tid": tid, "epoch": acc.epoch, "clock": list(clock)})
+
+    def xshard_amo_out(self, node: Tuple[int, int], dest: Any, kind: str,
+                       seq: int, time: float) -> None:
+        """Issuing-side record of a cross-Cell AMO (PDES shards only).
+
+        The functional serialization happens at the *owning* shard, whose
+        checker has no vector clock for this tile -- so neither side can
+        check it live.  Instead the issuer snapshots its clock here, the
+        owner logs the serialization order (the channel's ``served_amos``),
+        and the coordinator's offline stitcher replays both.
+        """
+        tid = self._tids[node]
+        op = self._amo_ops[tid]
+        self._amo_ops[tid] = None
+        if self._xshard_cell is None:
+            return
+        self.ops_checked += 1
+        key = ("D", dest.cell_xy[0], dest.cell_xy[1], dest.mem_addr >> 2)
+        if key in self._allowed:
+            return
+        acc = _Access(tid, self._next_epoch(tid), True, node, op,
+                      getattr(op, "addr", 0), True, True,
+                      getattr(op, "racy", False), time)
+        acc.clock = list(self._clocks[tid])
+        rec = self._export_acc(key, acc)
+        rec["seq"] = seq
+        rec["kind"] = kind
+        self._out_amos.append(rec)
 
     # -- ordering edges ------------------------------------------------------
 
@@ -434,8 +489,10 @@ class Sanitizer:
         tid = self._tids[node]
         for acc in self._pending_stores[tid]:
             acc.released = True
+            acc.released_at = time
         for acc in self._pending_loads[tid]:
             acc.released = True
+            acc.released_at = time
         del self._pending_stores[tid][:]
         del self._pending_loads[tid][:]
 
@@ -483,6 +540,7 @@ class Sanitizer:
         # Loads are consumed (complete) by the join; stores need a fence.
         for acc in self._pending_loads[tid]:
             acc.released = True
+            acc.released_at = time
         del self._pending_loads[tid][:]
         pend = self._barrier_pending.setdefault(id(group), {})
         pend[tid] = list(self._clocks[tid])
@@ -522,6 +580,8 @@ class Sanitizer:
             self._on_write(word, acc, key)
         else:
             self._on_read(word, acc, key, remote_spm=False)
+        if self._xshard_cell is not None and key[0] == "D":
+            acc.clock = list(self._clocks[HOST])
 
     def host_write(self, addr: int, node: Tuple[int, int]) -> None:
         self._host_access(addr, node, True)
@@ -568,6 +628,73 @@ class Sanitizer:
                 continue
             if not self._hb(host_acc, acc.tid, clock):
                 self._race(host_acc, acc, key)
+
+    # -- cross-shard export (PDES, see sanitize/xshard.py) -------------------
+
+    def enable_xshard(self, cell_xy: Tuple[int, int]) -> None:
+        """Turn on cross-shard recording for the shard owning ``cell_xy``.
+
+        Costs one clock copy per Cell-DRAM access and a log entry per
+        AMO serialization -- only PDES shards pay it.
+        """
+        self._xshard_cell = tuple(cell_xy)
+
+    def _export_acc(self, key: Tuple, acc: _Access) -> Dict[str, Any]:
+        return {
+            "key": [key[1], key[2], key[3]],
+            "tid": acc.tid,
+            "epoch": acc.epoch,
+            "time": acc.time,
+            "write": acc.write,
+            "atomic": acc.atomic,
+            "racy": acc.racy,
+            "released_at": acc.released_at if acc.released else None,
+            "clock": acc.clock,
+            "site": list(_site(acc)),
+            "desc": _describe(acc),
+        }
+
+    def export_xshard(self, inbound_words: Any,
+                      served_amos: Any) -> Dict[str, Any]:
+        """The shard's deterministic contribution to the offline
+        cross-shard happens-before pass.
+
+        ``inbound_words`` / ``served_amos`` come from the shard's
+        :class:`~repro.pdes.channel.ShardChannel` (the owner side knows
+        which of its words foreigners touched, and in what order it
+        serialized their AMOs).  Exported are the shadow's surviving
+        access records on foreign-Cell words (this shard's outbound
+        traffic) and on own-Cell words foreigners touched -- last write
+        plus last read per tile, the same granularity the live checker
+        keeps, which is a documented limit of the stitched pass too.
+        """
+        cell = self._xshard_cell
+        foreign: List[Dict[str, Any]] = []
+        home: List[Dict[str, Any]] = []
+        inbound = set(inbound_words)
+        for key, word in sorted(self._shadow.items()):
+            if key[0] != "D":
+                continue
+            if (key[1], key[2]) != cell:
+                out = foreign
+            elif (key[1], key[2], key[3]) in inbound:
+                out = home
+            else:
+                continue
+            if word.write is not None:
+                out.append(self._export_acc(key, word.write))
+            for acc in word.reads.values():
+                out.append(self._export_acc(key, acc))
+        return {
+            "cell": list(cell) if cell is not None else None,
+            "ntids": len(self._clocks),
+            "foreign": foreign,
+            "home": home,
+            "out_amos": list(self._out_amos),
+            "sync_log": list(self._sync_log),
+            "served_amos": [[t, list(src), seq, kind]
+                            for t, src, seq, kind in served_amos],
+        }
 
     # -- end of run ----------------------------------------------------------
 

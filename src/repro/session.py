@@ -114,7 +114,12 @@ class Session:
       config's Cell grid is set to X x Y and :meth:`run` simulates the
       Cells as parallel shards (``workers`` processes, conservative
       windows of ``window`` cycles, default = the inter-Cell lookahead).
-      ``audit``/``sanitize`` attach per shard; ``trace`` is unsupported.
+      ``audit``/``sanitize`` attach per shard (``sanitize`` also runs
+      the cross-shard race stitcher over the collected payloads);
+      ``contention`` (default on) prices deterministic inter-Cell link
+      contention -- Cell-edge lane occupancy plus the intra-Cell legs
+      of cross-Cell paths -- instead of the optimistic zero-load floor;
+      ``trace`` is unsupported.
     """
 
     def __init__(self, config: Optional[MachineConfig] = None, *,
@@ -124,7 +129,8 @@ class Session:
                  record_bin_width: Optional[float] = None,
                  cells: Optional[Tuple[int, int]] = None,
                  workers: int = 1,
-                 window: Optional[float] = None) -> None:
+                 window: Optional[float] = None,
+                 contention: bool = True) -> None:
         self.config = HB_16x8 if config is None else config
         #: PDES state (``cells=(X, Y)`` mode): the plan before run(),
         #: the :class:`repro.pdes.CellsResult` after.
@@ -144,6 +150,7 @@ class Session:
                 "launches": [], "pokes": [], "cells": {},
                 "workers": workers, "window": window,
                 "audit": bool(audit), "sanitize": bool(sanitize),
+                "contention": contention,
             }
             self.trace = None
             self.sanitizer = None
@@ -277,7 +284,8 @@ class Session:
             self.pdes = run_cells(
                 self.config, plan["launches"], pokes=plan["pokes"],
                 workers=plan["workers"], window=plan["window"],
-                audit=plan["audit"], sanitize=plan["sanitize"])
+                audit=plan["audit"], sanitize=plan["sanitize"],
+                contention=plan["contention"])
             plan["launches"] = []
             plan["pokes"] = []
             return self.pdes

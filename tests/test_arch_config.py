@@ -121,6 +121,44 @@ class TestWithHbm:
         assert cfg.pseudo_channels_per_cell == 2
 
 
+class TestBuilderValidation:
+    """Every with_* builder rejects typo'd field names loudly, naming
+    the valid set (the with_hbm contract, extended family-wide)."""
+
+    def test_with_cache_unknown_field(self):
+        with pytest.raises(TypeError, match="unknown cache timing field"):
+            HB_16x8.with_cache(mshr_entrees=4)
+        with pytest.raises(TypeError, match="mshr_entries"):
+            HB_16x8.with_cache(mshr_entrees=4)  # message lists neighbours
+
+    def test_with_features_unknown_flag(self):
+        with pytest.raises(TypeError, match="unknown feature field"):
+            HB_16x8.with_features(ruch_network=False)
+        with pytest.raises(TypeError, match="ruche_network"):
+            HB_16x8.with_features(ruch_network=False)
+
+    def test_with_timings_unknown_subfield(self):
+        with pytest.raises(TypeError, match="unknown hbm timing field"):
+            HB_16x8.with_timings(hbm={"t_cll": 20})
+        with pytest.raises(TypeError, match="unknown noc timing field"):
+            HB_16x8.with_timings(noc={"router_latencyy": 2})
+
+    def test_with_geometry_unknown_field(self):
+        with pytest.raises(TypeError, match="unknown geometry field"):
+            HB_16x8.with_geometry(cells=2)
+        with pytest.raises(TypeError, match="cells_x"):
+            HB_16x8.with_geometry(cell_x=2)
+
+    def test_valid_overrides_still_work(self):
+        cfg = HB_16x8.with_cache(mshr_entries=1).with_features(
+            hw_barrier=False).with_timings(
+            hbm={"t_cl": 20}).with_geometry(cells_x=2)
+        assert cfg.timings.cache.mshr_entries == 1
+        assert cfg.features.hw_barrier is False
+        assert cfg.timings.hbm.t_cl == 20
+        assert cfg.cells_x == 2
+
+
 class TestWithPim:
     def test_defaults(self):
         cfg = HB_16x8.with_pim()

@@ -172,13 +172,16 @@ class TestTraffic:
     def test_messages_pickle_roundtrip(self):
         req = CellRequest(seq=3, req_id=7, src_cell=(0, 0), dst_cell=(1, 0),
                           src_node=(1, 1), dest=None, is_write=True,
-                          words=4, resp_flits=1, arrival=42.0)
+                          words=4, flits=2, resp_flits=1, arrival=42.0)
         clone = pickle.loads(pickle.dumps(req))
         assert sort_key(clone) == sort_key(req) == (42.0, (0, 0), 3)
+        assert (clone.flits, clone.plane) == (2, "req")
         resp = CellResponse(seq=9, req_id=7, src_cell=(1, 0), dst_cell=(0, 0),
+                            src_node=(4, 0), dst_node=(1, 1), flits=1,
                             arrival=50.0, payload=5)
         clone = pickle.loads(pickle.dumps(resp))
         assert clone.payload == 5 and clone.arrival == 50.0
+        assert clone.plane == "resp"
 
 
 # ---------------------------------------------------------------------------
